@@ -1,0 +1,133 @@
+// Micro-benchmarks of the pipeline stages (google-benchmark): placement,
+// routing, split extraction, candidate generation, feature rendering, and
+// the neural network's forward/backward — the building blocks behind the
+// Table 3 runtime column.
+#include <benchmark/benchmark.h>
+
+#include "attack/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "netlist/generator.hpp"
+#include "nn/attack_net.hpp"
+#include "nn/losses.hpp"
+#include "place/global_placer.hpp"
+#include "place/legalizer.hpp"
+#include "split/candidates.hpp"
+
+namespace {
+
+using namespace sma;  // NOLINT: bench-local brevity
+
+netlist::Netlist make_netlist(int gates, std::uint64_t seed = 1) {
+  netlist::GeneratorConfig config;
+  config.num_gates = gates;
+  config.num_inputs = std::max(4, gates / 12);
+  config.num_outputs = std::max(2, gates / 24);
+  config.seed = seed;
+  static const tech::CellLibrary lib = tech::CellLibrary::nangate45_like();
+  return netlist::generate_netlist(config, "bench", &lib);
+}
+
+void BM_NetlistGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    netlist::Netlist nl = make_netlist(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(nl.num_nets());
+  }
+}
+BENCHMARK(BM_NetlistGeneration)->Arg(200)->Arg(1000);
+
+void BM_GlobalPlacement(benchmark::State& state) {
+  netlist::Netlist nl = make_netlist(static_cast<int>(state.range(0)));
+  place::Floorplan fp = place::make_floorplan(nl);
+  for (auto _ : state) {
+    place::Placement placement(&nl, fp);
+    place::run_global_placement(placement);
+    benchmark::DoNotOptimize(placement.total_hpwl());
+  }
+}
+BENCHMARK(BM_GlobalPlacement)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_FullFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    netlist::Netlist nl = make_netlist(static_cast<int>(state.range(0)));
+    state.ResumeTiming();
+    layout::Design design = layout::run_flow(std::move(nl));
+    benchmark::DoNotOptimize(design.routing.total_wirelength);
+  }
+}
+BENCHMARK(BM_FullFlow)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_SplitExtraction(benchmark::State& state) {
+  layout::Design design = layout::run_flow(make_netlist(600));
+  for (auto _ : state) {
+    split::SplitDesign split(&design, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(split.fragments().size());
+  }
+}
+BENCHMARK(BM_SplitExtraction)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  layout::Design design = layout::run_flow(make_netlist(600));
+  split::SplitDesign split(&design, 3);
+  split::CandidateConfig config;
+  config.max_candidates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto queries = split::build_queries(split, config);
+    benchmark::DoNotOptimize(queries.size());
+  }
+}
+BENCHMARK(BM_CandidateGeneration)->Arg(8)->Arg(31)->Unit(benchmark::kMillisecond);
+
+void BM_ImageRendering(benchmark::State& state) {
+  layout::Design design = layout::run_flow(make_netlist(600));
+  split::SplitDesign split(&design, 3);
+  features::ImageConfig config;
+  config.size = static_cast<int>(state.range(0));
+  config.pixel_sizes = {50, 100, 200};
+  features::ImageRenderer renderer(&split, config);
+  int vp = 0;
+  for (auto _ : state) {
+    auto image = renderer.render(vp);
+    vp = (vp + 1) % static_cast<int>(split.virtual_pins().size());
+    benchmark::DoNotOptimize(image.data());
+  }
+}
+BENCHMARK(BM_ImageRendering)->Arg(15)->Arg(99);
+
+void BM_NetForwardBackward(benchmark::State& state) {
+  nn::NetConfig config = nn::NetConfig::fast();
+  config.image_channels = 3;
+  nn::AttackNet net(config);
+  const int n = 15;
+  const int size = static_cast<int>(state.range(0));
+  util::Pcg32 rng(5);
+  nn::QueryInput input;
+  input.vec = nn::Tensor::randn({n, 27}, rng, 1.0);
+  input.images = nn::Tensor::randn({n + 1, 3, size, size}, rng, 0.3);
+  for (auto _ : state) {
+    nn::Tensor scores = net.forward(input);
+    nn::LossResult loss = nn::softmax_regression_loss(scores, 0);
+    net.backward(loss.grad);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_NetForwardBackward)->Arg(15)->Arg(33)->Unit(benchmark::kMillisecond);
+
+void BM_VectorFeatures(benchmark::State& state) {
+  layout::Design design = layout::run_flow(make_netlist(400));
+  split::SplitDesign split(&design, 3);
+  auto queries = split::build_queries(split);
+  for (auto _ : state) {
+    for (const auto& q : queries) {
+      for (const auto& vpp : q.candidates) {
+        auto f = features::compute_vector_features(split, vpp);
+        benchmark::DoNotOptimize(f[0]);
+      }
+    }
+  }
+}
+BENCHMARK(BM_VectorFeatures)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

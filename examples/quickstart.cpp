@@ -1,0 +1,81 @@
+// Quickstart: the whole pipeline on one small design, in ~40 lines of API.
+//
+//   1. generate a benchmark netlist (stand-in for ISCAS-85),
+//   2. place & route it (stand-in for Cadence Innovus),
+//   3. split the layout after Metal 3,
+//   4. train the paper's DL model on another layout from the same flow,
+//   5. attack: recover the hidden BEOL connections, report CCR.
+#include <iostream>
+
+#include "attack/dl_attack.hpp"
+#include "attack/proximity_attack.hpp"
+#include "eval/experiment.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/stats.hpp"
+
+int main() {
+  const sma::tech::CellLibrary library =
+      sma::tech::CellLibrary::nangate45_like();
+
+  // 1. A 300-gate benchmark circuit.
+  sma::netlist::GeneratorConfig gen;
+  gen.num_inputs = 20;
+  gen.num_outputs = 10;
+  gen.num_gates = 300;
+  gen.seed = 7;
+  sma::netlist::Netlist netlist =
+      sma::netlist::generate_netlist(gen, "victim", &library);
+  std::cout << "netlist: " << to_string(sma::netlist::compute_stats(netlist))
+            << "\n";
+
+  // 2. Physical design.
+  sma::layout::Design design = sma::layout::run_flow(std::move(netlist));
+  std::cout << "layout: HPWL " << design.placement->total_hpwl()
+            << " dbu, routed WL " << design.routing.total_wirelength
+            << " dbu, " << design.routing.total_vias << " vias\n";
+
+  // 3. Split manufacturing after M3.
+  sma::split::SplitDesign split(&design, /*split_layer=*/3);
+  sma::split::SplitStats stats = split.stats();
+  std::cout << "split at M3: " << stats.num_sink_fragments
+            << " sink fragments, " << stats.num_source_fragments
+            << " source fragments, " << stats.num_virtual_pins
+            << " virtual pins\n";
+
+  // 4. Train the DL attack on an attacker-generated layout (same flow,
+  //    different design — the paper's threat model).
+  gen.num_gates = 400;
+  gen.seed = 99;
+  sma::layout::Design training_design = sma::layout::run_flow(
+      sma::netlist::generate_netlist(gen, "training", &library));
+  sma::split::SplitDesign training_split(&training_design, 3);
+
+  sma::eval::ExperimentProfile profile =
+      sma::eval::ExperimentProfile::fast();
+  profile.train.epochs = 8;
+  sma::attack::DatasetConfig dataset_config = profile.dataset;
+  std::vector<sma::attack::QueryDataset> training;
+  training.emplace_back(&training_split, dataset_config);
+  std::vector<sma::attack::QueryDataset> validation;
+
+  sma::nn::NetConfig net_config = profile.net;
+  net_config.image_channels =
+      static_cast<int>(dataset_config.images.pixel_sizes.size());
+  sma::attack::DlAttack dl(net_config);
+  sma::attack::TrainStats train_stats =
+      dl.train(training, validation, profile.train);
+  std::cout << "trained " << dl.net().num_parameters() << " parameters in "
+            << train_stats.seconds << "s (final loss "
+            << train_stats.epoch_loss.back() << ")\n";
+
+  // 5. Attack.
+  sma::attack::QueryDataset victim(&split, dataset_config);
+  sma::attack::AttackResult result = dl.attack(victim);
+  sma::attack::AttackResult proximity =
+      sma::attack::run_proximity_attack(split);
+  std::cout << "DL attack CCR: " << result.ccr * 100 << "% in "
+            << result.seconds << "s (candidate ceiling "
+            << victim.candidate_hit_rate() * 100 << "%)\n";
+  std::cout << "proximity baseline CCR: " << proximity.ccr * 100 << "%\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "attack/attack_result.hpp"
+
+namespace sma::attack {
+
+double compute_ccr(const std::vector<Selection>& selections) {
+  long total = 0;
+  long correct = 0;
+  for (const Selection& s : selections) {
+    total += s.num_sinks;
+    if (s.correct) correct += s.num_sinks;
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+}  // namespace sma::attack

@@ -1,0 +1,29 @@
+// Common result types for all attacks, and the CCR metric (Eq. 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sma::attack {
+
+/// Outcome for one sink fragment.
+struct Selection {
+  int sink_fragment = -1;
+  int chosen_source = -1;  ///< -1 if the attack made no choice
+  bool correct = false;
+  int num_sinks = 0;       ///< c_i of Eq. (1)
+};
+
+/// Outcome of one attack on one design.
+struct AttackResult {
+  std::string attack_name;
+  double ccr = 0.0;        ///< correct connection rate in [0, 1]
+  double seconds = 0.0;    ///< wall-clock runtime, feature extraction included
+  bool timed_out = false;  ///< true if aborted; ccr is then meaningless
+  std::vector<Selection> selections;
+};
+
+/// CCR = sum(c_i * x_i) / sum(c_i) over sink fragments (Eq. 1).
+double compute_ccr(const std::vector<Selection>& selections);
+
+}  // namespace sma::attack

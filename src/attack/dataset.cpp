@@ -1,0 +1,66 @@
+#include "attack/dataset.hpp"
+
+#include <cstring>
+
+namespace sma::attack {
+
+QueryDataset::QueryDataset(const split::SplitDesign* split,
+                           const DatasetConfig& config)
+    : split_(split), config_(config) {
+  queries_ = split::build_queries(*split_, config_.candidates);
+  vector_features_.resize(queries_.size());
+  for (std::size_t i = 0; i < queries_.size(); ++i) {
+    vector_features_[i].reserve(queries_[i].candidates.size());
+    for (const split::Vpp& vpp : queries_[i].candidates) {
+      vector_features_[i].push_back(
+          features::compute_vector_features(*split_, vpp));
+    }
+  }
+  if (config_.build_images) {
+    renderer_ =
+        std::make_unique<features::ImageRenderer>(split_, config_.images);
+  }
+}
+
+const std::vector<float>& QueryDataset::image_of(int virtual_pin) {
+  auto it = image_cache_.find(virtual_pin);
+  if (it == image_cache_.end()) {
+    it = image_cache_.emplace(virtual_pin, renderer_->render(virtual_pin))
+             .first;
+  }
+  return it->second;
+}
+
+nn::QueryInput QueryDataset::input(std::size_t i) {
+  const split::SinkQuery& query = queries_.at(i);
+  const int n = static_cast<int>(query.candidates.size());
+
+  nn::QueryInput input;
+  input.vec = nn::Tensor({n, features::kNumVectorFeatures});
+  for (int j = 0; j < n; ++j) {
+    std::memcpy(input.vec.data() +
+                    static_cast<std::size_t>(j) * features::kNumVectorFeatures,
+                vector_features_[i][j].data(),
+                sizeof(float) * features::kNumVectorFeatures);
+  }
+
+  if (config_.build_images && renderer_ != nullptr && n > 0) {
+    const features::ImageConfig& img = renderer_->config();
+    const std::size_t per_image = img.pixels_per_image();
+    input.images =
+        nn::Tensor({n + 1, img.channels(), img.size, img.size});
+    for (int j = 0; j < n; ++j) {
+      const auto& source_image = image_of(query.candidates[j].source_vp);
+      std::memcpy(input.images.data() + static_cast<std::size_t>(j) * per_image,
+                  source_image.data(), sizeof(float) * per_image);
+    }
+    // Sink image: the sink fragment's first virtual pin represents it.
+    const split::Fragment& sink = split_->fragment(query.sink_fragment);
+    const auto& sink_image = image_of(sink.virtual_pins.front());
+    std::memcpy(input.images.data() + static_cast<std::size_t>(n) * per_image,
+                sink_image.data(), sizeof(float) * per_image);
+  }
+  return input;
+}
+
+}  // namespace sma::attack

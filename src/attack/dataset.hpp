@@ -1,0 +1,64 @@
+// Query dataset: per-sink-fragment candidate lists materialized as neural
+// network inputs, with cached virtual-pin images.
+//
+// One dataset wraps one split design. Vector features are computed eagerly
+// (they are cheap); images are rendered lazily per virtual pin and cached,
+// since the same pin appears in many queries.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "features/image_features.hpp"
+#include "features/vector_features.hpp"
+#include "nn/attack_net.hpp"
+#include "split/candidates.hpp"
+
+namespace sma::attack {
+
+struct DatasetConfig {
+  split::CandidateConfig candidates;
+  features::ImageConfig images;
+  /// Skip all image work (vector-only attacks / ablation).
+  bool build_images = true;
+};
+
+class QueryDataset {
+ public:
+  QueryDataset(const split::SplitDesign* split, const DatasetConfig& config);
+
+  const split::SplitDesign& split() const { return *split_; }
+  const DatasetConfig& config() const { return config_; }
+
+  std::size_t num_queries() const { return queries_.size(); }
+  const split::SinkQuery& query(std::size_t i) const { return queries_.at(i); }
+
+  /// Index of the positive candidate (-1 if not in the list).
+  int target(std::size_t i) const { return queries_.at(i).positive_index; }
+  int num_sinks(std::size_t i) const { return queries_.at(i).num_sinks; }
+
+  /// Assemble the network input for query `i`. Renders and caches images
+  /// on first use.
+  nn::QueryInput input(std::size_t i);
+
+  /// Weighted fraction of queries whose candidate list holds the truth.
+  double candidate_hit_rate() const {
+    return split::candidate_hit_rate(queries_);
+  }
+
+  /// Total image cache entries (for tests/diagnostics).
+  std::size_t cached_images() const { return image_cache_.size(); }
+
+ private:
+  const std::vector<float>& image_of(int virtual_pin);
+
+  const split::SplitDesign* split_;
+  DatasetConfig config_;
+  std::vector<split::SinkQuery> queries_;
+  std::vector<std::vector<features::VectorFeatures>> vector_features_;
+  std::unique_ptr<features::ImageRenderer> renderer_;
+  std::unordered_map<int, std::vector<float>> image_cache_;
+};
+
+}  // namespace sma::attack

@@ -1,0 +1,128 @@
+#include "attack/dl_attack.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace sma::attack {
+
+DlAttack::DlAttack(const nn::NetConfig& net_config) : net_(net_config) {}
+
+DlAttack::DlAttack(nn::AttackNet net) : net_(std::move(net)) {}
+
+TrainStats DlAttack::train(std::vector<QueryDataset>& training,
+                           std::vector<QueryDataset>& validation,
+                           const TrainConfig& config) {
+  util::Timer timer;
+  TrainStats stats;
+  util::Pcg32 rng(config.seed, 0x7a13);
+
+  nn::Adam optimizer(net_.params(), config.adam);
+  const bool two_class = net_.config().two_class;
+
+  // Index all trainable queries (those whose candidate list contains the
+  // positive VPP — Eq. 6 needs a labelled target).
+  struct Ref {
+    int design;
+    int query;
+  };
+  std::vector<std::vector<Ref>> per_design(training.size());
+  for (std::size_t d = 0; d < training.size(); ++d) {
+    for (std::size_t q = 0; q < training[d].num_queries(); ++q) {
+      if (training[d].target(q) >= 0 &&
+          !training[d].query(q).candidates.empty()) {
+        per_design[d].push_back({static_cast<int>(d), static_cast<int>(q)});
+      }
+    }
+  }
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (epoch > 0 && config.decay_every > 0 &&
+        epoch % config.decay_every == 0) {
+      optimizer.decay_lr();
+    }
+
+    // Per-epoch sample: subsample each design's queries, then shuffle the
+    // combined order so designs interleave.
+    std::vector<Ref> order;
+    for (auto& refs : per_design) {
+      util::shuffle(refs, rng);
+      std::size_t take = config.max_queries_per_design > 0
+                             ? std::min<std::size_t>(
+                                   refs.size(),
+                                   static_cast<std::size_t>(
+                                       config.max_queries_per_design))
+                             : refs.size();
+      order.insert(order.end(), refs.begin(), refs.begin() + take);
+    }
+    util::shuffle(order, rng);
+
+    double epoch_loss = 0.0;
+    for (const Ref& ref : order) {
+      QueryDataset& dataset = training[ref.design];
+      nn::QueryInput input = dataset.input(ref.query);
+      nn::Tensor scores = net_.forward(input);
+      nn::LossResult loss =
+          two_class ? nn::two_class_loss(scores, dataset.target(ref.query))
+                    : nn::softmax_regression_loss(scores,
+                                                  dataset.target(ref.query));
+      net_.backward(loss.grad);
+      optimizer.step();
+      epoch_loss += loss.loss;
+      ++stats.queries_seen;
+    }
+    stats.epoch_loss.push_back(
+        order.empty() ? 0.0 : epoch_loss / static_cast<double>(order.size()));
+
+    if (config.validate_every > 0 && !validation.empty() &&
+        (epoch + 1) % config.validate_every == 0) {
+      long total = 0;
+      long correct = 0;
+      for (QueryDataset& dataset : validation) {
+        AttackResult result = attack(dataset);
+        for (const Selection& s : result.selections) {
+          total += s.num_sinks;
+          if (s.correct) correct += s.num_sinks;
+        }
+      }
+      stats.validation_ccr.push_back(
+          total > 0 ? static_cast<double>(correct) / total : 0.0);
+      util::log_info() << "epoch " << epoch + 1 << ": loss "
+                       << stats.epoch_loss.back() << ", val CCR "
+                       << stats.validation_ccr.back();
+    } else {
+      util::log_debug() << "epoch " << epoch + 1 << ": loss "
+                        << stats.epoch_loss.back();
+    }
+  }
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+AttackResult DlAttack::attack(QueryDataset& dataset) {
+  util::Timer timer;
+  AttackResult result;
+  result.attack_name = net_.config().use_images ? "dl(vec+img)" : "dl(vec)";
+
+  for (std::size_t i = 0; i < dataset.num_queries(); ++i) {
+    const split::SinkQuery& query = dataset.query(i);
+    Selection selection;
+    selection.sink_fragment = query.sink_fragment;
+    selection.num_sinks = query.num_sinks;
+    if (!query.candidates.empty()) {
+      nn::QueryInput input = dataset.input(i);
+      nn::Tensor scores = net_.forward(input);
+      int predicted = nn::predict(scores);
+      selection.chosen_source = query.candidates[predicted].source_fragment;
+      selection.correct = query.candidates[predicted].positive;
+    }
+    result.selections.push_back(selection);
+  }
+  result.ccr = compute_ccr(result.selections);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace sma::attack

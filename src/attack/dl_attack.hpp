@@ -1,0 +1,62 @@
+// The deep-learning attack (Secs. 4-5 of the paper).
+//
+// Training: per-query softmax-regression loss (or the two-class ablation
+// loss) over the n candidate VPPs of each sink fragment in the training
+// designs; Adam with the paper's step-decay schedule. Attacking: for every
+// sink fragment of the victim design, pick the candidate with the highest
+// predicted score (Eq. 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/attack_result.hpp"
+#include "attack/dataset.hpp"
+#include "nn/attack_net.hpp"
+#include "nn/losses.hpp"
+#include "nn/optimizer.hpp"
+
+namespace sma::attack {
+
+struct TrainConfig {
+  int epochs = 24;
+  nn::AdamConfig adam;        ///< lr 0.001, decay 0.6 (paper schedule)
+  int decay_every = 20;       ///< epochs between lr decays
+  /// Cap on training queries drawn per design per epoch (subsampling keeps
+  /// single-core training tractable; 0 = use all).
+  int max_queries_per_design = 400;
+  std::uint64_t seed = 99;
+  /// Report validation CCR every k epochs (0 = never).
+  int validate_every = 0;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;      ///< mean loss per epoch
+  std::vector<double> validation_ccr;  ///< filled when validate_every > 0
+  double seconds = 0.0;
+  long queries_seen = 0;
+};
+
+class DlAttack {
+ public:
+  explicit DlAttack(const nn::NetConfig& net_config);
+  /// Adopt an existing (e.g. deserialized) network.
+  explicit DlAttack(nn::AttackNet net);
+
+  nn::AttackNet& net() { return net_; }
+
+  /// Train on `training` datasets; if `validation` is non-empty and
+  /// `config.validate_every` > 0, track validation CCR.
+  TrainStats train(std::vector<QueryDataset>& training,
+                   std::vector<QueryDataset>& validation,
+                   const TrainConfig& config);
+
+  /// Run inference over every query of `dataset` (runtime includes image
+  /// rendering, which is part of feature extraction as in the paper).
+  AttackResult attack(QueryDataset& dataset);
+
+ private:
+  nn::AttackNet net_;
+};
+
+}  // namespace sma::attack

@@ -1,0 +1,186 @@
+#include "attack/flow_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "features/vector_features.hpp"
+#include "util/timer.hpp"
+
+namespace sma::attack {
+
+namespace {
+
+/// Min-cost max-flow with successive shortest paths + Johnson potentials.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes)
+      : graph_(num_nodes), potential_(num_nodes, 0.0) {}
+
+  /// Returns the index of the forward edge within `from`'s adjacency list.
+  int add_edge(int from, int to, int capacity, double cost) {
+    graph_[from].push_back(
+        {to, static_cast<int>(graph_[to].size()), capacity, cost});
+    graph_[to].push_back(
+        {from, static_cast<int>(graph_[from].size()) - 1, 0, -cost});
+    return static_cast<int>(graph_[from].size()) - 1;
+  }
+
+  /// Push up to `max_flow` units from s to t; returns units pushed.
+  /// `deadline` (seconds on `timer`) aborts long runs; returns -1 then.
+  int solve(int s, int t, int max_flow, const util::Timer& timer,
+            double deadline) {
+    int flow = 0;
+    while (flow < max_flow) {
+      if (deadline > 0 && timer.seconds() > deadline) return -1;
+      if (!dijkstra(s, t)) break;
+      // Augment one unit (all sink demands are unit).
+      int bottleneck = max_flow - flow;
+      for (int v = t; v != s; v = prev_node_[v]) {
+        bottleneck =
+            std::min(bottleneck, graph_[prev_node_[v]][prev_edge_[v]].cap);
+      }
+      for (int v = t; v != s; v = prev_node_[v]) {
+        Edge& e = graph_[prev_node_[v]][prev_edge_[v]];
+        e.cap -= bottleneck;
+        graph_[v][e.rev].cap += bottleneck;
+      }
+      flow += bottleneck;
+    }
+    return flow;
+  }
+
+  /// Remaining capacity of the i-th edge added from `from`.
+  int capacity(int from, int index) const { return graph_[from][index].cap; }
+
+ private:
+  struct Edge {
+    int to;
+    int rev;
+    int cap;
+    double cost;
+  };
+
+  bool dijkstra(int s, int t) {
+    const double inf = std::numeric_limits<double>::infinity();
+    dist_.assign(graph_.size(), inf);
+    prev_node_.assign(graph_.size(), -1);
+    prev_edge_.assign(graph_.size(), -1);
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> open;
+    dist_[s] = 0.0;
+    open.push({0.0, s});
+    while (!open.empty()) {
+      auto [d, u] = open.top();
+      open.pop();
+      if (d > dist_[u]) continue;
+      for (std::size_t i = 0; i < graph_[u].size(); ++i) {
+        const Edge& e = graph_[u][i];
+        if (e.cap <= 0) continue;
+        double nd = d + e.cost + potential_[u] - potential_[e.to];
+        if (nd < dist_[e.to] - 1e-12) {
+          dist_[e.to] = nd;
+          prev_node_[e.to] = u;
+          prev_edge_[e.to] = static_cast<int>(i);
+          open.push({nd, e.to});
+        }
+      }
+    }
+    if (dist_[t] == inf) return false;
+    for (std::size_t v = 0; v < graph_.size(); ++v) {
+      if (dist_[v] < inf) potential_[v] += dist_[v];
+    }
+    return true;
+  }
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<double> potential_;
+  std::vector<double> dist_;
+  std::vector<int> prev_node_;
+  std::vector<int> prev_edge_;
+};
+
+}  // namespace
+
+AttackResult run_flow_attack(const split::SplitDesign& split,
+                             const FlowAttackConfig& config) {
+  util::Timer timer;
+  AttackResult result;
+  result.attack_name = "network-flow";
+
+  std::vector<split::SinkQuery> queries =
+      split::build_queries(split, config.candidates);
+
+  // Node numbering: 0 = S, 1..K = sinks, K+1..K+M = sources, K+M+1 = T.
+  const auto& source_ids = split.source_fragments();
+  const int num_sinks = static_cast<int>(queries.size());
+  const int num_sources = static_cast<int>(source_ids.size());
+  const int s_node = 0;
+  const int t_node = num_sinks + num_sources + 1;
+  std::vector<int> source_node(split.fragments().size(), -1);
+  for (int j = 0; j < num_sources; ++j) {
+    source_node[source_ids[j]] = num_sinks + 1 + j;
+  }
+
+  MinCostFlow flow(t_node + 1);
+  for (int i = 0; i < num_sinks; ++i) {
+    flow.add_edge(s_node, 1 + i, 1, 0.0);
+  }
+  // Source capacities from capacitance headroom.
+  for (int j = 0; j < num_sources; ++j) {
+    const split::Fragment& source = split.fragment(source_ids[j]);
+    features::FragmentElectrical e =
+        features::fragment_electrical(split, source);
+    double headroom = e.driver_max_cap - e.wire_cap;
+    int slots = static_cast<int>(std::floor(headroom / config.avg_sink_cap));
+    slots = std::clamp(slots, 1, config.max_slots);
+    flow.add_edge(num_sinks + 1 + j, t_node, slots, 0.0);
+  }
+  // Candidate edges, cost = Manhattan proximity of the best VPP.
+  // Track (adjacency index, source fragment) for assignment readback.
+  std::vector<std::vector<std::pair<int, int>>> edge_source(num_sinks);
+  for (int i = 0; i < num_sinks; ++i) {
+    for (const split::Vpp& vpp : queries[i].candidates) {
+      const split::VirtualPin& p = split.virtual_pin(vpp.sink_vp);
+      const split::VirtualPin& q = split.virtual_pin(vpp.source_vp);
+      double cost =
+          static_cast<double>(util::manhattan(p.location, q.location));
+      int index =
+          flow.add_edge(1 + i, source_node[vpp.source_fragment], 1, cost);
+      edge_source[i].emplace_back(index, vpp.source_fragment);
+    }
+  }
+
+  int pushed =
+      flow.solve(s_node, t_node, num_sinks, timer, config.timeout_seconds);
+  if (pushed < 0) {
+    result.timed_out = true;
+    result.seconds = timer.seconds();
+    result.ccr = std::nan("");
+    return result;
+  }
+
+  for (int i = 0; i < num_sinks; ++i) {
+    Selection selection;
+    selection.sink_fragment = queries[i].sink_fragment;
+    selection.num_sinks = queries[i].num_sinks;
+    // A saturated sink->source edge is the chosen assignment.
+    for (const auto& [edge_index, source_fragment] : edge_source[i]) {
+      if (flow.capacity(1 + i, edge_index) == 0) {
+        selection.chosen_source = source_fragment;
+        selection.correct =
+            selection.chosen_source ==
+            split.positive_source_of(selection.sink_fragment);
+        break;
+      }
+    }
+    result.selections.push_back(selection);
+  }
+  result.ccr = compute_ccr(result.selections);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace sma::attack

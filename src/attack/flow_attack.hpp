@@ -1,0 +1,39 @@
+// Network-flow attack baseline (Wang et al., TVLSI 2018 — reference [1] of
+// the paper).
+//
+// Models connection recovery as min-cost max-flow on a bipartite graph:
+// each sink fragment demands one unit of flow, candidate edges to source
+// fragments cost their virtual-pin proximity (the placement-proximity
+// heuristic), and each source fragment's capacity derives from its
+// driver's maximum load capacitance — exactly the "proximity as cost,
+// capacitance as capacity" formulation. Solved by successive shortest
+// paths with Johnson potentials. Like the original attack, runtime grows
+// steeply with design size; a wall-clock budget mirrors the paper's
+// 100,000-second cap (timed-out designs report N/A).
+#pragma once
+
+#include <cstdint>
+
+#include "attack/attack_result.hpp"
+#include "split/candidates.hpp"
+#include "split/split_design.hpp"
+
+namespace sma::attack {
+
+struct FlowAttackConfig {
+  /// Candidate sources considered per sink fragment.
+  split::CandidateConfig candidates{.max_candidates = 48};
+  /// Assumed average sink load (fF) when converting capacitance headroom
+  /// into assignment slots.
+  double avg_sink_cap = 1.7;
+  /// Upper bound on slots per source fragment.
+  int max_slots = 64;
+  /// Wall-clock budget in seconds; <= 0 means unlimited.
+  double timeout_seconds = 100.0;
+};
+
+/// Run the flow attack on one split design.
+AttackResult run_flow_attack(const split::SplitDesign& split,
+                             const FlowAttackConfig& config = {});
+
+}  // namespace sma::attack

@@ -1,0 +1,40 @@
+#include "attack/proximity_attack.hpp"
+
+#include <limits>
+
+#include "util/timer.hpp"
+
+namespace sma::attack {
+
+AttackResult run_proximity_attack(const split::SplitDesign& split,
+                                  const ProximityAttackConfig& config) {
+  util::Timer timer;
+  AttackResult result;
+  result.attack_name = "proximity";
+
+  std::vector<split::SinkQuery> queries =
+      split::build_queries(split, config.candidates);
+  for (const split::SinkQuery& query : queries) {
+    Selection selection;
+    selection.sink_fragment = query.sink_fragment;
+    selection.num_sinks = query.num_sinks;
+
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (const split::Vpp& vpp : query.candidates) {
+      const split::VirtualPin& p = split.virtual_pin(vpp.sink_vp);
+      const split::VirtualPin& q = split.virtual_pin(vpp.source_vp);
+      std::int64_t distance = util::manhattan(p.location, q.location);
+      if (distance < best) {
+        best = distance;
+        selection.chosen_source = vpp.source_fragment;
+        selection.correct = vpp.positive;
+      }
+    }
+    result.selections.push_back(selection);
+  }
+  result.ccr = compute_ccr(result.selections);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace sma::attack

@@ -1,0 +1,22 @@
+// Naive proximity attack (Rajendran et al., DATE 2013 — reference [8]).
+//
+// Connects every sink fragment to the closest candidate source fragment by
+// Manhattan distance between virtual pins. This is the floor every smarter
+// attack is measured against, and the configuration the network-flow
+// attack degenerates to when capacitance constraints are loose.
+#pragma once
+
+#include "attack/attack_result.hpp"
+#include "split/candidates.hpp"
+#include "split/split_design.hpp"
+
+namespace sma::attack {
+
+struct ProximityAttackConfig {
+  split::CandidateConfig candidates{.max_candidates = 48};
+};
+
+AttackResult run_proximity_attack(const split::SplitDesign& split,
+                                  const ProximityAttackConfig& config = {});
+
+}  // namespace sma::attack

@@ -1,0 +1,228 @@
+#include "eval/experiment.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace sma::eval {
+
+PreparedSplit prepare_split(const netlist::DesignProfile& profile,
+                            int split_layer, const layout::FlowConfig& flow,
+                            std::uint64_t seed) {
+  static const tech::CellLibrary kLibrary = tech::CellLibrary::nangate45_like();
+
+  PreparedSplit prepared;
+  prepared.name = profile.name;
+  netlist::Netlist nl = netlist::build_profile(profile, &kLibrary, seed);
+
+  layout::FlowConfig flow_config = flow;
+  flow_config.seed = seed;
+  prepared.design = std::make_unique<layout::Design>(
+      layout::run_flow(std::move(nl), flow_config));
+  prepared.split = std::make_unique<split::SplitDesign>(prepared.design.get(),
+                                                        split_layer);
+  return prepared;
+}
+
+ExperimentProfile ExperimentProfile::fast() {
+  ExperimentProfile p;
+  p.dataset.candidates.max_candidates = 15;
+  p.dataset.images.size = 15;
+  p.dataset.images.pixel_sizes = {100, 200, 400};
+  p.net = nn::NetConfig::fast();
+  p.train.epochs = 12;
+  p.train.decay_every = 8;
+  p.train.max_queries_per_design = 250;
+  p.flow_attack.timeout_seconds = 20.0;
+  return p;
+}
+
+ExperimentProfile ExperimentProfile::paper() {
+  ExperimentProfile p;
+  p.dataset.candidates.max_candidates = 31;
+  p.dataset.images.size = 99;
+  p.dataset.images.pixel_sizes = {50, 100, 200};
+  p.net = nn::NetConfig::paper();
+  p.train.epochs = 60;
+  p.train.decay_every = 20;
+  p.train.max_queries_per_design = 0;  // all queries
+  p.flow_attack.timeout_seconds = 100000.0;
+  return p;
+}
+
+namespace {
+
+/// Build a dataset for one prepared design under `profile`.
+attack::QueryDataset make_dataset(const PreparedSplit& prepared,
+                                  const ExperimentProfile& profile,
+                                  bool build_images) {
+  attack::DatasetConfig config = profile.dataset;
+  config.build_images = build_images && profile.net.use_images;
+  return attack::QueryDataset(prepared.split.get(), config);
+}
+
+/// Train a DL attack over the standard training corpus at `split_layer`.
+attack::DlAttack train_attack(int split_layer,
+                              const ExperimentProfile& profile,
+                              const layout::FlowConfig& flow,
+                              std::uint64_t seed, double* train_seconds) {
+  util::Timer timer;
+  std::vector<attack::QueryDataset> training;
+  std::vector<PreparedSplit> prepared_store;
+  for (const netlist::DesignProfile& p : netlist::training_profiles()) {
+    prepared_store.push_back(
+        prepare_split(p, split_layer, flow, seed ^ (p.num_gates * 31ull)));
+    training.push_back(make_dataset(prepared_store.back(), profile, true));
+  }
+  std::vector<attack::QueryDataset> validation;  // optional; unused by default
+
+  nn::NetConfig net_config = profile.net;
+  net_config.image_channels =
+      static_cast<int>(profile.dataset.images.pixel_sizes.size());
+  net_config.seed ^= seed;
+  attack::DlAttack dl(net_config);
+  dl.train(training, validation, profile.train);
+  if (train_seconds != nullptr) *train_seconds = timer.seconds();
+  return dl;
+}
+
+}  // namespace
+
+void finalize_averages(Table3Result& result) {
+  int flow_rows = 0;
+  double flow_ccr = 0.0;
+  double flow_secs = 0.0;
+  double dl_ccr_on_flow_rows = 0.0;
+  double dl_ccr_all = 0.0;
+  double dl_secs = 0.0;
+  for (const Table3Row& row : result.rows) {
+    dl_ccr_all += row.dl_ccr;
+    dl_secs += row.dl_seconds;
+    if (!row.flow_timed_out) {
+      ++flow_rows;
+      flow_ccr += row.flow_ccr;
+      flow_secs += row.flow_seconds;
+      dl_ccr_on_flow_rows += row.dl_ccr;
+    }
+  }
+  (void)dl_ccr_all;
+  // Paper protocol: averages exclude designs where [1] timed out.
+  result.avg_flow_ccr = flow_rows > 0 ? flow_ccr / flow_rows : std::nan("");
+  result.avg_dl_ccr =
+      flow_rows > 0 ? dl_ccr_on_flow_rows / flow_rows : std::nan("");
+  result.avg_flow_seconds =
+      flow_rows > 0 ? flow_secs / flow_rows : std::nan("");
+  result.avg_dl_seconds =
+      result.rows.empty() ? 0.0 : dl_secs / result.rows.size();
+}
+
+Table3Result run_table3(int split_layer, const ExperimentProfile& profile,
+                        const layout::FlowConfig& flow,
+                        const std::vector<netlist::DesignProfile>& designs,
+                        std::uint64_t seed) {
+  Table3Result result;
+  attack::DlAttack dl =
+      train_attack(split_layer, profile, flow, seed, &result.train_seconds);
+  util::log_info() << "M" << split_layer << " model trained in "
+                   << result.train_seconds << "s";
+
+  for (const netlist::DesignProfile& design_profile : designs) {
+    PreparedSplit prepared =
+        prepare_split(design_profile, split_layer, flow,
+                      seed ^ 0x5151u ^ (design_profile.num_gates * 131ull));
+
+    Table3Row row;
+    row.design = design_profile.name;
+    row.scaled_down = design_profile.scaled_down;
+    row.num_sink_fragments =
+        static_cast<int>(prepared.split->sink_fragments().size());
+    row.num_source_fragments =
+        static_cast<int>(prepared.split->source_fragments().size());
+
+    // DL attack: dataset construction is feature extraction, so its time
+    // counts toward the attack runtime (as in the paper).
+    util::Timer dl_timer;
+    attack::QueryDataset dataset = make_dataset(prepared, profile, true);
+    attack::AttackResult dl_result = dl.attack(dataset);
+    row.dl_ccr = dl_result.ccr;
+    row.dl_seconds = dl_timer.seconds();
+    row.hit_rate = dataset.candidate_hit_rate();
+
+    attack::AttackResult flow_result =
+        attack::run_flow_attack(*prepared.split, profile.flow_attack);
+    row.flow_ccr = flow_result.ccr;
+    row.flow_seconds = flow_result.seconds;
+    row.flow_timed_out = flow_result.timed_out;
+
+    util::log_info() << row.design << ": #Sk " << row.num_sink_fragments
+                     << ", #Sc " << row.num_source_fragments << ", DL "
+                     << row.dl_ccr * 100 << "% in " << row.dl_seconds
+                     << "s, flow "
+                     << (row.flow_timed_out
+                             ? std::string("timeout")
+                             : std::to_string(row.flow_ccr * 100) + "%")
+                     << " in " << row.flow_seconds << "s";
+    result.rows.push_back(row);
+  }
+  finalize_averages(result);
+  return result;
+}
+
+std::vector<AblationRow> run_figure5(
+    const ExperimentProfile& profile, const layout::FlowConfig& flow,
+    const std::vector<netlist::DesignProfile>& designs, std::uint64_t seed) {
+  constexpr int kSplitLayer = 3;  // the paper's Figure-5 baseline is M3
+
+  struct Setting {
+    const char* name;
+    bool two_class;
+    bool use_images;
+  };
+  const Setting settings[] = {
+      {"two-class", true, false},
+      {"vec", false, false},
+      {"vec+img", false, true},
+  };
+
+  std::vector<AblationRow> rows;
+  for (const Setting& setting : settings) {
+    ExperimentProfile variant = profile;
+    variant.net.two_class = setting.two_class;
+    variant.net.use_images = setting.use_images;
+    // M3 corpora are small (few broken nets per design), so training can
+    // afford every query and a longer schedule.
+    variant.train.max_queries_per_design = 0;
+    variant.train.epochs = std::max(variant.train.epochs, 36);
+    variant.train.decay_every = 12;
+
+    attack::DlAttack dl =
+        train_attack(kSplitLayer, variant, flow, seed, nullptr);
+
+    double ccr_sum = 0.0;
+    double secs_sum = 0.0;
+    for (const netlist::DesignProfile& design_profile : designs) {
+      PreparedSplit prepared =
+          prepare_split(design_profile, kSplitLayer, flow,
+                        seed ^ 0x5151u ^ (design_profile.num_gates * 131ull));
+      util::Timer timer;
+      attack::QueryDataset dataset =
+          make_dataset(prepared, variant, setting.use_images);
+      attack::AttackResult result = dl.attack(dataset);
+      ccr_sum += result.ccr;
+      secs_sum += timer.seconds();
+    }
+    AblationRow row;
+    row.setting = setting.name;
+    row.avg_ccr = designs.empty() ? 0.0 : ccr_sum / designs.size();
+    row.avg_inference_seconds =
+        designs.empty() ? 0.0 : secs_sum / designs.size();
+    util::log_info() << "figure5 " << row.setting << ": avg CCR "
+                     << row.avg_ccr * 100 << "%, avg inference "
+                     << row.avg_inference_seconds << "s";
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace sma::eval

@@ -1,0 +1,101 @@
+// End-to-end experiment orchestration.
+//
+// Reproduces the paper's evaluation protocol: generate benchmark layouts
+// with the physical-design flow, split them at M1/M3, train the DL attack
+// on the training corpus, and attack each victim design with the DL attack
+// and the network-flow baseline — producing the rows of Table 3 and the
+// series of Figure 5.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/dl_attack.hpp"
+#include "attack/flow_attack.hpp"
+#include "attack/proximity_attack.hpp"
+#include "layout/design.hpp"
+#include "netlist/profiles.hpp"
+#include "split/split_design.hpp"
+
+namespace sma::eval {
+
+/// A design taken through generation -> flow -> split, with stable
+/// addresses (everything heap-allocated).
+struct PreparedSplit {
+  std::string name;
+  std::unique_ptr<layout::Design> design;
+  std::unique_ptr<split::SplitDesign> split;
+};
+
+/// Generate `profile` with `seed`, run the implementation flow, split.
+PreparedSplit prepare_split(const netlist::DesignProfile& profile,
+                            int split_layer, const layout::FlowConfig& flow,
+                            std::uint64_t seed);
+
+/// Fast defaults for single-core experiments: 15x15 three-scale images,
+/// 15 candidates, reduced conv widths. `paper_fidelity` switches to the
+/// full 99x99 / 31-candidate / Table-2 configuration.
+struct ExperimentProfile {
+  attack::DatasetConfig dataset;
+  nn::NetConfig net;
+  attack::TrainConfig train;
+  attack::FlowAttackConfig flow_attack;
+
+  static ExperimentProfile fast();
+  static ExperimentProfile paper();
+};
+
+/// One Table-3 row.
+struct Table3Row {
+  std::string design;
+  int num_sink_fragments = 0;
+  int num_source_fragments = 0;
+  double flow_ccr = 0.0;       ///< NaN when timed out
+  double flow_seconds = 0.0;
+  bool flow_timed_out = false;
+  double dl_ccr = 0.0;
+  double dl_seconds = 0.0;     ///< inference + feature extraction
+  double hit_rate = 0.0;       ///< candidate-list coverage (diagnostic)
+  bool scaled_down = false;
+};
+
+struct Table3Result {
+  std::vector<Table3Row> rows;
+  double train_seconds = 0.0;
+  /// Averages over rows where the flow attack finished (paper protocol).
+  double avg_flow_ccr = 0.0;
+  double avg_dl_ccr = 0.0;
+  double avg_flow_seconds = 0.0;
+  double avg_dl_seconds = 0.0;
+};
+
+/// Fill in the aggregate fields from `rows`.
+void finalize_averages(Table3Result& result);
+
+/// Train once on the training corpus, then attack every design of
+/// `attack_profiles` at `split_layer`.
+Table3Result run_table3(int split_layer, const ExperimentProfile& profile,
+                        const layout::FlowConfig& flow,
+                        const std::vector<netlist::DesignProfile>& designs,
+                        std::uint64_t seed);
+
+/// One Figure-5 bar: an attack setting and its averages over the victim
+/// designs.
+struct AblationRow {
+  std::string setting;       ///< "two-class", "vec", "vec+img"
+  double avg_ccr = 0.0;
+  double avg_inference_seconds = 0.0;
+};
+
+/// Reproduce Figure 5: split at M3, compare two-class loss (vector
+/// features), softmax loss (vector features), softmax loss (vector +
+/// image features).
+std::vector<AblationRow> run_figure5(const ExperimentProfile& profile,
+                                     const layout::FlowConfig& flow,
+                                     const std::vector<netlist::DesignProfile>& designs,
+                                     std::uint64_t seed);
+
+}  // namespace sma::eval

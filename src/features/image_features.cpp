@@ -1,0 +1,186 @@
+#include "features/image_features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sma::features {
+
+namespace {
+
+/// Inflate a wire center line into its drawn rectangle.
+util::Rect wire_box(const route::RouteSegment& s, std::int64_t half_width) {
+  return util::Rect{{s.a.x - half_width, s.a.y - half_width},
+                    {s.b.x + half_width, s.b.y + half_width}};
+}
+
+util::Rect via_box(const util::Point& at, std::int64_t half_width) {
+  return util::Rect{{at.x - half_width, at.y - half_width},
+                    {at.x + half_width, at.y + half_width}};
+}
+
+}  // namespace
+
+ImageRenderer::ImageRenderer(const split::SplitDesign* split,
+                             ImageConfig config)
+    : split_(split), config_(std::move(config)) {
+  if (split_ == nullptr) throw std::invalid_argument("null split design");
+  if (config_.size < 3 || config_.size % 2 == 0) {
+    throw std::invalid_argument("image size must be odd and >= 3");
+  }
+  if (config_.pixel_sizes.empty()) {
+    throw std::invalid_argument("at least one image scale required");
+  }
+  num_feol_layers_ = split_->split_layer();
+
+  const std::int64_t hw = config_.wire_half_width;
+  auto add_segment = [&](const route::RouteSegment& s, int fragment) {
+    Shape shape;
+    shape.fragment = fragment;
+    shape.box = wire_box(s, hw);
+    shape.layer_lo = shape.layer_hi = s.layer;
+    add_shape(shape);
+  };
+  auto add_via = [&](const route::RouteVia& v, int fragment, bool virtual_pin) {
+    Shape shape;
+    shape.fragment = fragment;
+    shape.box = via_box(v.at, hw);
+    shape.layer_lo = v.cut;
+    // A virtual-pin via only shows its FEOL half (the split layer).
+    shape.layer_hi = virtual_pin ? v.cut : v.cut + 1;
+    add_shape(shape);
+  };
+
+  // Geometry of all fragments.
+  for (const split::Fragment& fragment : split_->fragments()) {
+    for (const route::RouteSegment& s : fragment.segments) {
+      add_segment(s, fragment.id);
+    }
+    for (const route::RouteVia& v : fragment.vias) {
+      add_via(v, fragment.id, false);
+    }
+  }
+  // Virtual-pin vias are visible FEOL geometry at the split layer.
+  for (const split::VirtualPin& vp : split_->virtual_pins()) {
+    route::RouteVia via;
+    via.cut = split_->split_layer();
+    via.at = vp.location;
+    add_via(via, vp.fragment, true);
+  }
+  // FEOL wiring of unbroken nets: visible, always "other fragment".
+  const layout::Design& design = split_->design();
+  for (netlist::NetId n = 0; n < design.netlist->num_nets(); ++n) {
+    if (split_->net_is_broken(n)) continue;
+    const route::NetRoute& route = design.route_of(n);
+    for (const route::RouteSegment& s : route.segments) {
+      if (s.layer <= num_feol_layers_) add_segment(s, -1);
+    }
+    for (const route::RouteVia& v : route.vias) {
+      if (v.cut < num_feol_layers_) add_via(v, -1, false);
+    }
+  }
+
+  // Bucket index sized to the largest query window.
+  const util::Rect& die = design.placement->floorplan().die;
+  std::int64_t max_pixel =
+      *std::max_element(config_.pixel_sizes.begin(), config_.pixel_sizes.end());
+  bucket_size_ = std::max<std::int64_t>(2000, max_pixel * 8);
+  buckets_x_ = static_cast<int>(die.width() / bucket_size_) + 1;
+  buckets_y_ = static_cast<int>(die.height() / bucket_size_) + 1;
+  buckets_.assign(static_cast<std::size_t>(buckets_x_) * buckets_y_, {});
+  for (std::size_t i = 0; i < shapes_.size(); ++i) {
+    const util::Rect& box = shapes_[i].box;
+    int bx0 = std::clamp<int>(static_cast<int>(box.lo.x / bucket_size_), 0,
+                              buckets_x_ - 1);
+    int bx1 = std::clamp<int>(static_cast<int>(box.hi.x / bucket_size_), 0,
+                              buckets_x_ - 1);
+    int by0 = std::clamp<int>(static_cast<int>(box.lo.y / bucket_size_), 0,
+                              buckets_y_ - 1);
+    int by1 = std::clamp<int>(static_cast<int>(box.hi.y / bucket_size_), 0,
+                              buckets_y_ - 1);
+    for (int by = by0; by <= by1; ++by) {
+      for (int bx = bx0; bx <= bx1; ++bx) {
+        buckets_[static_cast<std::size_t>(by) * buckets_x_ + bx].push_back(
+            static_cast<std::int32_t>(i));
+      }
+    }
+  }
+}
+
+void ImageRenderer::add_shape(const Shape& shape) { shapes_.push_back(shape); }
+
+std::vector<float> ImageRenderer::render(int virtual_pin_id) const {
+  const split::VirtualPin& vp = split_->virtual_pin(virtual_pin_id);
+  const int size = config_.size;
+  const int m = num_feol_layers_;
+  const float denom = static_cast<float>((1u << (2 * m)) - 1);
+
+  std::vector<float> image(config_.pixels_per_image(), 0.0f);
+  std::vector<std::uint32_t> bits(static_cast<std::size_t>(size) * size);
+
+  for (int channel = 0; channel < config_.channels(); ++channel) {
+    std::fill(bits.begin(), bits.end(), 0u);
+    const std::int64_t px = config_.pixel_sizes[channel];
+    // Window such that the pin sits at the center pixel's center.
+    const std::int64_t wlo_x = vp.location.x - (size / 2) * px - px / 2;
+    const std::int64_t wlo_y = vp.location.y - (size / 2) * px - px / 2;
+    const std::int64_t whi_x = wlo_x + static_cast<std::int64_t>(size) * px;
+    const std::int64_t whi_y = wlo_y + static_cast<std::int64_t>(size) * px;
+    const util::Rect window{{wlo_x, wlo_y}, {whi_x, whi_y}};
+
+    // Visit shapes via the bucket grid (deduplication unnecessary: setting
+    // bits is idempotent).
+    int bx0 = std::clamp<int>(static_cast<int>(std::max<std::int64_t>(0, wlo_x) /
+                                               bucket_size_),
+                              0, buckets_x_ - 1);
+    int bx1 = std::clamp<int>(static_cast<int>(std::max<std::int64_t>(0, whi_x) /
+                                               bucket_size_),
+                              0, buckets_x_ - 1);
+    int by0 = std::clamp<int>(static_cast<int>(std::max<std::int64_t>(0, wlo_y) /
+                                               bucket_size_),
+                              0, buckets_y_ - 1);
+    int by1 = std::clamp<int>(static_cast<int>(std::max<std::int64_t>(0, whi_y) /
+                                               bucket_size_),
+                              0, buckets_y_ - 1);
+    for (int by = by0; by <= by1; ++by) {
+      for (int bx = bx0; bx <= bx1; ++bx) {
+        for (std::int32_t shape_index :
+             buckets_[static_cast<std::size_t>(by) * buckets_x_ + bx]) {
+          const Shape& shape = shapes_[shape_index];
+          if (!shape.box.intersects(window)) continue;
+
+          int px0 = static_cast<int>((std::max(shape.box.lo.x, wlo_x) - wlo_x) / px);
+          int px1 = static_cast<int>((std::min(shape.box.hi.x, whi_x - 1) - wlo_x) / px);
+          int py0 = static_cast<int>((std::max(shape.box.lo.y, wlo_y) - wlo_y) / px);
+          int py1 = static_cast<int>((std::min(shape.box.hi.y, whi_y - 1) - wlo_y) / px);
+          px0 = std::clamp(px0, 0, size - 1);
+          px1 = std::clamp(px1, 0, size - 1);
+          py0 = std::clamp(py0, 0, size - 1);
+          py1 = std::clamp(py1, 0, size - 1);
+
+          std::uint32_t mask = 0;
+          const bool own = shape.fragment == vp.fragment;
+          for (int layer = shape.layer_lo;
+               layer <= std::min(shape.layer_hi, m); ++layer) {
+            mask |= 1u << (own ? m + layer - 1 : layer - 1);
+          }
+          for (int y = py0; y <= py1; ++y) {
+            std::uint32_t* row = bits.data() + static_cast<std::size_t>(y) * size;
+            for (int x = px0; x <= px1; ++x) {
+              row[x] |= mask;
+            }
+          }
+        }
+      }
+    }
+
+    float* out =
+        image.data() + static_cast<std::size_t>(channel) * size * size;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      out[i] = static_cast<float>(bits[i]) / denom;
+    }
+  }
+  return image;
+}
+
+}  // namespace sma::features

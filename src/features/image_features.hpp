@@ -1,0 +1,72 @@
+// Image-based features (Sec. 3.2 of the paper).
+//
+// For each virtual pin, the local routed layout is rendered as gray-scale
+// images at three scales (pixel regions of 0.05, 0.1 and 0.2 um in the
+// paper), each `size` x `size` pixels, centered on the pin. A pixel packs
+// 2m layer bits (m = number of FEOL layers): the m high bits mark the
+// pin's *own* fragment per layer, the m low bits mark *other* fragments;
+// higher metal layers map to more significant bits within each group and
+// vias set both adjacent layers' bits. The packed value is normalized to
+// [0, 1] and the scales are stacked as image channels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "split/split_design.hpp"
+
+namespace sma::features {
+
+struct ImageConfig {
+  /// Pixels per side (odd, so the pin is a pixel center). Paper: 99.
+  int size = 99;
+  /// DBU per pixel, one entry per scale/channel. Paper: 50, 100, 200 nm.
+  std::vector<std::int64_t> pixel_sizes = {50, 100, 200};
+  /// Rasterized wire half-width in DBU.
+  std::int64_t wire_half_width = 35;
+
+  int channels() const { return static_cast<int>(pixel_sizes.size()); }
+  std::size_t pixels_per_image() const {
+    return static_cast<std::size_t>(channels()) * size * size;
+  }
+};
+
+/// Renders virtual-pin images for one split design. Construction builds a
+/// bucket index over all fragment geometry; rendering is then local.
+class ImageRenderer {
+ public:
+  ImageRenderer(const split::SplitDesign* split, ImageConfig config);
+
+  const ImageConfig& config() const { return config_; }
+
+  /// Image tensor for a virtual pin, laid out [channel][y][x], values in
+  /// [0, 1].
+  std::vector<float> render(int virtual_pin_id) const;
+
+ private:
+  struct Shape {
+    int fragment = -1;
+    /// Inflated wire rectangle (or via pad) in DBU.
+    util::Rect box;
+    /// Bit index contribution base: metal layer(s) covered.
+    int layer_lo = 1;
+    int layer_hi = 1;
+  };
+
+  void add_shape(const Shape& shape);
+  void render_shape(const Shape& shape, int own_fragment,
+                    const util::Point& center, std::vector<float>& image,
+                    std::vector<std::uint32_t>& bits) const;
+
+  const split::SplitDesign* split_;
+  ImageConfig config_;
+  int num_feol_layers_;
+  std::vector<Shape> shapes_;
+  /// Uniform bucket grid over the die for shape lookup.
+  std::int64_t bucket_size_ = 0;
+  int buckets_x_ = 0;
+  int buckets_y_ = 0;
+  std::vector<std::vector<std::int32_t>> buckets_;  ///< shape indices
+};
+
+}  // namespace sma::features

@@ -1,0 +1,141 @@
+#include "features/vector_features.hpp"
+
+#include <algorithm>
+
+namespace sma::features {
+
+namespace {
+
+/// Unit scaling keeps every feature O(1) for the neural network.
+constexpr double kDbuToMicron = 1.0 / 1000.0;
+constexpr double kCapScale = 1.0 / 10.0;     // fF -> ~O(1)
+constexpr double kDelayScale = 1.0 / 100.0;  // ps -> ~O(1)
+constexpr double kWlScale = kDbuToMicron / 10.0;
+
+}  // namespace
+
+const std::array<const char*, kNumVectorFeatures>& vector_feature_names() {
+  static const std::array<const char*, kNumVectorFeatures> kNames = {
+      "dist_pref_signed",   "dist_nonpref_signed", "dist_pref_abs",
+      "dist_nonpref_abs",   "dist_manhattan",      "dist_pref_by_width",
+      "dist_nonpref_by_h",  "dist_pref_abs_by_w",  "dist_nonpref_abs_by_h",
+      "dist_by_halfperim",  "load_cap_upper",      "load_cap_lower",
+      "num_sinks",          "src_wl_m1",           "src_wl_m2",
+      "src_wl_m3",          "snk_wl_m1",           "snk_wl_m2",
+      "snk_wl_m3",          "src_vias_v12",        "src_vias_v23",
+      "snk_vias_v12",       "snk_vias_v23",        "driver_delay_lb",
+      "src_wl_total",       "snk_wl_total",        "src_num_vpins",
+  };
+  return kNames;
+}
+
+FragmentElectrical fragment_electrical(const split::SplitDesign& split,
+                                       const split::Fragment& fragment) {
+  const layout::Design& design = split.design();
+  const netlist::Netlist& nl = *design.netlist;
+  const tech::LayerStack& stack = *design.stack;
+
+  FragmentElectrical e;
+  for (const route::RouteSegment& s : fragment.segments) {
+    e.wire_cap += stack.layer(s.layer).cap_per_dbu *
+                  static_cast<double>(s.length());
+  }
+  for (const netlist::PinRef& pin : fragment.pins) {
+    if (nl.is_driver_pin(pin)) {
+      if (!pin.is_port()) {
+        const tech::LibCell& lib = nl.lib_cell_of(pin.id);
+        e.driver_max_cap = lib.max_load_cap;
+        e.driver_resistance = lib.drive_resistance;
+        e.driver_intrinsic_delay = lib.intrinsic_delay;
+      } else {
+        // Primary input port: model a strong external driver.
+        e.driver_max_cap = 120.0;
+        e.driver_resistance = 3500.0;
+      }
+    } else {
+      e.sink_pin_cap += nl.sink_capacitance(pin);
+    }
+  }
+  return e;
+}
+
+VectorFeatures compute_vector_features(const split::SplitDesign& split,
+                                       const split::Vpp& vpp) {
+  const layout::Design& design = split.design();
+  const tech::LayerStack& stack = *design.stack;
+  const int split_layer = split.split_layer();
+
+  const split::VirtualPin& sink_vp = split.virtual_pin(vpp.sink_vp);
+  const split::VirtualPin& source_vp = split.virtual_pin(vpp.source_vp);
+  const split::Fragment& sink = split.fragment(vpp.sink_fragment);
+  const split::Fragment& source = split.fragment(vpp.source_fragment);
+
+  const util::Axis pref = stack.preferred(split_layer);
+  const util::Axis nonpref = util::perpendicular(pref);
+  const util::Point d{source_vp.location.x - sink_vp.location.x,
+                      source_vp.location.y - sink_vp.location.y};
+  const double d_pref = static_cast<double>(util::along(d, pref));
+  const double d_nonpref = static_cast<double>(util::along(d, nonpref));
+
+  const util::Rect& die = design.placement->floorplan().die;
+  const double chip_w = std::max<double>(1.0, static_cast<double>(die.width()));
+  const double chip_h =
+      std::max<double>(1.0, static_cast<double>(die.height()));
+  const double half_perim = chip_w + chip_h;
+  const double pref_extent =
+      pref == util::Axis::kHorizontal ? chip_w : chip_h;
+  const double nonpref_extent =
+      pref == util::Axis::kHorizontal ? chip_h : chip_w;
+
+  const FragmentElectrical se = fragment_electrical(split, source);
+  const FragmentElectrical ke = fragment_electrical(split, sink);
+
+  const double load_lower = ke.sink_pin_cap + se.wire_cap + ke.wire_cap;
+  const double delay_lower =
+      se.driver_intrinsic_delay +
+      se.driver_resistance * load_lower * 1e-3;  // ohm*fF = 1e-3 ps
+
+  VectorFeatures f{};
+  int i = 0;
+  // [0..4] distances in microns.
+  f[i++] = static_cast<float>(d_pref * kDbuToMicron);
+  f[i++] = static_cast<float>(d_nonpref * kDbuToMicron);
+  f[i++] = static_cast<float>(std::abs(d_pref) * kDbuToMicron);
+  f[i++] = static_cast<float>(std::abs(d_nonpref) * kDbuToMicron);
+  f[i++] =
+      static_cast<float>((std::abs(d_pref) + std::abs(d_nonpref)) * kDbuToMicron);
+  // [5..9] chip-relative ratios.
+  f[i++] = static_cast<float>(d_pref / pref_extent);
+  f[i++] = static_cast<float>(d_nonpref / nonpref_extent);
+  f[i++] = static_cast<float>(std::abs(d_pref) / pref_extent);
+  f[i++] = static_cast<float>(std::abs(d_nonpref) / nonpref_extent);
+  f[i++] = static_cast<float>((std::abs(d_pref) + std::abs(d_nonpref)) /
+                              half_perim);
+  // [10..12] electrical bounds and sink count.
+  f[i++] = static_cast<float>(se.driver_max_cap * kCapScale);
+  f[i++] = static_cast<float>(load_lower * kCapScale);
+  f[i++] = static_cast<float>(sink.num_sink_pins);
+  // [13..18] per-layer FEOL wirelengths (fixed 3 slots, zero above split).
+  for (int layer = 1; layer <= 3; ++layer) {
+    f[i++] = static_cast<float>(
+        (layer <= split_layer ? source.wirelength_on(layer) : 0) * kWlScale);
+  }
+  for (int layer = 1; layer <= 3; ++layer) {
+    f[i++] = static_cast<float>(
+        (layer <= split_layer ? sink.wirelength_on(layer) : 0) * kWlScale);
+  }
+  // [19..22] via counts in the first two cut layers.
+  f[i++] = static_cast<float>(source.vias_on(1));
+  f[i++] = static_cast<float>(source.vias_on(2));
+  f[i++] = static_cast<float>(sink.vias_on(1));
+  f[i++] = static_cast<float>(sink.vias_on(2));
+  // [23] driver delay lower bound.
+  f[i++] = static_cast<float>(delay_lower * kDelayScale);
+  // [24..26] totals.
+  f[i++] = static_cast<float>(source.total_wirelength() * kWlScale);
+  f[i++] = static_cast<float>(sink.total_wirelength() * kWlScale);
+  f[i++] = static_cast<float>(source.virtual_pins.size());
+  return f;
+}
+
+}  // namespace sma::features

@@ -1,0 +1,53 @@
+// Vector-based VPP features (Sec. 3.1 of the paper).
+//
+// 27 per-VPP features (matching the paper's fc1 input width, Table 2):
+//   [0..4]   signed pref / signed nonpref / |pref| / |nonpref| / |pref|+|nonpref|
+//            distances between the two virtual pins (split-layer preferred
+//            axis), in microns;
+//   [5..9]   the same five scaled by chip width, height, width, height and
+//            half-perimeter respectively (dimensionless);
+//   [10]     driver max load capacitance (upper bound, fF);
+//   [11]     lower-bound load: sink-fragment pin caps + both fragments'
+//            FEOL wire capacitance (fF);
+//   [12]     number of sinks in the sink fragment;
+//   [13..15] source-fragment wirelength in M1..M3 (um, zero above split);
+//   [16..18] sink-fragment wirelength in M1..M3 (um);
+//   [19..20] source-fragment via count in cut layers V12 / V23;
+//   [21..22] sink-fragment via count in cut layers V12 / V23;
+//   [23]     driver delay lower bound (Elmore, ps);
+//   [24]     source fragment total FEOL wirelength (um);
+//   [25]     sink fragment total FEOL wirelength (um);
+//   [26]     number of virtual pins on the source fragment.
+#pragma once
+
+#include <array>
+
+#include "split/candidates.hpp"
+#include "split/split_design.hpp"
+
+namespace sma::features {
+
+inline constexpr int kNumVectorFeatures = 27;
+
+using VectorFeatures = std::array<float, kNumVectorFeatures>;
+
+/// Human-readable names, index-aligned with the feature array.
+const std::array<const char*, kNumVectorFeatures>& vector_feature_names();
+
+/// Per-fragment electrical summary reused across VPPs.
+struct FragmentElectrical {
+  double wire_cap = 0.0;      ///< FEOL wire capacitance (fF)
+  double sink_pin_cap = 0.0;  ///< input-pin capacitance of contained sinks (fF)
+  double driver_max_cap = 0.0;      ///< 0 unless the fragment has the driver
+  double driver_resistance = 0.0;   ///< 0 unless the fragment has the driver
+  double driver_intrinsic_delay = 0.0;
+};
+
+FragmentElectrical fragment_electrical(const split::SplitDesign& split,
+                                       const split::Fragment& fragment);
+
+/// Compute the 27 features of one VPP.
+VectorFeatures compute_vector_features(const split::SplitDesign& split,
+                                       const split::Vpp& vpp);
+
+}  // namespace sma::features

@@ -1,0 +1,43 @@
+#include "layout/design.hpp"
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace sma::layout {
+
+Design run_flow(netlist::Netlist netlist, const FlowConfig& config) {
+  util::Timer timer;
+  Design design;
+  design.netlist = std::make_unique<netlist::Netlist>(std::move(netlist));
+  design.stack =
+      std::make_unique<tech::LayerStack>(tech::LayerStack::nangate45_like());
+
+  place::Floorplan floorplan =
+      place::make_floorplan(*design.netlist, config.utilization);
+  design.placement =
+      std::make_unique<place::Placement>(design.netlist.get(), floorplan);
+
+  place::GlobalPlacerConfig global = config.global_placer;
+  global.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
+  run_global_placement(*design.placement, global);
+  run_legalization(*design.placement);
+
+  place::DetailedPlacerConfig detailed = config.detailed_placer;
+  detailed.seed ^= config.seed * 0xbf58476d1ce4e5b9ULL;
+  run_detailed_placement(*design.placement, detailed);
+
+  design.grid = std::make_unique<route::RoutingGrid>(
+      design.stack.get(), floorplan.die, config.grid);
+  design.routing = route::route_design(*design.placement, *design.grid,
+                                       config.router);
+
+  util::log_info() << design.netlist->name() << ": flow done in "
+                   << timer.seconds() << "s, HPWL "
+                   << design.placement->total_hpwl() << ", WL "
+                   << design.routing.total_wirelength << ", vias "
+                   << design.routing.total_vias << ", overflow "
+                   << design.routing.final_overflow;
+  return design;
+}
+
+}  // namespace sma::layout

@@ -1,0 +1,53 @@
+// Assembled physical design: netlist + placement + routing, and the
+// end-to-end implementation flow that produces it.
+//
+// `run_flow` is the stand-in for the paper's Synopsys DC + Cadence Innovus
+// pipeline: it takes a netlist, builds a floorplan, places (global ->
+// legal -> detailed) and routes it, returning a self-contained `Design`
+// whose parts reference each other with stable addresses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "netlist/netlist.hpp"
+#include "place/detailed_placer.hpp"
+#include "place/global_placer.hpp"
+#include "place/legalizer.hpp"
+#include "place/placement.hpp"
+#include "route/router.hpp"
+#include "route/routing_grid.hpp"
+#include "tech/layer_stack.hpp"
+
+namespace sma::layout {
+
+/// A completed layout. Move-only; internal pointers stay valid across moves
+/// because the parts live behind unique_ptr.
+struct Design {
+  std::unique_ptr<netlist::Netlist> netlist;
+  std::unique_ptr<tech::LayerStack> stack;
+  std::unique_ptr<place::Placement> placement;
+  std::unique_ptr<route::RoutingGrid> grid;
+  route::RoutingResult routing;
+
+  const route::NetRoute& route_of(netlist::NetId net) const {
+    return routing.routes.at(net);
+  }
+};
+
+/// Parameters of the implementation flow.
+struct FlowConfig {
+  double utilization = 0.55;
+  place::GlobalPlacerConfig global_placer;
+  place::DetailedPlacerConfig detailed_placer;
+  route::RoutingGrid::Config grid;
+  route::RouterConfig router;
+  /// Master seed; placer seeds are derived from it so two flows with
+  /// different seeds yield different (but statistically alike) layouts.
+  std::uint64_t seed = 1;
+};
+
+/// Run placement + routing on `netlist` (consumed) and return the layout.
+Design run_flow(netlist::Netlist netlist, const FlowConfig& config = {});
+
+}  // namespace sma::layout

@@ -1,0 +1,43 @@
+// Synthetic benchmark-netlist generator.
+//
+// Stands in for the ISCAS-85 / MCNC / ITC-99 benchmark suites, whose
+// netlist files are not redistributable inside this repository. The
+// generator produces levelized random gate networks whose structural
+// statistics (gate count, I/O count, fan-in mix, fan-out skew, structural
+// locality, sequential fraction) are matched per design to the published
+// benchmark profiles (`profiles.hpp`). The DL attack and its baselines are
+// purely structural/geometric, so matching these statistics reproduces the
+// attack-hardness of the originals (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace sma::netlist {
+
+/// Knobs of the random netlist model.
+struct GeneratorConfig {
+  int num_inputs = 16;
+  int num_outputs = 8;
+  int num_gates = 100;          ///< library cells to instantiate
+  double seq_fraction = 0.0;    ///< fraction of gates that are DFFs
+  /// Geometric locality parameter in (0, 1): larger values bias gate fan-in
+  /// selection toward recently created signals, producing the narrow,
+  /// cone-like structure (low Rent exponent) of real combinational logic.
+  double locality = 0.08;
+  /// Probability of drawing a so-far-unused signal for a fan-in (keeps the
+  /// number of dangling signals low and connects all primary inputs).
+  double reuse_pressure = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a connected netlist; the result always passes
+/// `Netlist::validate()`.
+Netlist generate_netlist(const GeneratorConfig& config,
+                         const std::string& design_name,
+                         const tech::CellLibrary* library);
+
+}  // namespace sma::netlist

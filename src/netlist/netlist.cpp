@@ -1,0 +1,164 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace sma::netlist {
+
+Netlist::Netlist(std::string name, const tech::CellLibrary* library)
+    : name_(std::move(name)), library_(library) {
+  if (library_ == nullptr) {
+    throw std::invalid_argument("netlist requires a cell library");
+  }
+}
+
+CellId Netlist::add_cell(const std::string& name, int lib_cell) {
+  if (cell_index_.contains(name)) {
+    throw std::invalid_argument("duplicate cell name: " + name);
+  }
+  if (lib_cell < 0 || lib_cell >= library_->num_cells()) {
+    throw std::out_of_range("lib cell index out of range for " + name);
+  }
+  Cell cell;
+  cell.name = name;
+  cell.lib_cell = lib_cell;
+  cell.pin_nets.assign(library_->cell(lib_cell).pins.size(), kInvalidId);
+  CellId id = static_cast<CellId>(cells_.size());
+  cells_.push_back(std::move(cell));
+  cell_index_.emplace(name, id);
+  return id;
+}
+
+PortId Netlist::add_port(const std::string& name, PortDirection direction) {
+  if (port_index_.contains(name)) {
+    throw std::invalid_argument("duplicate port name: " + name);
+  }
+  Port port;
+  port.name = name;
+  port.direction = direction;
+  PortId id = static_cast<PortId>(ports_.size());
+  ports_.push_back(std::move(port));
+  port_index_.emplace(name, id);
+  return id;
+}
+
+NetId Netlist::add_net(const std::string& name) {
+  if (net_index_.contains(name)) {
+    throw std::invalid_argument("duplicate net name: " + name);
+  }
+  Net net;
+  net.name = name;
+  NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back(std::move(net));
+  net_index_.emplace(name, id);
+  return id;
+}
+
+void Netlist::connect(NetId net_id, PinRef pin) {
+  Net& net = nets_.at(net_id);
+  bool driver = is_driver_pin(pin);
+
+  if (pin.is_port()) {
+    Port& port = ports_.at(pin.id);
+    if (port.net != kInvalidId) {
+      throw std::logic_error("port already connected: " + port.name);
+    }
+    port.net = net_id;
+  } else {
+    Cell& cell = cells_.at(pin.id);
+    NetId& slot = cell.pin_nets.at(pin.lib_pin);
+    if (slot != kInvalidId) {
+      throw std::logic_error("cell pin already connected: " + pin_name(pin));
+    }
+    slot = net_id;
+  }
+
+  if (driver) {
+    if (net.has_driver()) {
+      throw std::logic_error("net already has a driver: " + net.name);
+    }
+    net.driver = pin;
+  } else {
+    net.sinks.push_back(pin);
+  }
+}
+
+std::optional<CellId> Netlist::find_cell(const std::string& name) const {
+  auto it = cell_index_.find(name);
+  if (it == cell_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<PortId> Netlist::find_port(const std::string& name) const {
+  auto it = port_index_.find(name);
+  if (it == port_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<NetId> Netlist::find_net(const std::string& name) const {
+  auto it = net_index_.find(name);
+  if (it == net_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Netlist::is_driver_pin(const PinRef& pin) const {
+  if (pin.is_port()) {
+    return ports_.at(pin.id).direction == PortDirection::kInput;
+  }
+  const Cell& cell = cells_.at(pin.id);
+  const tech::LibCell& lib = library_->cell(cell.lib_cell);
+  return lib.pins.at(pin.lib_pin).direction == tech::PinDirection::kOutput;
+}
+
+double Netlist::sink_capacitance(const PinRef& pin) const {
+  if (pin.is_port()) {
+    // Nominal external load presented by an output pad.
+    return ports_.at(pin.id).direction == PortDirection::kOutput ? 2.0 : 0.0;
+  }
+  const Cell& cell = cells_.at(pin.id);
+  return library_->cell(cell.lib_cell).pins.at(pin.lib_pin).capacitance;
+}
+
+std::string Netlist::pin_name(const PinRef& pin) const {
+  if (pin.is_port()) return ports_.at(pin.id).name;
+  const Cell& cell = cells_.at(pin.id);
+  const tech::LibCell& lib = library_->cell(cell.lib_cell);
+  return cell.name + "/" + lib.pins.at(pin.lib_pin).name;
+}
+
+int Netlist::num_pins() const {
+  int total = num_ports();
+  for (const Cell& cell : cells_) {
+    total += static_cast<int>(cell.pin_nets.size());
+  }
+  return total;
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> problems;
+  for (NetId i = 0; i < num_nets(); ++i) {
+    const Net& net = nets_[i];
+    if (!net.has_driver()) {
+      problems.push_back("net without driver: " + net.name);
+    }
+    if (net.sinks.empty()) {
+      problems.push_back("net without sinks: " + net.name);
+    }
+  }
+  for (CellId i = 0; i < num_cells(); ++i) {
+    const Cell& cell = cells_[i];
+    for (std::size_t p = 0; p < cell.pin_nets.size(); ++p) {
+      if (cell.pin_nets[p] == kInvalidId) {
+        problems.push_back("open pin: " +
+                           pin_name(PinRef::cell_pin(i, static_cast<int>(p))));
+      }
+    }
+  }
+  for (PortId i = 0; i < num_ports(); ++i) {
+    if (ports_[i].net == kInvalidId) {
+      problems.push_back("unconnected port: " + ports_[i].name);
+    }
+  }
+  return problems;
+}
+
+}  // namespace sma::netlist

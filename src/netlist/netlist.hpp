@@ -1,0 +1,138 @@
+// Gate-level netlist database.
+//
+// Index-based storage (ids, not pointers) in the style of modern EDA code:
+// cells, ports and nets live in contiguous vectors and refer to each other
+// by integer id, which keeps the database relocatable, cache-friendly and
+// trivially serializable.
+//
+// Connectivity model: every net has exactly one driver (a cell output pin
+// or a primary input port) and zero or more sinks (cell input pins or
+// primary output ports).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tech/cell_library.hpp"
+
+namespace sma::netlist {
+
+using CellId = std::int32_t;
+using NetId = std::int32_t;
+using PortId = std::int32_t;
+
+inline constexpr std::int32_t kInvalidId = -1;
+
+/// End-point of a net: either pin `lib_pin` of `cell`, or a primary port.
+struct PinRef {
+  enum class Kind : std::uint8_t { kCellPin, kPort } kind = Kind::kCellPin;
+  std::int32_t id = kInvalidId;   ///< CellId or PortId depending on kind
+  std::int32_t lib_pin = 0;       ///< pin index within LibCell (cell pins)
+
+  static PinRef cell_pin(CellId cell, int lib_pin) {
+    return {Kind::kCellPin, cell, lib_pin};
+  }
+  static PinRef port(PortId port) { return {Kind::kPort, port, 0}; }
+
+  bool is_port() const { return kind == Kind::kPort; }
+  friend bool operator==(const PinRef&, const PinRef&) = default;
+};
+
+/// A placed instance of a library cell (placement data lives in
+/// `sma::place`; here only connectivity).
+struct Cell {
+  std::string name;
+  int lib_cell = 0;                  ///< index into the CellLibrary
+  std::vector<NetId> pin_nets;       ///< per LibCell pin index; kInvalidId if open
+};
+
+enum class PortDirection : std::uint8_t { kInput, kOutput };
+
+/// A primary input or output of the design.
+struct Port {
+  std::string name;
+  PortDirection direction = PortDirection::kInput;
+  NetId net = kInvalidId;
+};
+
+/// A signal net with single-driver/multi-sink connectivity.
+struct Net {
+  std::string name;
+  PinRef driver;                     ///< id == kInvalidId while unconnected
+  std::vector<PinRef> sinks;
+
+  Net() { driver.id = kInvalidId; }
+  bool has_driver() const { return driver.id != kInvalidId; }
+  /// Driver plus sinks.
+  std::size_t degree() const { return sinks.size() + (has_driver() ? 1 : 0); }
+};
+
+/// The netlist database. Construction is additive: create ports, cells and
+/// nets, then wire pins to nets with `connect`. `validate` checks the
+/// single-driver invariant and full connectivity.
+class Netlist {
+ public:
+  Netlist(std::string name, const tech::CellLibrary* library);
+
+  const std::string& name() const { return name_; }
+  const tech::CellLibrary& library() const { return *library_; }
+
+  // -- construction ---------------------------------------------------
+  CellId add_cell(const std::string& name, int lib_cell);
+  PortId add_port(const std::string& name, PortDirection direction);
+  NetId add_net(const std::string& name);
+
+  /// Attach `pin` to `net` as driver (cell output pins and input ports) or
+  /// sink (cell input pins and output ports); direction is inferred.
+  /// Throws if the pin is already connected or the net already has a driver.
+  void connect(NetId net, PinRef pin);
+
+  // -- access ---------------------------------------------------------
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+  int num_nets() const { return static_cast<int>(nets_.size()); }
+
+  const Cell& cell(CellId id) const { return cells_.at(id); }
+  const Port& port(PortId id) const { return ports_.at(id); }
+  const Net& net(NetId id) const { return nets_.at(id); }
+
+  const tech::LibCell& lib_cell_of(CellId id) const {
+    return library_->cell(cell(id).lib_cell);
+  }
+
+  std::optional<CellId> find_cell(const std::string& name) const;
+  std::optional<PortId> find_port(const std::string& name) const;
+  std::optional<NetId> find_net(const std::string& name) const;
+
+  /// Is `pin` a net driver (cell output pin or primary input port)?
+  bool is_driver_pin(const PinRef& pin) const;
+
+  /// Input pin capacitance of a sink pin. Output ports present a nominal
+  /// external pad load.
+  double sink_capacitance(const PinRef& pin) const;
+
+  /// Human-readable name "cell/PIN" or "port".
+  std::string pin_name(const PinRef& pin) const;
+
+  /// Total number of cell pins plus ports.
+  int num_pins() const;
+
+  /// Verify invariants: every net driven, every cell pin connected, every
+  /// port connected. Returns a list of problems (empty = valid).
+  std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  const tech::CellLibrary* library_;
+  std::vector<Cell> cells_;
+  std::vector<Port> ports_;
+  std::vector<Net> nets_;
+  std::unordered_map<std::string, CellId> cell_index_;
+  std::unordered_map<std::string, PortId> port_index_;
+  std::unordered_map<std::string, NetId> net_index_;
+};
+
+}  // namespace sma::netlist

@@ -1,0 +1,98 @@
+#include "netlist/profiles.hpp"
+
+#include <stdexcept>
+
+namespace sma::netlist {
+
+namespace {
+
+DesignProfile make(std::string name, int inputs, int outputs, int gates,
+                   double seq = 0.0, int paper_gates = 0) {
+  DesignProfile p;
+  p.name = std::move(name);
+  p.num_inputs = inputs;
+  p.num_outputs = outputs;
+  p.num_gates = gates;
+  p.seq_fraction = seq;
+  p.scaled_down = paper_gates > 0;
+  p.paper_gates = paper_gates > 0 ? paper_gates : gates;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<DesignProfile>& attack_profiles() {
+  // ISCAS-85 sizes follow the published benchmarks; ITC-99 sizes follow
+  // typical synthesis results for those RT-level designs. b15_1, b17_1 and
+  // b18 are scaled for single-core runtime (flagged).
+  static const std::vector<DesignProfile> kProfiles = {
+      make("c432", 36, 7, 160),
+      make("c880", 60, 26, 383),
+      make("c1355", 41, 32, 546),
+      make("c1908", 33, 25, 880),
+      make("c2670", 157, 64, 1193),
+      make("c3540", 50, 22, 1669),
+      make("c5315", 178, 123, 2307),
+      make("c6288", 32, 32, 2416),
+      make("c7552", 207, 108, 3512),
+      make("b7", 49, 57, 420, 0.12),
+      make("b11", 38, 31, 550, 0.06),
+      make("b13", 62, 63, 360, 0.15),
+      make("b14", 77, 299, 2000, 0.06, 4200),
+      make("b15_1", 89, 519, 2300, 0.08, 8900),
+      make("b17_1", 135, 97, 2600, 0.08, 22000),
+      make("b18", 148, 120, 3000, 0.06, 49000),
+  };
+  return kProfiles;
+}
+
+const std::vector<DesignProfile>& training_profiles() {
+  // MCNC-flavoured combinational mix plus mid-size sequential designs, in
+  // the spirit of the paper's 9-design training corpus.
+  static const std::vector<DesignProfile> kProfiles = {
+      make("t_alu2", 10, 6, 420),
+      make("t_apex6", 135, 99, 780),
+      make("t_dalu", 75, 16, 1100),
+      make("t_frg2", 143, 139, 900),
+      make("t_i8", 133, 81, 1300),
+      make("t_k2", 45, 45, 1200),
+      make("t_vda", 17, 39, 750),
+      make("t_b04", 76, 74, 650, 0.10),
+      make("t_b12", 125, 119, 1000, 0.12),
+  };
+  return kProfiles;
+}
+
+const std::vector<DesignProfile>& validation_profiles() {
+  static const std::vector<DesignProfile> kProfiles = {
+      make("v_c8", 28, 18, 160),
+      make("v_cht", 47, 36, 220),
+      make("v_ttt2", 24, 21, 290),
+      make("v_x4", 94, 71, 500),
+      make("v_b05", 34, 70, 600, 0.08),
+  };
+  return kProfiles;
+}
+
+const DesignProfile& find_profile(const std::string& name) {
+  for (const auto* suite :
+       {&attack_profiles(), &training_profiles(), &validation_profiles()}) {
+    for (const DesignProfile& p : *suite) {
+      if (p.name == name) return p;
+    }
+  }
+  throw std::invalid_argument("unknown design profile: " + name);
+}
+
+Netlist build_profile(const DesignProfile& profile,
+                      const tech::CellLibrary* library, std::uint64_t seed) {
+  GeneratorConfig config;
+  config.num_inputs = profile.num_inputs;
+  config.num_outputs = profile.num_outputs;
+  config.num_gates = profile.num_gates;
+  config.seq_fraction = profile.seq_fraction;
+  config.seed = seed;
+  return generate_netlist(config, profile.name, library);
+}
+
+}  // namespace sma::netlist

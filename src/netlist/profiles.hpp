@@ -1,0 +1,47 @@
+// Benchmark design profiles.
+//
+// One profile per design evaluated in the paper (Table 3) plus the
+// training/validation suites described in Sec. 5. Gate and I/O counts for
+// the ISCAS-85 designs follow the published benchmark statistics; ITC-99
+// profiles are sequential. The two largest ITC designs are scaled down
+// (flagged via `scaled_down` and `paper_gates`) because this reproduction
+// runs on a single CPU core; bench output reports the scaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/generator.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sma::netlist {
+
+/// Statistics of one benchmark design to synthesize.
+struct DesignProfile {
+  std::string name;
+  int num_inputs = 0;
+  int num_outputs = 0;
+  int num_gates = 0;
+  double seq_fraction = 0.0;   ///< DFF share (ITC-99 designs)
+  bool scaled_down = false;    ///< true if smaller than the paper's design
+  int paper_gates = 0;         ///< original size when scaled_down
+};
+
+/// The 16 to-be-attacked designs of Table 3 (ISCAS-85 + ITC-99).
+const std::vector<DesignProfile>& attack_profiles();
+
+/// The 9 training designs (MCNC/ISCAS-like mix).
+const std::vector<DesignProfile>& training_profiles();
+
+/// The 5 validation designs.
+const std::vector<DesignProfile>& validation_profiles();
+
+/// Profile lookup across all three suites; throws if unknown.
+const DesignProfile& find_profile(const std::string& name);
+
+/// Instantiate the profile as a netlist (deterministic in `seed`).
+Netlist build_profile(const DesignProfile& profile,
+                      const tech::CellLibrary* library, std::uint64_t seed);
+
+}  // namespace sma::netlist

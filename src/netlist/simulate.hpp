@@ -1,0 +1,63 @@
+// Cycle-free logic simulation.
+//
+// Evaluates a netlist on Boolean input vectors (DFFs hold explicit state
+// and advance per `step`). The attack itself never simulates — it is
+// purely structural — but simulation is the ground truth for substrate
+// correctness: generated netlists must be evaluable, .bench round trips
+// and DEF-lite round trips must preserve function, and a reconnected
+// netlist equals the original exactly when every sink was restored.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/stats.hpp"
+#include "util/rng.hpp"
+
+namespace sma::netlist {
+
+/// Simulator over one netlist; holds per-net values and DFF state.
+class Simulator {
+ public:
+  explicit Simulator(const Netlist* netlist);
+
+  /// Number of primary inputs / outputs.
+  int num_inputs() const { return static_cast<int>(input_ports_.size()); }
+  int num_outputs() const { return static_cast<int>(output_ports_.size()); }
+
+  /// Evaluate combinationally with the given input values (index-aligned
+  /// with the netlist's input ports in id order). DFF outputs present
+  /// their current state. Returns output port values in id order.
+  std::vector<bool> evaluate(const std::vector<bool>& inputs);
+
+  /// `evaluate`, then clock every DFF (state <- D input value).
+  std::vector<bool> step(const std::vector<bool>& inputs);
+
+  /// Reset all DFF state to 0.
+  void reset();
+
+  /// Value of an arbitrary net after the last evaluate/step.
+  bool net_value(NetId net) const { return values_.at(net); }
+
+ private:
+  bool eval_cell(CellId cell) const;
+
+  const Netlist* netlist_;
+  Levelization levelization_;
+  std::vector<PortId> input_ports_;
+  std::vector<PortId> output_ports_;
+  std::vector<CellId> dffs_;
+  std::vector<bool> values_;     ///< per net
+  std::vector<bool> dff_state_;  ///< per entry of dffs_
+};
+
+/// Structural equivalence check by random simulation: run `vectors`
+/// random input vectors (and `sequence_length` clock steps each for
+/// sequential designs) through both netlists and compare outputs. The
+/// netlists must have identical port counts in id order. Returns true if
+/// no mismatch was observed.
+bool random_equivalence(const Netlist& a, const Netlist& b, int vectors,
+                        util::Pcg32& rng, int sequence_length = 4);
+
+}  // namespace sma::netlist

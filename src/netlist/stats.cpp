@@ -1,0 +1,113 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace sma::netlist {
+
+Levelization levelize(const Netlist& nl) {
+  Levelization result;
+  result.cell_level.assign(nl.num_cells(), -1);
+
+  // Kahn's algorithm over the cell graph. A cell depends on the driver
+  // cells of its input nets, except through DFF outputs (level breaks).
+  std::vector<int> pending(nl.num_cells(), 0);
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const Cell& cell = nl.cell(c);
+    const tech::LibCell& lib = nl.library().cell(cell.lib_cell);
+    for (int pin : lib.input_pins()) {
+      NetId net_id = cell.pin_nets.at(pin);
+      if (net_id == kInvalidId) continue;
+      const Net& net = nl.net(net_id);
+      if (!net.has_driver() || net.driver.is_port()) continue;
+      const Cell& driver_cell = nl.cell(net.driver.id);
+      if (tech::is_sequential(nl.library().cell(driver_cell.lib_cell).function)) {
+        continue;  // level break at state elements
+      }
+      ++pending[c];
+    }
+  }
+
+  std::deque<CellId> ready;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (pending[c] == 0) {
+      ready.push_back(c);
+      result.cell_level[c] = 0;
+    }
+  }
+
+  while (!ready.empty()) {
+    CellId c = ready.front();
+    ready.pop_front();
+    result.topo_order.push_back(c);
+    result.max_level = std::max(result.max_level, result.cell_level[c]);
+
+    const Cell& cell = nl.cell(c);
+    const tech::LibCell& lib = nl.library().cell(cell.lib_cell);
+    if (tech::is_sequential(lib.function)) {
+      // Consumers of a DFF output do not wait on it.
+      continue;
+    }
+    NetId out_net = cell.pin_nets.at(lib.output_pin());
+    if (out_net == kInvalidId) continue;
+    for (const PinRef& sink : nl.net(out_net).sinks) {
+      if (sink.is_port()) continue;
+      CellId consumer = sink.id;
+      if (--pending[consumer] == 0) {
+        result.cell_level[consumer] = result.cell_level[c] + 1;
+        ready.push_back(consumer);
+      }
+    }
+  }
+
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (result.cell_level[c] < 0) {
+      result.has_combinational_loop = true;
+      result.topo_order.push_back(c);
+    }
+  }
+  return result;
+}
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.num_cells = nl.num_cells();
+  s.num_nets = nl.num_nets();
+  s.num_ports = nl.num_ports();
+  s.num_pins = nl.num_pins();
+
+  long total_fanout = 0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    int fanout = static_cast<int>(nl.net(n).sinks.size());
+    total_fanout += fanout;
+    s.max_fanout = std::max(s.max_fanout, fanout);
+  }
+  s.avg_fanout = nl.num_nets() > 0
+                     ? static_cast<double>(total_fanout) / nl.num_nets()
+                     : 0.0;
+
+  long total_fanin = 0;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const tech::LibCell& lib = nl.lib_cell_of(c);
+    total_fanin += lib.num_inputs();
+    if (tech::is_sequential(lib.function)) ++s.num_sequential;
+  }
+  s.avg_fanin = nl.num_cells() > 0
+                    ? static_cast<double>(total_fanin) / nl.num_cells()
+                    : 0.0;
+
+  s.logic_depth = levelize(nl).max_level;
+  return s;
+}
+
+std::string to_string(const NetlistStats& s) {
+  std::ostringstream os;
+  os << s.num_cells << " cells (" << s.num_sequential << " seq), "
+     << s.num_nets << " nets, " << s.num_ports << " ports, depth "
+     << s.logic_depth << ", avg fanout " << s.avg_fanout << ", max fanout "
+     << s.max_fanout;
+  return os.str();
+}
+
+}  // namespace sma::netlist

@@ -1,0 +1,46 @@
+// Structural netlist statistics and levelization.
+//
+// Used by tests to check that generated benchmarks have sane shape, by the
+// placer for its initial ordering, and by the benches to report design
+// sizes alongside attack results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace sma::netlist {
+
+/// Topological levelization. Sequential cells (DFFs) act as level breaks:
+/// their outputs restart at level 0, so combinational loops through state
+/// elements are fine; purely combinational loops are reported.
+struct Levelization {
+  std::vector<int> cell_level;   ///< per CellId; -1 if on a comb. loop
+  int max_level = 0;
+  bool has_combinational_loop = false;
+  /// Cells in a valid topological order (loop cells appended last).
+  std::vector<CellId> topo_order;
+};
+
+Levelization levelize(const Netlist& netlist);
+
+/// Aggregate shape statistics.
+struct NetlistStats {
+  int num_cells = 0;
+  int num_nets = 0;
+  int num_ports = 0;
+  int num_pins = 0;
+  int num_sequential = 0;
+  int logic_depth = 0;
+  double avg_fanout = 0.0;   ///< average sinks per net
+  int max_fanout = 0;
+  double avg_fanin = 0.0;    ///< average input pins per cell
+};
+
+NetlistStats compute_stats(const Netlist& netlist);
+
+/// One-line human-readable summary.
+std::string to_string(const NetlistStats& stats);
+
+}  // namespace sma::netlist

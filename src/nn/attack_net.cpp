@@ -1,0 +1,279 @@
+#include "nn/attack_net.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sma::nn {
+
+NetConfig NetConfig::paper() { return NetConfig{}; }
+
+NetConfig NetConfig::fast() {
+  NetConfig config;
+  config.conv_channels = {8, 16, 32, 64};
+  return config;
+}
+
+AttackNet::AttackNet(const NetConfig& config) : config_(config) {
+  util::Pcg32 rng(config_.seed, 0xa77ac);
+
+  fc1_ = std::make_unique<Linear>(config_.vector_dim, config_.hidden, rng,
+                                  "fc1");
+  for (int i = 0; i < config_.vector_res_blocks; ++i) {
+    vec_blocks_.emplace_back(config_.hidden, rng,
+                             "vec_res" + std::to_string(i));
+  }
+
+  if (config_.use_images) {
+    int in_ch = config_.image_channels;
+    for (int group = 0; group < 4; ++group) {
+      const int out_ch = config_.conv_channels[group];
+      for (int layer = 0; layer < 3; ++layer) {
+        // Groups 2..4 downsample (stride 3) in their first conv; the first
+        // group keeps full resolution (Table 2: conv1 output 99x99).
+        const int stride = (group > 0 && layer == 0) ? 3 : 1;
+        convs_.emplace_back(in_ch, out_ch, stride, rng,
+                            "conv" + std::to_string(group + 1) + "_" +
+                                std::to_string(layer));
+        conv_acts_.emplace_back();
+        in_ch = out_ch;
+      }
+    }
+    fc3_ = std::make_unique<Linear>(config_.conv_channels[3],
+                                    config_.image_fc, rng, "fc3");
+    fc4_ = std::make_unique<Linear>(config_.image_fc, config_.hidden, rng,
+                                    "fc4");
+    fc5_img_ = std::make_unique<Linear>(2 * config_.hidden, config_.hidden,
+                                        rng, "fc5_img");
+  }
+
+  const int merged_in =
+      config_.use_images ? 2 * config_.hidden : config_.hidden;
+  fc5_merged_ =
+      std::make_unique<Linear>(merged_in, config_.hidden, rng, "fc5_merged");
+  for (int i = 0; i < config_.merged_res_blocks; ++i) {
+    merged_blocks_.emplace_back(config_.hidden, rng,
+                                "merged_res" + std::to_string(i));
+  }
+  fc6_ = std::make_unique<Linear>(config_.hidden, config_.fc6_width, rng,
+                                  "fc6");
+  fc7_ = std::make_unique<Linear>(config_.fc6_width,
+                                  config_.two_class ? 2 : 1, rng, "fc7");
+}
+
+Tensor AttackNet::forward(const QueryInput& input) {
+  if (input.vec.shape().size() != 2 ||
+      input.vec.dim(1) != config_.vector_dim) {
+    throw std::invalid_argument("bad vector input " +
+                                input.vec.shape_string());
+  }
+  n_ = input.vec.dim(0);
+  const int h = config_.hidden;
+
+  // --- vector branch
+  Tensor v = act1_.forward(fc1_->forward(input.vec));
+  for (ResBlock& block : vec_blocks_) v = block.forward(v);
+
+  Tensor merged_in;
+  if (config_.use_images) {
+    if (input.images.shape().size() != 4 ||
+        input.images.dim(0) != n_ + 1 ||
+        input.images.dim(1) != config_.image_channels) {
+      throw std::invalid_argument("bad image input " +
+                                  input.images.shape_string());
+    }
+    // --- shared conv trunk over the n source images + 1 sink image
+    Tensor x = input.images;
+    for (std::size_t i = 0; i < convs_.size(); ++i) {
+      x = conv_acts_[i].forward(convs_[i].forward(x));
+    }
+    x = pool_.forward(x);
+    x = act3_.forward(fc3_->forward(x));
+    x = act4_.forward(fc4_->forward(x));  // [n+1, h]
+
+    // --- fuse each source embedding with the (shared) sink embedding
+    Tensor fused({n_, 2 * h});
+    const float* sink_row = x.data() + static_cast<std::size_t>(n_) * h;
+    for (int j = 0; j < n_; ++j) {
+      std::memcpy(fused.data() + static_cast<std::size_t>(j) * 2 * h,
+                  x.data() + static_cast<std::size_t>(j) * h,
+                  sizeof(float) * h);
+      std::memcpy(fused.data() + static_cast<std::size_t>(j) * 2 * h + h,
+                  sink_row, sizeof(float) * h);
+    }
+    Tensor img_out = act5_img_.forward(fc5_img_->forward(fused));  // [n, h]
+
+    // --- concat vector and image embeddings
+    merged_in = Tensor({n_, 2 * h});
+    for (int j = 0; j < n_; ++j) {
+      std::memcpy(merged_in.data() + static_cast<std::size_t>(j) * 2 * h,
+                  v.data() + static_cast<std::size_t>(j) * h,
+                  sizeof(float) * h);
+      std::memcpy(merged_in.data() + static_cast<std::size_t>(j) * 2 * h + h,
+                  img_out.data() + static_cast<std::size_t>(j) * h,
+                  sizeof(float) * h);
+    }
+  } else {
+    merged_in = v;
+  }
+
+  Tensor m = act5_merged_.forward(fc5_merged_->forward(merged_in));
+  for (ResBlock& block : merged_blocks_) m = block.forward(m);
+  m = act6_.forward(fc6_->forward(m));
+  Tensor scores = fc7_->forward(m);  // [n, 1] or [n, 2]
+  if (!config_.two_class) {
+    scores.reshape({n_});
+  }
+  return scores;
+}
+
+void AttackNet::backward(const Tensor& dscores) {
+  const int h = config_.hidden;
+  Tensor d = dscores;
+  d.reshape({n_, config_.two_class ? 2 : 1});
+
+  d = fc6_->backward(act6_.backward(fc7_->backward(d)));
+  for (auto it = merged_blocks_.rbegin(); it != merged_blocks_.rend(); ++it) {
+    d = it->backward(d);
+  }
+  Tensor dmerged_in = fc5_merged_->backward(act5_merged_.backward(d));
+
+  Tensor dv;
+  if (config_.use_images) {
+    // Split the merged gradient into vector and image halves.
+    dv = Tensor({n_, h});
+    Tensor dimg({n_, h});
+    for (int j = 0; j < n_; ++j) {
+      std::memcpy(dv.data() + static_cast<std::size_t>(j) * h,
+                  dmerged_in.data() + static_cast<std::size_t>(j) * 2 * h,
+                  sizeof(float) * h);
+      std::memcpy(dimg.data() + static_cast<std::size_t>(j) * h,
+                  dmerged_in.data() + static_cast<std::size_t>(j) * 2 * h + h,
+                  sizeof(float) * h);
+    }
+
+    Tensor dfused = fc5_img_->backward(act5_img_.backward(dimg));  // [n, 2h]
+    // Reassemble per-image embedding gradients; the sink row accumulates
+    // the second half of every fused row.
+    Tensor demb({n_ + 1, h});
+    float* sink_grad = demb.data() + static_cast<std::size_t>(n_) * h;
+    for (int j = 0; j < n_; ++j) {
+      std::memcpy(demb.data() + static_cast<std::size_t>(j) * h,
+                  dfused.data() + static_cast<std::size_t>(j) * 2 * h,
+                  sizeof(float) * h);
+      const float* second =
+          dfused.data() + static_cast<std::size_t>(j) * 2 * h + h;
+      for (int k = 0; k < h; ++k) sink_grad[k] += second[k];
+    }
+
+    Tensor dx = fc4_->backward(act4_.backward(demb));
+    dx = fc3_->backward(act3_.backward(dx));
+    dx = pool_.backward(dx);
+    for (std::size_t i = convs_.size(); i-- > 0;) {
+      dx = convs_[i].backward(conv_acts_[i].backward(dx));
+    }
+  } else {
+    dv = dmerged_in;
+  }
+
+  for (auto it = vec_blocks_.rbegin(); it != vec_blocks_.rend(); ++it) {
+    dv = it->backward(dv);
+  }
+  fc1_->backward(act1_.backward(dv));
+}
+
+std::vector<Param> AttackNet::params() {
+  std::vector<Param> out;
+  fc1_->collect_params(out);
+  for (ResBlock& block : vec_blocks_) block.collect_params(out);
+  if (config_.use_images) {
+    for (Conv2d& conv : convs_) conv.collect_params(out);
+    fc3_->collect_params(out);
+    fc4_->collect_params(out);
+    fc5_img_->collect_params(out);
+  }
+  fc5_merged_->collect_params(out);
+  for (ResBlock& block : merged_blocks_) block.collect_params(out);
+  fc6_->collect_params(out);
+  fc7_->collect_params(out);
+  return out;
+}
+
+std::size_t AttackNet::num_parameters() {
+  std::size_t total = 0;
+  for (const Param& p : params()) total += p.value->size();
+  return total;
+}
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x534d4131;  // "SMA1"
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("model file truncated");
+  return value;
+}
+
+}  // namespace
+
+void AttackNet::save(std::ostream& out) {
+  write_pod(out, kMagic);
+  write_pod(out, config_.vector_dim);
+  write_pod(out, config_.hidden);
+  write_pod(out, config_.vector_res_blocks);
+  write_pod(out, config_.merged_res_blocks);
+  write_pod(out, static_cast<int>(config_.use_images));
+  write_pod(out, config_.image_channels);
+  for (int ch : config_.conv_channels) write_pod(out, ch);
+  write_pod(out, config_.image_fc);
+  write_pod(out, config_.fc6_width);
+  write_pod(out, static_cast<int>(config_.two_class));
+  write_pod(out, config_.seed);
+
+  for (const Param& p : params()) {
+    write_pod(out, static_cast<std::uint64_t>(p.value->size()));
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+  }
+}
+
+AttackNet AttackNet::load(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("not an AttackNet model file");
+  }
+  NetConfig config;
+  config.vector_dim = read_pod<int>(in);
+  config.hidden = read_pod<int>(in);
+  config.vector_res_blocks = read_pod<int>(in);
+  config.merged_res_blocks = read_pod<int>(in);
+  config.use_images = read_pod<int>(in) != 0;
+  config.image_channels = read_pod<int>(in);
+  for (int& ch : config.conv_channels) ch = read_pod<int>(in);
+  config.image_fc = read_pod<int>(in);
+  config.fc6_width = read_pod<int>(in);
+  config.two_class = read_pod<int>(in) != 0;
+  config.seed = read_pod<std::uint64_t>(in);
+
+  AttackNet net(config);
+  for (const Param& p : net.params()) {
+    auto count = read_pod<std::uint64_t>(in);
+    if (count != p.value->size()) {
+      throw std::runtime_error("model shape mismatch for " + p.name);
+    }
+    in.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+    if (!in) throw std::runtime_error("model file truncated in " + p.name);
+  }
+  return net;
+}
+
+}  // namespace sma::nn

@@ -1,0 +1,104 @@
+// The paper's neural network (Fig. 4 / Table 2).
+//
+// Two input branches are fused: a vector branch (fc1 + four FC-ResNet
+// blocks over 27 per-VPP features) and an image branch (a 12-layer conv
+// trunk with weight sharing across the n source images and the sink
+// image, global average pooling, two FC layers, and a sink/source fusion
+// FC). The merged trunk (one FC, three FC-ResNet blocks, fc6, fc7) emits
+// one score per candidate VPP — or two scores per candidate when
+// configured as the two-class ablation baseline.
+//
+// One forward call processes one sink-fragment query: all n candidate
+// VPPs of that sink, exactly as in the paper's batch definition.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace sma::nn {
+
+struct NetConfig {
+  int vector_dim = 27;
+  int hidden = 128;            ///< width of the FC trunks
+  int vector_res_blocks = 4;   ///< paper: fc2 [128x128]x12
+  int merged_res_blocks = 3;   ///< paper: fc2 [128x128]x9
+  bool use_images = true;
+  int image_channels = 3;      ///< one gray channel per scale
+  std::array<int, 4> conv_channels = {16, 32, 64, 128};
+  int image_fc = 256;          ///< fc3 width
+  int fc6_width = 32;
+  bool two_class = false;      ///< ablation head (Eq. 3) instead of Eq. 6
+  std::uint64_t seed = 42;
+
+  /// The exact Table-2 configuration.
+  static NetConfig paper();
+  /// Reduced conv widths for single-core CPU training; same topology.
+  static NetConfig fast();
+};
+
+/// One query: n candidate VPPs of one sink fragment.
+struct QueryInput {
+  /// [n, vector_dim] vector features.
+  Tensor vec;
+  /// [n + 1, channels, size, size]: n source-pin images then the sink-pin
+  /// image last. Left empty when the net runs vector-only.
+  Tensor images;
+};
+
+class AttackNet {
+ public:
+  explicit AttackNet(const NetConfig& config);
+
+  const NetConfig& config() const { return config_; }
+
+  /// Scores [n] (or [n, 2] in two-class mode).
+  Tensor forward(const QueryInput& input);
+
+  /// Backpropagate d(loss)/d(scores); accumulates parameter gradients.
+  void backward(const Tensor& dscores);
+
+  std::vector<Param> params();
+  std::size_t num_parameters();
+
+  /// Binary serialization (config + weights).
+  void save(std::ostream& out);
+  static AttackNet load(std::istream& in);
+
+ private:
+  NetConfig config_;
+
+  // Vector branch.
+  std::unique_ptr<Linear> fc1_;
+  LeakyReLU act1_;
+  std::vector<ResBlock> vec_blocks_;
+
+  // Image branch (shared trunk).
+  std::vector<Conv2d> convs_;
+  std::vector<LeakyReLU> conv_acts_;
+  GlobalAvgPool pool_;
+  std::unique_ptr<Linear> fc3_;
+  LeakyReLU act3_;
+  std::unique_ptr<Linear> fc4_;
+  LeakyReLU act4_;
+  std::unique_ptr<Linear> fc5_img_;
+  LeakyReLU act5_img_;
+
+  // Merged trunk.
+  std::unique_ptr<Linear> fc5_merged_;
+  LeakyReLU act5_merged_;
+  std::vector<ResBlock> merged_blocks_;
+  std::unique_ptr<Linear> fc6_;
+  LeakyReLU act6_;
+  std::unique_ptr<Linear> fc7_;
+
+  // Cached batch size for backward.
+  int n_ = 0;
+};
+
+}  // namespace sma::nn

@@ -1,0 +1,349 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sma::nn {
+
+// --------------------------------------------------------------------
+// GEMM helpers. The k-inner / j-vectorized orderings below auto-vectorize
+// well with -O2/-O3 and are the workhorses of both Linear and Conv2d.
+
+void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c) {
+  for (int i = 0; i < m; ++i) {
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) {
+        ci[j] += av * bp[j];
+      }
+    }
+  }
+}
+
+void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c) {
+  // a stored [K, M]; effective A[i, p] = a[p, i].
+  for (int p = 0; p < k; ++p) {
+    const float* ap = a + static_cast<std::size_t>(p) * m;
+    const float* bp = b + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = ap[i];
+      if (av == 0.0f) continue;
+      float* ci = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        ci[j] += av * bp[j];
+      }
+    }
+  }
+}
+
+void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c) {
+  // b stored [N, K]; effective B[p, j] = b[j, p].
+  for (int i = 0; i < m; ++i) {
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* bj = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc += ai[p] * bj[p];
+      }
+      ci[j] += acc;
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Linear
+
+Linear::Linear(int in, int out, util::Pcg32& rng, std::string name)
+    : in_(in),
+      out_(out),
+      name_(std::move(name)),
+      w_(Tensor::randn({out, in}, rng, std::sqrt(2.0 / in))),
+      b_(Tensor({out})),
+      dw_(Tensor({out, in})),
+      db_(Tensor({out})) {}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.shape().back() != in_) {
+    throw std::invalid_argument(name_ + ": bad input width " +
+                                x.shape_string());
+  }
+  x_ = x;
+  const int rows = static_cast<int>(x.size()) / in_;
+  Tensor y({rows, out_});
+  // y = x * w^T + b
+  gemm_nt(rows, out_, in_, x.data(), w_.data(), y.data());
+  for (int r = 0; r < rows; ++r) {
+    float* yr = y.data() + static_cast<std::size_t>(r) * out_;
+    for (int o = 0; o < out_; ++o) yr[o] += b_[o];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  const int rows = static_cast<int>(dy.size()) / out_;
+  // dw += dy^T * x ; stored [out, in]
+  gemm_tn(out_, in_, rows, dy.data(), x_.data(), dw_.data());
+  for (int r = 0; r < rows; ++r) {
+    const float* dyr = dy.data() + static_cast<std::size_t>(r) * out_;
+    for (int o = 0; o < out_; ++o) db_[o] += dyr[o];
+  }
+  Tensor dx({rows, in_});
+  // dx = dy * w
+  gemm_nn(rows, in_, out_, dy.data(), w_.data(), dx.data());
+  return dx;
+}
+
+void Linear::collect_params(std::vector<Param>& out) {
+  out.push_back({name_ + ".w", &w_, &dw_});
+  out.push_back({name_ + ".b", &b_, &db_});
+}
+
+// --------------------------------------------------------------------
+// LeakyReLU
+
+Tensor LeakyReLU::forward(const Tensor& x) {
+  x_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] < 0.0f) y[i] *= slope_;
+  }
+  return y;
+}
+
+Tensor LeakyReLU::backward(const Tensor& dy) {
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    if (x_[i] < 0.0f) dx[i] *= slope_;
+  }
+  return dx;
+}
+
+// --------------------------------------------------------------------
+// Conv2d
+
+Conv2d::Conv2d(int in_channels, int out_channels, int stride,
+               util::Pcg32& rng, std::string name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      stride_(stride),
+      name_(std::move(name)),
+      w_(Tensor::randn({out_channels, in_channels * 9}, rng,
+                       std::sqrt(2.0 / (in_channels * 9)))),
+      b_(Tensor({out_channels})),
+      dw_(Tensor({out_channels, in_channels * 9})),
+      db_(Tensor({out_channels})) {}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  const auto& shape = x.shape();
+  if (shape.size() != 4 || shape[1] != in_channels_) {
+    throw std::invalid_argument(name_ + ": bad conv input " +
+                                x.shape_string());
+  }
+  x_shape_ = shape;
+  const int n = shape[0];
+  const int h = shape[2];
+  const int w = shape[3];
+  const int ho = out_size(h);
+  const int wo = out_size(w);
+  const int patch = in_channels_ * 9;
+
+  cols_ = Tensor({n * ho * wo, patch});
+  // im2col with zero padding 1.
+  float* col = cols_.data();
+  for (int img = 0; img < n; ++img) {
+    const float* base =
+        x.data() + static_cast<std::size_t>(img) * in_channels_ * h * w;
+    for (int oy = 0; oy < ho; ++oy) {
+      for (int ox = 0; ox < wo; ++ox) {
+        for (int c = 0; c < in_channels_; ++c) {
+          const float* plane = base + static_cast<std::size_t>(c) * h * w;
+          for (int ky = 0; ky < 3; ++ky) {
+            const int iy = oy * stride_ - 1 + ky;
+            for (int kx = 0; kx < 3; ++kx) {
+              const int ix = ox * stride_ - 1 + kx;
+              *col++ = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                           ? plane[static_cast<std::size_t>(iy) * w + ix]
+                           : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  Tensor y({n * ho * wo, out_channels_});
+  gemm_nt(n * ho * wo, out_channels_, patch, cols_.data(), w_.data(),
+          y.data());
+  for (int r = 0; r < n * ho * wo; ++r) {
+    float* yr = y.data() + static_cast<std::size_t>(r) * out_channels_;
+    for (int o = 0; o < out_channels_; ++o) yr[o] += b_[o];
+  }
+
+  // Reorder [n*ho*wo, out] -> [n, out, ho, wo].
+  Tensor out({n, out_channels_, ho, wo});
+  for (int img = 0; img < n; ++img) {
+    for (int oy = 0; oy < ho; ++oy) {
+      for (int ox = 0; ox < wo; ++ox) {
+        const float* src =
+            y.data() +
+            (static_cast<std::size_t>(img) * ho * wo + oy * wo + ox) *
+                out_channels_;
+        for (int o = 0; o < out_channels_; ++o) {
+          out.data()[((static_cast<std::size_t>(img) * out_channels_ + o) *
+                          ho +
+                      oy) *
+                         wo +
+                     ox] = src[o];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  const int n = x_shape_[0];
+  const int h = x_shape_[2];
+  const int w = x_shape_[3];
+  const int ho = out_size(h);
+  const int wo = out_size(w);
+  const int patch = in_channels_ * 9;
+
+  // Reorder dy [n, out, ho, wo] -> [n*ho*wo, out].
+  Tensor dy_rows({n * ho * wo, out_channels_});
+  for (int img = 0; img < n; ++img) {
+    for (int o = 0; o < out_channels_; ++o) {
+      const float* plane =
+          dy.data() +
+          (static_cast<std::size_t>(img) * out_channels_ + o) * ho * wo;
+      for (int oy = 0; oy < ho; ++oy) {
+        for (int ox = 0; ox < wo; ++ox) {
+          dy_rows.data()[(static_cast<std::size_t>(img) * ho * wo + oy * wo +
+                          ox) *
+                             out_channels_ +
+                         o] = plane[static_cast<std::size_t>(oy) * wo + ox];
+        }
+      }
+    }
+  }
+
+  // dw += dy_rows^T * cols
+  gemm_tn(out_channels_, patch, n * ho * wo, dy_rows.data(), cols_.data(),
+          dw_.data());
+  for (int r = 0; r < n * ho * wo; ++r) {
+    const float* dyr =
+        dy_rows.data() + static_cast<std::size_t>(r) * out_channels_;
+    for (int o = 0; o < out_channels_; ++o) db_[o] += dyr[o];
+  }
+
+  // dcols = dy_rows * w
+  Tensor dcols({n * ho * wo, patch});
+  gemm_nn(n * ho * wo, patch, out_channels_, dy_rows.data(), w_.data(),
+          dcols.data());
+
+  // col2im.
+  Tensor dx(x_shape_);
+  const float* col = dcols.data();
+  for (int img = 0; img < n; ++img) {
+    float* base =
+        dx.data() + static_cast<std::size_t>(img) * in_channels_ * h * w;
+    for (int oy = 0; oy < ho; ++oy) {
+      for (int ox = 0; ox < wo; ++ox) {
+        for (int c = 0; c < in_channels_; ++c) {
+          float* plane = base + static_cast<std::size_t>(c) * h * w;
+          for (int ky = 0; ky < 3; ++ky) {
+            const int iy = oy * stride_ - 1 + ky;
+            for (int kx = 0; kx < 3; ++kx) {
+              const int ix = ox * stride_ - 1 + kx;
+              float v = *col++;
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                plane[static_cast<std::size_t>(iy) * w + ix] += v;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv2d::collect_params(std::vector<Param>& out) {
+  out.push_back({name_ + ".w", &w_, &dw_});
+  out.push_back({name_ + ".b", &b_, &db_});
+}
+
+// --------------------------------------------------------------------
+// GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  x_shape_ = x.shape();
+  const int n = x_shape_[0];
+  const int c = x_shape_[1];
+  const int hw = x_shape_[2] * x_shape_[3];
+  Tensor y({n, c});
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane =
+          x.data() + (static_cast<std::size_t>(img) * c + ch) * hw;
+      float acc = 0.0f;
+      for (int i = 0; i < hw; ++i) acc += plane[i];
+      y.data()[static_cast<std::size_t>(img) * c + ch] = acc / hw;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& dy) {
+  const int n = x_shape_[0];
+  const int c = x_shape_[1];
+  const int hw = x_shape_[2] * x_shape_[3];
+  Tensor dx(x_shape_);
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float g =
+          dy.data()[static_cast<std::size_t>(img) * c + ch] / hw;
+      float* plane =
+          dx.data() + (static_cast<std::size_t>(img) * c + ch) * hw;
+      for (int i = 0; i < hw; ++i) plane[i] = g;
+    }
+  }
+  return dx;
+}
+
+// --------------------------------------------------------------------
+// ResBlock
+
+ResBlock::ResBlock(int width, util::Pcg32& rng, const std::string& name)
+    : fc1_(width, width, rng, name + ".fc1"),
+      fc2_(width, width, rng, name + ".fc2"),
+      fc3_(width, width, rng, name + ".fc3") {}
+
+Tensor ResBlock::forward(const Tensor& x) {
+  Tensor h = act1_.forward(fc1_.forward(x));
+  h = act2_.forward(fc2_.forward(h));
+  h = act3_.forward(fc3_.forward(h));
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] += x[i];
+  return h;
+}
+
+Tensor ResBlock::backward(const Tensor& dy) {
+  Tensor dh = fc1_.backward(act1_.backward(
+      fc2_.backward(act2_.backward(fc3_.backward(act3_.backward(dy))))));
+  for (std::size_t i = 0; i < dh.size(); ++i) dh[i] += dy[i];
+  return dh;
+}
+
+void ResBlock::collect_params(std::vector<Param>& out) {
+  fc1_.collect_params(out);
+  fc2_.collect_params(out);
+  fc3_.collect_params(out);
+}
+
+}  // namespace sma::nn

@@ -1,0 +1,125 @@
+// Neural-network layers with explicit backpropagation.
+//
+// Each layer caches what it needs during `forward` and returns the input
+// gradient from `backward`, accumulating parameter gradients internally
+// (zeroed by the optimizer step). One layer instance handles one position
+// in the network; weight sharing (the conv trunk applied to n+1 images) is
+// expressed by batching, not by layer reuse.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace sma::nn {
+
+/// A learnable tensor and its gradient, as seen by the optimizer.
+struct Param {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// y = x W^T + b over the last dimension; x: [N, in] -> y: [N, out].
+class Linear {
+ public:
+  Linear(int in, int out, util::Pcg32& rng, std::string name);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+  void collect_params(std::vector<Param>& out);
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+ private:
+  int in_;
+  int out_;
+  std::string name_;
+  Tensor w_;   ///< [out, in]
+  Tensor b_;   ///< [out]
+  Tensor dw_;
+  Tensor db_;
+  Tensor x_;   ///< cached input
+};
+
+/// y = max(0.01 x, x) elementwise (the paper's LReLU activation).
+class LeakyReLU {
+ public:
+  explicit LeakyReLU(float slope = 0.01f) : slope_(slope) {}
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+ private:
+  float slope_;
+  Tensor x_;
+};
+
+/// 3x3 convolution with padding 1 and configurable stride (1 or 3 in the
+/// paper's network). x: [N, C, H, W] -> y: [N, out, H', W'] with
+/// H' = floor((H + 2 - 3) / stride) + 1. Implemented with im2col + GEMM.
+class Conv2d {
+ public:
+  Conv2d(int in_channels, int out_channels, int stride, util::Pcg32& rng,
+         std::string name);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+  void collect_params(std::vector<Param>& out);
+
+  int out_size(int in_size) const { return (in_size + 2 - 3) / stride_ + 1; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int stride_;
+  std::string name_;
+  Tensor w_;   ///< [out, in * 9]
+  Tensor b_;   ///< [out]
+  Tensor dw_;
+  Tensor db_;
+  Tensor cols_;  ///< cached im2col matrix [N * H' * W', in * 9]
+  std::vector<int> x_shape_;
+};
+
+/// [N, C, H, W] -> [N, C] channel means.
+class GlobalAvgPool {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+ private:
+  std::vector<int> x_shape_;
+};
+
+/// The paper's FC ResNet block: y = x + f3(f2(f1(x))) with
+/// f_i = LReLU(Linear_i(.)); all widths equal.
+class ResBlock {
+ public:
+  ResBlock(int width, util::Pcg32& rng, const std::string& name);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+  void collect_params(std::vector<Param>& out);
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  Linear fc3_;
+  LeakyReLU act1_;
+  LeakyReLU act2_;
+  LeakyReLU act3_;
+};
+
+// --- low-level GEMM helpers (row-major), exposed for unit testing -------
+
+/// C[M,N] += A[M,K] * B[K,N]
+void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c);
+/// C[M,N] += A^T[K,M] * B[K,N]   (a is stored [K, M])
+void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c);
+/// C[M,N] += A[M,K] * B^T[N,K]   (b is stored [N, K])
+void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c);
+
+}  // namespace sma::nn

@@ -1,0 +1,51 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace sma::nn {
+
+Adam::Adam(std::vector<Param> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config), lr_(config.lr) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param& p : params_) {
+    m_.emplace_back(p.value->size(), 0.0f);
+    v_.emplace_back(p.value->size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, t_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& value = *params_[i].value;
+    Tensor& grad = *params_[i].grad;
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const float g = grad[j];
+      m[j] = static_cast<float>(config_.beta1 * m[j] + (1.0 - config_.beta1) * g);
+      v[j] = static_cast<float>(config_.beta2 * v[j] +
+                                (1.0 - config_.beta2) * g * g);
+      const double mh = m[j] / bc1;
+      const double vh = v[j] / bc2;
+      value[j] -= static_cast<float>(lr_ * mh / (std::sqrt(vh) + config_.eps));
+      grad[j] = 0.0f;
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Param& p : params_) p.grad->fill(0.0f);
+}
+
+void Adam::decay_lr() { lr_ *= config_.decay; }
+
+std::size_t Adam::num_parameters() const {
+  std::size_t total = 0;
+  for (const Param& p : params_) total += p.value->size();
+  return total;
+}
+
+}  // namespace sma::nn

@@ -1,0 +1,46 @@
+// Adam optimizer with the paper's step-decay learning-rate schedule
+// (initial 0.001, multiplied by 0.6 every 20 epochs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace sma::nn {
+
+struct AdamConfig {
+  double lr = 0.001;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  /// Learning-rate decay factor applied via `decay_lr()`.
+  double decay = 0.6;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Param> params, const AdamConfig& config = {});
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+
+  /// Zero gradients without updating (e.g. after a skipped sample).
+  void zero_grad();
+
+  /// Multiply the learning rate by the configured decay factor.
+  void decay_lr();
+
+  double learning_rate() const { return lr_; }
+  std::size_t num_parameters() const;
+
+ private:
+  std::vector<Param> params_;
+  AdamConfig config_;
+  double lr_;
+  long t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace sma::nn

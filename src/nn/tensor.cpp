@@ -1,0 +1,51 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sma::nn {
+
+std::size_t shape_size(const std::vector<int>& shape) {
+  std::size_t total = 1;
+  for (int d : shape) {
+    if (d < 0) throw std::invalid_argument("negative tensor dimension");
+    total *= static_cast<std::size_t>(d);
+  }
+  return total;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+
+Tensor Tensor::randn(std::vector<int> shape, util::Pcg32& rng, double stddev) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.next_gaussian() * stddev);
+  }
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::reshape(std::vector<int> shape) {
+  if (shape_size(shape) != data_.size()) {
+    throw std::invalid_argument("reshape changes element count");
+  }
+  shape_ = std::move(shape);
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace sma::nn

@@ -1,0 +1,52 @@
+// Minimal dense float tensor.
+//
+// Row-major contiguous storage with a dynamic shape; just enough for the
+// attack network's needs (no views, no broadcasting — layers operate on
+// explicit shapes). Keeping it small makes the backprop code easy to audit
+// against the paper's equations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sma::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+  /// Gaussian init with the given standard deviation.
+  static Tensor randn(std::vector<int> shape, util::Pcg32& rng, double stddev);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int axis) const { return shape_.at(axis); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  void fill(float value);
+  /// Reinterpret the shape; total element count must match.
+  void reshape(std::vector<int> shape);
+
+  /// "[2, 3, 4]" for diagnostics.
+  std::string shape_string() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape.
+std::size_t shape_size(const std::vector<int>& shape);
+
+}  // namespace sma::nn

@@ -1,0 +1,28 @@
+// Greedy detailed placement: HPWL-reducing cell swaps on the legal layout.
+//
+// After legalization, neighbouring same-width cells are swapped whenever
+// the swap lowers the half-perimeter wirelength of the affected nets.
+// Keeps the placement legal by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "place/placement.hpp"
+
+namespace sma::place {
+
+struct DetailedPlacerConfig {
+  int passes = 2;
+  /// Candidate partners per cell and pass.
+  int candidates = 6;
+  /// Swap partners are drawn within this many rows / this many microns.
+  int max_row_distance = 3;
+  std::int64_t max_x_distance = 6000;
+  std::uint64_t seed = 11;
+};
+
+/// Returns the total HPWL improvement (non-negative).
+std::int64_t run_detailed_placement(Placement& placement,
+                                    const DetailedPlacerConfig& config = {});
+
+}  // namespace sma::place

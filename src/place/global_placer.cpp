@@ -1,0 +1,179 @@
+#include "place/global_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace sma::place {
+
+namespace {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::PinRef;
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One pass of centroid relaxation: every cell moves `pull` of the way
+/// toward the weighted centroid of the nets it belongs to (ports act as
+/// fixed anchors). This is the classic quadratic-placement fixed-point
+/// iteration.
+void relax(const netlist::Netlist& nl, const Placement& placement,
+           std::vector<Vec2>& pos, double pull) {
+  std::vector<Vec2> target(nl.num_cells());
+  std::vector<double> weight(nl.num_cells(), 0.0);
+
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.degree() < 2) continue;
+    double cx = 0.0;
+    double cy = 0.0;
+    int count = 0;
+    auto accumulate = [&](const PinRef& pin) {
+      if (pin.is_port()) {
+        const util::Point& p = placement.port_location(pin.id);
+        cx += static_cast<double>(p.x);
+        cy += static_cast<double>(p.y);
+      } else {
+        cx += pos[pin.id].x;
+        cy += pos[pin.id].y;
+      }
+      ++count;
+    };
+    if (net.has_driver()) accumulate(net.driver);
+    for (const PinRef& sink : net.sinks) accumulate(sink);
+    cx /= count;
+    cy /= count;
+
+    // Small nets pull harder than huge fanout nets.
+    double w = 1.0 / static_cast<double>(net.degree() - 1);
+    auto attract = [&](const PinRef& pin) {
+      if (pin.is_port()) return;
+      target[pin.id].x += w * cx;
+      target[pin.id].y += w * cy;
+      weight[pin.id] += w;
+    };
+    if (net.has_driver()) attract(net.driver);
+    for (const PinRef& sink : net.sinks) attract(sink);
+  }
+
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (weight[c] <= 0.0) continue;
+    pos[c].x += pull * (target[c].x / weight[c] - pos[c].x);
+    pos[c].y += pull * (target[c].y / weight[c] - pos[c].y);
+  }
+}
+
+/// Order-preserving uniform spreading: cells are sorted into k x-bands of
+/// equal count, and within each band sorted by y and distributed evenly.
+/// Monotone in both axes, so the relaxed solution's neighbourhood
+/// structure survives while density becomes uniform — the whitespace the
+/// legalizer needs.
+void spread_by_rank(const Placement& placement, std::vector<Vec2>& pos) {
+  const int num_cells = static_cast<int>(pos.size());
+  if (num_cells == 0) return;
+  const Floorplan& fp = placement.floorplan();
+  const double die_w = static_cast<double>(fp.die.width());
+  const double die_h = static_cast<double>(fp.die.height());
+
+  const int bands = std::max(1, static_cast<int>(std::lround(
+                                     std::sqrt(static_cast<double>(num_cells)))));
+  std::vector<int> order(num_cells);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (pos[a].x != pos[b].x) return pos[a].x < pos[b].x;
+    if (pos[a].y != pos[b].y) return pos[a].y < pos[b].y;
+    return a < b;
+  });
+
+  const int per_band = (num_cells + bands - 1) / bands;
+  for (int band = 0; band < bands; ++band) {
+    const int begin = band * per_band;
+    const int end = std::min(num_cells, begin + per_band);
+    if (begin >= end) break;
+    std::sort(order.begin() + begin, order.begin() + end, [&](int a, int b) {
+      if (pos[a].y != pos[b].y) return pos[a].y < pos[b].y;
+      if (pos[a].x != pos[b].x) return pos[a].x < pos[b].x;
+      return a < b;
+    });
+    const double x = (band + 0.5) / bands * die_w;
+    const int in_band = end - begin;
+    for (int i = begin; i < end; ++i) {
+      pos[order[i]].x = x;
+      pos[order[i]].y = (i - begin + 0.5) / in_band * die_h;
+    }
+  }
+}
+
+}  // namespace
+
+void run_global_placement(Placement& placement,
+                          const GlobalPlacerConfig& config) {
+  const netlist::Netlist& nl = placement.netlist();
+  const Floorplan& fp = placement.floorplan();
+  if (nl.num_cells() == 0) return;
+
+  util::Pcg32 rng(config.seed, 0x91ac);
+  const double die_w = static_cast<double>(fp.die.width());
+  const double die_h = static_cast<double>(fp.die.height());
+
+  // Initial placement: cell-id-order space-filling boustrophedon with a
+  // little jitter. Netlist ids follow logic creation order, which is
+  // already strongly correlated with connectivity, so this start embeds
+  // the graph's "bandwidth" structure for the relaxation to refine —
+  // much better than a random start for local fixed-point methods.
+  std::vector<Vec2> pos(nl.num_cells());
+  const int cols = std::max(1, static_cast<int>(std::lround(std::sqrt(
+                                    static_cast<double>(nl.num_cells())))));
+  const int rows_needed = (nl.num_cells() + cols - 1) / cols;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    int row = c / cols;
+    int col = c % cols;
+    if (row % 2 == 1) col = cols - 1 - col;  // snake
+    pos[c].x = (col + 0.3 + 0.4 * rng.next_double()) / cols * die_w;
+    pos[c].y = (row + 0.3 + 0.4 * rng.next_double()) /
+               std::max(1, rows_needed) * die_h;
+  }
+
+  // Alternate quadratic relaxation (clusters connected cells) with
+  // order-preserving spreading (restores uniform density). Early rounds
+  // relax aggressively to discover global structure; later rounds make
+  // smaller moves to refine it — a Kraftwerk-like schedule.
+  for (int round = 0; round < config.rounds; ++round) {
+    const double t = config.rounds <= 1
+                         ? 0.0
+                         : static_cast<double>(round) / (config.rounds - 1);
+    const double pull = config.pull * (1.0 - 0.6 * t);
+    const int iters =
+        std::max(2, static_cast<int>(config.iterations_per_round * (1.0 - 0.5 * t)));
+    for (int iter = 0; iter < iters; ++iter) {
+      relax(nl, placement, pos, pull);
+      for (CellId c = 0; c < nl.num_cells(); ++c) {
+        pos[c].x = std::clamp(pos[c].x, 0.0, die_w - 1.0);
+        pos[c].y = std::clamp(pos[c].y, 0.0, die_h - 1.0);
+      }
+    }
+    spread_by_rank(placement, pos);
+  }
+
+  // Final gentle relaxation without re-collapsing.
+  for (int iter = 0; iter < config.refine_iterations; ++iter) {
+    relax(nl, placement, pos, config.refine_pull);
+    for (CellId c = 0; c < nl.num_cells(); ++c) {
+      pos[c].x = std::clamp(pos[c].x, 0.0, die_w - 1.0);
+      pos[c].y = std::clamp(pos[c].y, 0.0, die_h - 1.0);
+    }
+  }
+
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    placement.set_cell_origin(c,
+                              {static_cast<std::int64_t>(pos[c].x),
+                               static_cast<std::int64_t>(pos[c].y)});
+  }
+}
+
+}  // namespace sma::place

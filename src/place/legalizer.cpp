@@ -1,0 +1,104 @@
+#include "place/legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace sma::place {
+
+using netlist::CellId;
+
+// Two-phase legalization:
+//   1. row assignment — cells (in y-major order) go to the nearest row
+//      with remaining width capacity;
+//   2. per-row packing — cells sorted by desired x are placed at their
+//      desired position clamped between the row frontier and a suffix-
+//      slack bound that reserves exactly enough room for the cells still
+//      to come. Phase 2 cannot fail once phase 1 respects capacities, so
+//      the whole procedure succeeds whenever the die can hold the cells.
+void run_legalization(Placement& placement, const LegalizerConfig& config) {
+  const netlist::Netlist& nl = placement.netlist();
+  const Floorplan& fp = placement.floorplan();
+  if (nl.num_cells() == 0) return;
+
+  const std::int64_t row_width =
+      static_cast<std::int64_t>(fp.num_sites) * fp.site_width;
+
+  // --- phase 1: capacity-aware row assignment.
+  std::vector<CellId> order(nl.num_cells());
+  for (CellId c = 0; c < nl.num_cells(); ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+    const auto& pa = placement.cell_origin(a);
+    const auto& pb = placement.cell_origin(b);
+    if (pa.y != pb.y) return pa.y < pb.y;
+    if (pa.x != pb.x) return pa.x < pb.x;
+    return a < b;
+  });
+
+  std::vector<std::int64_t> row_used(fp.num_rows, 0);
+  std::vector<std::vector<CellId>> row_cells(fp.num_rows);
+
+  for (CellId c : order) {
+    const util::Point& desired = placement.cell_origin(c);
+    const std::int64_t width = nl.lib_cell_of(c).width;
+    int desired_row = static_cast<int>(
+        std::llround(static_cast<double>(desired.y) / fp.row_height));
+    desired_row = std::clamp(desired_row, 0, fp.num_rows - 1);
+
+    int chosen = -1;
+    for (int r = 0; r < fp.num_rows; ++r) {
+      for (int sign : {1, -1}) {
+        int row = desired_row + sign * r;
+        if (sign < 0 && r == 0) continue;
+        if (row < 0 || row >= fp.num_rows) continue;
+        if (row_used[row] + width <= row_width) {
+          chosen = row;
+          break;
+        }
+      }
+      if (chosen >= 0) break;
+      if (r > config.row_search_radius && chosen >= 0) break;
+    }
+    if (chosen < 0) {
+      throw std::runtime_error("legalizer: no capacity for cell " +
+                               nl.cell(c).name);
+    }
+    row_used[chosen] += width;
+    row_cells[chosen].push_back(c);
+  }
+
+  // --- phase 2: per-row packing with suffix slack.
+  for (int row = 0; row < fp.num_rows; ++row) {
+    std::vector<CellId>& cells = row_cells[row];
+    std::sort(cells.begin(), cells.end(), [&](CellId a, CellId b) {
+      const auto& pa = placement.cell_origin(a);
+      const auto& pb = placement.cell_origin(b);
+      if (pa.x != pb.x) return pa.x < pb.x;
+      return a < b;
+    });
+
+    // Suffix widths: room that must stay free to the right of cell i.
+    std::vector<std::int64_t> suffix(cells.size() + 1, 0);
+    for (std::size_t i = cells.size(); i-- > 0;) {
+      suffix[i] = suffix[i + 1] + nl.lib_cell_of(cells[i]).width;
+    }
+
+    std::int64_t frontier = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      CellId c = cells[i];
+      const util::Point& desired = placement.cell_origin(c);
+      // Rightmost start that still leaves room for the remaining cells;
+      // row_width and all widths are site multiples, so this is aligned.
+      const std::int64_t max_start = row_width - suffix[i];
+      std::int64_t x =
+          (desired.x + fp.site_width - 1) / fp.site_width * fp.site_width;
+      x = std::clamp(x, frontier, max_start);
+      placement.set_cell_origin(c, {x, fp.row_y(row)});
+      frontier = x + nl.lib_cell_of(c).width;
+    }
+  }
+}
+
+}  // namespace sma::place

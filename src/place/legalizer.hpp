@@ -1,0 +1,22 @@
+// Tetris-style row legalization.
+//
+// Converts the continuous global-placement result into a legal placement:
+// every cell on a row, on a site boundary, inside the die, no overlaps.
+// Cells are processed in x order and greedily appended to the row frontier
+// that minimizes their displacement — the classic Hill "Tetris" recipe.
+#pragma once
+
+#include "place/placement.hpp"
+
+namespace sma::place {
+
+struct LegalizerConfig {
+  /// Rows above/below the desired row to consider for each cell.
+  int row_search_radius = 8;
+};
+
+/// Legalize in place. Throws std::runtime_error if the die capacity is
+/// insufficient (should not happen for floorplans from `make_floorplan`).
+void run_legalization(Placement& placement, const LegalizerConfig& config = {});
+
+}  // namespace sma::place

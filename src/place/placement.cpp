@@ -1,0 +1,153 @@
+#include "place/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace sma::place {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::PinRef;
+using netlist::PortId;
+using util::Point;
+using util::Rect;
+
+Floorplan make_floorplan(const netlist::Netlist& nl, double utilization) {
+  utilization = std::clamp(utilization, 0.05, 0.95);
+  std::int64_t total_width = 0;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    total_width += nl.lib_cell_of(c).width;
+  }
+  total_width = std::max<std::int64_t>(total_width, 1);
+
+  Floorplan fp;
+  fp.row_height = nl.library().row_height();
+  fp.site_width = nl.library().site_width();
+
+  const double cell_area =
+      static_cast<double>(total_width) * static_cast<double>(fp.row_height);
+  const double die_edge = std::sqrt(cell_area / utilization);
+  fp.num_rows =
+      std::max<int>(1, static_cast<int>(std::ceil(die_edge / fp.row_height)));
+  const double row_capacity_needed =
+      static_cast<double>(total_width) / utilization / fp.num_rows;
+  fp.num_sites = std::max<int>(
+      4, static_cast<int>(std::ceil(row_capacity_needed / fp.site_width)));
+  fp.die = Rect{{0, 0},
+                {fp.num_sites * fp.site_width, fp.num_rows * fp.row_height}};
+  return fp;
+}
+
+Placement::Placement(const netlist::Netlist* netlist, Floorplan floorplan)
+    : netlist_(netlist), floorplan_(floorplan) {
+  cell_origins_.assign(netlist_->num_cells(), Point{0, 0});
+  port_locations_.assign(netlist_->num_ports(), Point{0, 0});
+
+  // Perimeter port assignment: inputs on the west and north edges, outputs
+  // on the east and south edges, evenly spaced in id order.
+  std::vector<PortId> inputs;
+  std::vector<PortId> outputs;
+  for (PortId p = 0; p < netlist_->num_ports(); ++p) {
+    if (netlist_->port(p).direction == netlist::PortDirection::kInput) {
+      inputs.push_back(p);
+    } else {
+      outputs.push_back(p);
+    }
+  }
+
+  auto place_side = [&](const std::vector<PortId>& ports, bool west_east) {
+    const Rect& die = floorplan_.die;
+    std::size_t n = ports.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      // First half on the vertical edge, second half on the horizontal one.
+      bool vertical_edge = i < (n + 1) / 2;
+      double t = vertical_edge
+                     ? static_cast<double>(i + 1) / ((n + 1) / 2 + 1)
+                     : static_cast<double>(i - (n + 1) / 2 + 1) /
+                           (n - (n + 1) / 2 + 1);
+      Point loc;
+      if (vertical_edge) {
+        loc.x = west_east ? die.lo.x : die.hi.x;
+        loc.y = die.lo.y + static_cast<std::int64_t>(t * die.height());
+      } else {
+        loc.x = die.lo.x + static_cast<std::int64_t>(t * die.width());
+        loc.y = west_east ? die.hi.y : die.lo.y;
+      }
+      port_locations_[ports[i]] = loc;
+    }
+  };
+  place_side(inputs, /*west_east=*/true);
+  place_side(outputs, /*west_east=*/false);
+}
+
+Point Placement::pin_location(const PinRef& pin) const {
+  if (pin.is_port()) return port_locations_.at(pin.id);
+  const netlist::Cell& cell = netlist_->cell(pin.id);
+  const tech::LibCell& lib = netlist_->library().cell(cell.lib_cell);
+  return cell_origins_.at(pin.id) + lib.pins.at(pin.lib_pin).offset;
+}
+
+Rect Placement::net_bbox(NetId net_id) const {
+  const netlist::Net& net = netlist_->net(net_id);
+  Rect box;
+  if (net.has_driver()) box.expand(pin_location(net.driver));
+  for (const PinRef& sink : net.sinks) box.expand(pin_location(sink));
+  return box;
+}
+
+std::int64_t Placement::net_hpwl(NetId net_id) const {
+  Rect box = net_bbox(net_id);
+  return box.empty() ? 0 : box.half_perimeter();
+}
+
+std::int64_t Placement::total_hpwl() const {
+  std::int64_t total = 0;
+  for (NetId n = 0; n < netlist_->num_nets(); ++n) {
+    total += net_hpwl(n);
+  }
+  return total;
+}
+
+bool Placement::is_legal(std::vector<std::string>* problems) const {
+  bool legal = true;
+  auto report = [&](const std::string& msg) {
+    legal = false;
+    if (problems != nullptr) problems->push_back(msg);
+  };
+
+  // Per-row interval check.
+  std::vector<std::vector<std::pair<std::int64_t, CellId>>> rows(
+      floorplan_.num_rows);
+  for (CellId c = 0; c < netlist_->num_cells(); ++c) {
+    const Point& origin = cell_origins_[c];
+    std::int64_t width = netlist_->lib_cell_of(c).width;
+    if (origin.y % floorplan_.row_height != 0 ||
+        origin.x % floorplan_.site_width != 0) {
+      report("cell off grid: " + netlist_->cell(c).name);
+      continue;
+    }
+    int row = static_cast<int>(origin.y / floorplan_.row_height);
+    if (row < 0 || row >= floorplan_.num_rows || origin.x < 0 ||
+        origin.x + width > floorplan_.die.hi.x) {
+      report("cell outside die: " + netlist_->cell(c).name);
+      continue;
+    }
+    rows[row].emplace_back(origin.x, c);
+  }
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      CellId prev = row[i - 1].second;
+      std::int64_t prev_end =
+          row[i - 1].first + netlist_->lib_cell_of(prev).width;
+      if (row[i].first < prev_end) {
+        report("overlap between " + netlist_->cell(prev).name + " and " +
+               netlist_->cell(row[i].second).name);
+      }
+    }
+  }
+  return legal;
+}
+
+}  // namespace sma::place

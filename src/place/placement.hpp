@@ -1,0 +1,84 @@
+// Placement database: die floorplan, cell locations, port locations.
+//
+// The physical-design substrate of the attack. Commercial tools place
+// connected cells close together to minimize wirelength — exactly the
+// signal the proximity features (Sec. 3.1 of the paper) exploit — so this
+// module provides an HPWL-driven flow of the same character:
+// `GlobalPlacer` (force-directed, density-aware) -> `Legalizer`
+// (row/site snapping) -> `DetailedPlacer` (greedy swap refinement).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/geometry.hpp"
+
+namespace sma::place {
+
+/// Core area geometry: `num_rows` rows of `num_sites` sites each, with the
+/// die origin at (0, 0).
+struct Floorplan {
+  util::Rect die;
+  std::int64_t row_height = 0;
+  std::int64_t site_width = 0;
+  int num_rows = 0;
+  int num_sites = 0;
+
+  std::int64_t row_y(int row) const { return row * row_height; }
+  std::int64_t site_x(int site) const { return site * site_width; }
+};
+
+/// Size a roughly square floorplan for `netlist` at the given target row
+/// utilization (0 < utilization <= 0.95).
+Floorplan make_floorplan(const netlist::Netlist& netlist,
+                         double utilization = 0.6);
+
+/// Cell origins + fixed port locations over a floorplan.
+///
+/// Port pins are distributed around the die boundary in id order
+/// (inputs: left then top edge; outputs: right then bottom edge), mimicking
+/// a perimeter I/O assignment.
+class Placement {
+ public:
+  Placement(const netlist::Netlist* netlist, Floorplan floorplan);
+
+  const netlist::Netlist& netlist() const { return *netlist_; }
+  const Floorplan& floorplan() const { return floorplan_; }
+
+  const util::Point& cell_origin(netlist::CellId cell) const {
+    return cell_origins_.at(cell);
+  }
+  void set_cell_origin(netlist::CellId cell, const util::Point& origin) {
+    cell_origins_.at(cell) = origin;
+  }
+
+  const util::Point& port_location(netlist::PortId port) const {
+    return port_locations_.at(port);
+  }
+
+  /// Absolute location of a pin: cell origin + library pin offset, or the
+  /// fixed port location.
+  util::Point pin_location(const netlist::PinRef& pin) const;
+
+  /// Half-perimeter wirelength of one net (0 for degree <= 1).
+  std::int64_t net_hpwl(netlist::NetId net) const;
+
+  /// Total HPWL over all nets.
+  std::int64_t total_hpwl() const;
+
+  /// Bounding box of all pins of `net`.
+  util::Rect net_bbox(netlist::NetId net) const;
+
+  /// True if every cell is inside the die, on a row/site boundary, and no
+  /// two cells overlap. `problems`, when non-null, receives diagnostics.
+  bool is_legal(std::vector<std::string>* problems = nullptr) const;
+
+ private:
+  const netlist::Netlist* netlist_;
+  Floorplan floorplan_;
+  std::vector<util::Point> cell_origins_;
+  std::vector<util::Point> port_locations_;
+};
+
+}  // namespace sma::place

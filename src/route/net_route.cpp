@@ -1,0 +1,114 @@
+#include "route/net_route.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace sma::route {
+
+std::int64_t NetRoute::wirelength_on(int layer) const {
+  std::int64_t total = 0;
+  for (const RouteSegment& s : segments) {
+    if (s.layer == layer) total += s.length();
+  }
+  return total;
+}
+
+std::int64_t NetRoute::total_wirelength() const {
+  std::int64_t total = 0;
+  for (const RouteSegment& s : segments) total += s.length();
+  return total;
+}
+
+int NetRoute::vias_on(int cut) const {
+  int count = 0;
+  for (const RouteVia& v : vias) {
+    if (v.cut == cut) ++count;
+  }
+  return count;
+}
+
+int NetRoute::max_layer() const {
+  int top = 1;
+  for (const RouteSegment& s : segments) top = std::max(top, s.layer);
+  for (const RouteVia& v : vias) top = std::max(top, v.cut + 1);
+  return top;
+}
+
+void build_geometry(const RoutingGrid& grid, NetRoute& route) {
+  route.segments.clear();
+  route.vias.clear();
+
+  // Collect unit steps per (layer, row/column) and merge contiguous runs.
+  // Key: for horizontal runs (layer, y) -> sorted x starts; vertical
+  // (layer, x) -> sorted y starts.
+  std::map<std::pair<int, int>, std::vector<int>> horizontal;
+  std::map<std::pair<int, int>, std::vector<int>> vertical;
+
+  for (const GridEdge& e : route.grid_edges) {
+    GridCoord from = e.from;
+    GridCoord to = grid.neighbor(from, e.dir);
+    switch (e.dir) {
+      case Dir::kEast:
+        horizontal[{from.layer, from.y}].push_back(from.x);
+        break;
+      case Dir::kWest:
+        horizontal[{from.layer, from.y}].push_back(to.x);
+        break;
+      case Dir::kNorth:
+        vertical[{from.layer, from.x}].push_back(from.y);
+        break;
+      case Dir::kSouth:
+        vertical[{from.layer, from.x}].push_back(to.y);
+        break;
+      case Dir::kUp:
+        route.vias.push_back({from.layer, grid.gcell_center(from)});
+        break;
+      case Dir::kDown:
+        route.vias.push_back({to.layer, grid.gcell_center(to)});
+        break;
+    }
+  }
+
+  auto merge_runs = [&](bool horizontal_axis,
+                        std::map<std::pair<int, int>, std::vector<int>>& runs) {
+    for (auto& [key, starts] : runs) {
+      std::sort(starts.begin(), starts.end());
+      starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+      std::size_t i = 0;
+      while (i < starts.size()) {
+        std::size_t j = i;
+        while (j + 1 < starts.size() && starts[j + 1] == starts[j] + 1) ++j;
+        GridCoord a{key.first, 0, 0};
+        GridCoord b{key.first, 0, 0};
+        if (horizontal_axis) {
+          a.x = starts[i];
+          a.y = key.second;
+          b.x = starts[j] + 1;
+          b.y = key.second;
+        } else {
+          a.x = key.second;
+          a.y = starts[i];
+          b.x = key.second;
+          b.y = starts[j] + 1;
+        }
+        route.segments.push_back(
+            {key.first, grid.gcell_center(a), grid.gcell_center(b)});
+        i = j + 1;
+      }
+    }
+  };
+  merge_runs(true, horizontal);
+  merge_runs(false, vertical);
+
+  // Deduplicate vias (a node's up edge appears once, but defensive).
+  std::sort(route.vias.begin(), route.vias.end(),
+            [](const RouteVia& a, const RouteVia& b) {
+              if (a.cut != b.cut) return a.cut < b.cut;
+              if (a.at.x != b.at.x) return a.at.x < b.at.x;
+              return a.at.y < b.at.y;
+            });
+  route.vias.erase(std::unique(route.vias.begin(), route.vias.end()),
+                   route.vias.end());
+}
+
+}  // namespace sma::route

@@ -1,0 +1,67 @@
+// Routed-net geometry.
+//
+// A net's route is kept in two forms: the raw grid-edge list the router
+// produced (for usage accounting and splitting) and merged DBU center-line
+// segments/vias (for feature extraction and export).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "route/routing_grid.hpp"
+#include "util/geometry.hpp"
+
+namespace sma::route {
+
+/// Axis-aligned wire piece on one metal layer; `a <= b` componentwise.
+struct RouteSegment {
+  int layer = 1;
+  util::Point a;
+  util::Point b;
+
+  friend bool operator==(const RouteSegment&, const RouteSegment&) = default;
+
+  std::int64_t length() const { return util::manhattan(a, b); }
+  bool is_horizontal() const { return a.y == b.y; }
+};
+
+/// Via on cut layer `cut` (connecting metal `cut` and `cut + 1`).
+struct RouteVia {
+  int cut = 1;
+  util::Point at;
+  friend bool operator==(const RouteVia&, const RouteVia&) = default;
+};
+
+/// One directed grid step of a route tree.
+struct GridEdge {
+  GridCoord from;
+  Dir dir = Dir::kEast;
+};
+
+/// Complete route of one net.
+struct NetRoute {
+  netlist::NetId net = netlist::kInvalidId;
+  /// Grid nodes of the net's pins, in (driver, sinks...) order.
+  std::vector<GridCoord> pin_nodes;
+  /// Tree edges in the grid (each step appears once).
+  std::vector<GridEdge> grid_edges;
+  /// Merged DBU geometry derived from `grid_edges`.
+  std::vector<RouteSegment> segments;
+  std::vector<RouteVia> vias;
+
+  /// Total wirelength on a given metal layer (DBU).
+  std::int64_t wirelength_on(int layer) const;
+  /// Total wirelength over all layers (DBU).
+  std::int64_t total_wirelength() const;
+  /// Number of vias on a given cut layer.
+  int vias_on(int cut) const;
+  /// Highest metal layer used (1 if no segments/vias).
+  int max_layer() const;
+};
+
+/// Convert grid edges into merged segments + vias (fills `segments`/`vias`
+/// of `route` from its `grid_edges`).
+void build_geometry(const RoutingGrid& grid, NetRoute& route);
+
+}  // namespace sma::route

@@ -1,0 +1,344 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace sma::route {
+
+namespace {
+
+using netlist::NetId;
+using netlist::PinRef;
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Scratch arrays for repeated A* searches, epoch-stamped so they never
+/// need clearing between searches.
+struct SearchScratch {
+  std::vector<float> g;
+  std::vector<std::uint8_t> arrival;    ///< Dir + 1; 0 = tree seed
+  std::vector<std::uint32_t> epoch;     ///< search stamp
+  std::vector<std::uint32_t> tree_mark; ///< per-net tree membership stamp
+  std::uint32_t current_epoch = 0;
+  std::uint32_t current_net_mark = 0;
+
+  explicit SearchScratch(std::size_t nodes)
+      : g(nodes, kInf),
+        arrival(nodes, 0),
+        epoch(nodes, 0),
+        tree_mark(nodes, 0) {}
+};
+
+struct QueueEntry {
+  float f;
+  std::size_t node;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    if (a.f != b.f) return a.f > b.f;
+    return a.node > b.node;  // deterministic tie-break
+  }
+};
+
+class NetRouter {
+ public:
+  NetRouter(RoutingGrid& grid, const RouterConfig& config)
+      : grid_(grid), config_(config), scratch_(grid.num_nodes()) {}
+
+  /// Cost of traversing the edge leaving `c` in direction `d`.
+  float edge_cost(const GridCoord& c, Dir d) const {
+    const bool via = d == Dir::kUp || d == Dir::kDown;
+    double base;
+    if (via) {
+      base = config_.via_cost;
+    } else {
+      base = grid_.is_preferred(c.layer, d) ? 1.0 : config_.wrongway_mult;
+      if (c.layer == 1) base *= config_.m1_cost_mult;
+      if (c.layer > 3) {
+        base *= 1.0 + config_.layer_height_cost * (c.layer - 3);
+      }
+      // Layer-assignment pressure: the middle of long connections should
+      // climb; the pin-access regions at both ends stay in the FEOL.
+      if (c.layer < current_min_layer_) {
+        const int to_root =
+            std::abs(c.x - current_root_.x) + std::abs(c.y - current_root_.y);
+        const int to_target = std::abs(c.x - current_target_.x) +
+                              std::abs(c.y - current_target_.y);
+        if (std::min(to_root, to_target) > config_.promote_access_region) {
+          base *= config_.promotion_penalty;
+        }
+      }
+    }
+    const int usage = grid_.usage(c, d);
+    const int cap = grid_.capacity(c, d);
+    double cost = base;
+    cost += config_.history_weight * grid_.history(c, d);
+    cost += config_.present_weight * (static_cast<double>(usage) / cap);
+    if (usage >= cap) {
+      cost += config_.overflow_penalty * (usage - cap + 1);
+    }
+    return static_cast<float>(cost);
+  }
+
+  /// Admissible heuristic toward a layer-1 target.
+  float heuristic(const GridCoord& c, const GridCoord& target) const {
+    double planar = std::abs(c.x - target.x) + std::abs(c.y - target.y);
+    double vias = config_.via_cost * std::abs(c.layer - target.layer);
+    return static_cast<float>(planar + vias);
+  }
+
+  /// Route one net; returns false only if even the fallback failed.
+  bool route_net(NetRoute& route, int& fallbacks) {
+    route.grid_edges.clear();
+    if (route.pin_nodes.size() < 2) return true;
+
+    ++scratch_.current_net_mark;
+    const std::uint32_t mark = scratch_.current_net_mark;
+    std::vector<std::size_t> tree_nodes;
+
+    auto add_tree_node = [&](const GridCoord& c) {
+      std::size_t index = grid_.node_index(c);
+      if (scratch_.tree_mark[index] != mark) {
+        scratch_.tree_mark[index] = mark;
+        tree_nodes.push_back(index);
+      }
+    };
+    add_tree_node(route.pin_nodes.front());
+
+    // Targets in increasing distance from the driver pin.
+    std::vector<GridCoord> targets(route.pin_nodes.begin() + 1,
+                                   route.pin_nodes.end());
+    const GridCoord root = route.pin_nodes.front();
+    std::stable_sort(targets.begin(), targets.end(),
+                     [&](const GridCoord& a, const GridCoord& b) {
+                       int da = std::abs(a.x - root.x) + std::abs(a.y - root.y);
+                       int db = std::abs(b.x - root.x) + std::abs(b.y - root.y);
+                       return da < db;
+                     });
+
+    for (const GridCoord& target : targets) {
+      std::size_t target_index = grid_.node_index(target);
+      if (scratch_.tree_mark[target_index] == mark) continue;  // already on tree
+
+      // Preferred minimum layer for this connection's span.
+      const int span = std::abs(target.x - root.x) + std::abs(target.y - root.y);
+      current_min_layer_ = 1;
+      if (span > config_.promote_dist2) {
+        current_min_layer_ = config_.promote_layer2;
+      } else if (span > config_.promote_dist1) {
+        current_min_layer_ = config_.promote_layer1;
+      }
+      current_root_ = root;
+      current_target_ = target;
+
+      if (!astar_to_tree(target, mark, tree_nodes, route)) {
+        fallback_route(target, mark, tree_nodes, route);
+        ++fallbacks;
+      }
+    }
+
+    // Commit usage.
+    for (const GridEdge& e : route.grid_edges) {
+      grid_.add_usage(e.from, e.dir, 1);
+    }
+    return true;
+  }
+
+  /// Remove a net's usage from the grid.
+  void rip_up(const NetRoute& route) {
+    for (const GridEdge& e : route.grid_edges) {
+      grid_.add_usage(e.from, e.dir, -1);
+    }
+  }
+
+ private:
+  /// Multi-source A* from the current tree to `target`. On success, appends
+  /// the path's edges and adds its nodes to the tree.
+  bool astar_to_tree(const GridCoord& target, std::uint32_t mark,
+                     std::vector<std::size_t>& tree_nodes, NetRoute& route) {
+    ++scratch_.current_epoch;
+    const std::uint32_t epoch = scratch_.current_epoch;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        open;
+
+    auto visit = [&](std::size_t index, float g, std::uint8_t arrival) {
+      if (scratch_.epoch[index] == epoch && scratch_.g[index] <= g) return;
+      scratch_.epoch[index] = epoch;
+      scratch_.g[index] = g;
+      scratch_.arrival[index] = arrival;
+      GridCoord c = grid_.coord_of(index);
+      open.push({g + heuristic(c, target), index});
+    };
+
+    for (std::size_t index : tree_nodes) {
+      visit(index, 0.0f, 0);
+    }
+
+    const std::size_t target_index = grid_.node_index(target);
+    std::size_t expansions = 0;
+
+    while (!open.empty()) {
+      auto [f, index] = open.top();
+      open.pop();
+      GridCoord c = grid_.coord_of(index);
+      float g = scratch_.g[index];
+      if (f > g + heuristic(c, target)) continue;  // stale entry
+
+      if (index == target_index) {
+        backtrack(index, mark, tree_nodes, route);
+        return true;
+      }
+      if (++expansions > config_.max_expansions) return false;
+
+      for (int d = 0; d < kNumDirs; ++d) {
+        Dir dir = static_cast<Dir>(d);
+        if (!grid_.has_neighbor(c, dir)) continue;
+        float ng = g + edge_cost(c, dir);
+        std::size_t ni = grid_.node_index(grid_.neighbor(c, dir));
+        visit(ni, ng, static_cast<std::uint8_t>(d + 1));
+      }
+    }
+    return false;
+  }
+
+  /// Walk parents from `index` back to a tree seed, recording edges and
+  /// enlarging the tree.
+  void backtrack(std::size_t index, std::uint32_t mark,
+                 std::vector<std::size_t>& tree_nodes, NetRoute& route) {
+    while (scratch_.arrival[index] != 0) {
+      Dir arrival_dir = static_cast<Dir>(scratch_.arrival[index] - 1);
+      GridCoord here = grid_.coord_of(index);
+      GridCoord prev = grid_.neighbor(here, reverse(arrival_dir));
+      route.grid_edges.push_back({prev, arrival_dir});
+      if (scratch_.tree_mark[index] != mark) {
+        scratch_.tree_mark[index] = mark;
+        tree_nodes.push_back(index);
+      }
+      index = grid_.node_index(prev);
+    }
+    if (scratch_.tree_mark[index] != mark) {
+      scratch_.tree_mark[index] = mark;
+      tree_nodes.push_back(index);
+    }
+  }
+
+  /// Guaranteed L-shaped connection, ignoring congestion: climbs to M3/M2,
+  /// runs the two legs, and descends at the target. Used only when A*
+  /// exceeds its expansion budget.
+  void fallback_route(const GridCoord& target, std::uint32_t mark,
+                      std::vector<std::size_t>& tree_nodes, NetRoute& route) {
+    GridCoord from = grid_.coord_of(tree_nodes.front());
+    auto step = [&](GridCoord& c, Dir d) {
+      if (!grid_.has_neighbor(c, d)) return;
+      route.grid_edges.push_back({c, d});
+      c = grid_.neighbor(c, d);
+      std::size_t index = grid_.node_index(c);
+      if (scratch_.tree_mark[index] != mark) {
+        scratch_.tree_mark[index] = mark;
+        tree_nodes.push_back(index);
+      }
+    };
+
+    // Horizontal leg on M3 (preferred horizontal), vertical leg on M2.
+    while (from.layer < 3) step(from, Dir::kUp);
+    while (from.x < target.x) step(from, Dir::kEast);
+    while (from.x > target.x) step(from, Dir::kWest);
+    while (from.layer > 2) step(from, Dir::kDown);
+    while (from.y < target.y) step(from, Dir::kNorth);
+    while (from.y > target.y) step(from, Dir::kSouth);
+    while (from.layer > target.layer) step(from, Dir::kDown);
+    while (from.layer < target.layer) step(from, Dir::kUp);
+  }
+
+  RoutingGrid& grid_;
+  const RouterConfig& config_;
+  SearchScratch scratch_;
+  int current_min_layer_ = 1;
+  GridCoord current_root_;
+  GridCoord current_target_;
+};
+
+/// Unique pin grid nodes of a net, driver first.
+std::vector<GridCoord> pin_nodes_of(const place::Placement& placement,
+                                    const RoutingGrid& grid, NetId net_id) {
+  const netlist::Netlist& nl = placement.netlist();
+  const netlist::Net& net = nl.net(net_id);
+  std::vector<GridCoord> nodes;
+  auto add = [&](const PinRef& pin) {
+    GridCoord c = grid.gcell_at(placement.pin_location(pin));
+    for (const GridCoord& existing : nodes) {
+      if (existing == c) return;
+    }
+    nodes.push_back(c);
+  };
+  if (net.has_driver()) add(net.driver);
+  for (const PinRef& sink : net.sinks) add(sink);
+  return nodes;
+}
+
+}  // namespace
+
+RoutingResult route_design(const place::Placement& placement,
+                           RoutingGrid& grid, const RouterConfig& config) {
+  const netlist::Netlist& nl = placement.netlist();
+  RoutingResult result;
+  result.routes.resize(nl.num_nets());
+
+  NetRouter router(grid, config);
+
+  // Route order: small-HPWL nets first; they have the least flexibility.
+  std::vector<NetId> order;
+  order.reserve(nl.num_nets());
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    order.push_back(n);
+    result.routes[n].net = n;
+    result.routes[n].pin_nodes = pin_nodes_of(placement, grid, n);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](NetId a, NetId b) {
+    return placement.net_hpwl(a) < placement.net_hpwl(b);
+  });
+
+  for (NetId n : order) {
+    router.route_net(result.routes[n], result.fallback_routes);
+  }
+
+  // Negotiation rounds: reroute nets that touch overflowed edges.
+  for (int iter = 1; iter < config.max_iterations; ++iter) {
+    if (grid.overflow_count() == 0) break;
+    grid.bump_history_on_overflow(1.0f);
+
+    std::vector<NetId> offenders;
+    for (NetId n : order) {
+      const NetRoute& route = result.routes[n];
+      for (const GridEdge& e : route.grid_edges) {
+        if (grid.usage(e.from, e.dir) > grid.capacity(e.from, e.dir)) {
+          offenders.push_back(n);
+          break;
+        }
+      }
+    }
+    util::log_debug() << "route iter " << iter << ": "
+                      << grid.overflow_count() << " overflowed edges, "
+                      << offenders.size() << " nets to reroute";
+    for (NetId n : offenders) {
+      router.rip_up(result.routes[n]);
+    }
+    for (NetId n : offenders) {
+      router.route_net(result.routes[n], result.fallback_routes);
+    }
+  }
+
+  result.final_overflow = grid.overflow_count();
+  for (NetRoute& route : result.routes) {
+    build_geometry(grid, route);
+    result.total_wirelength += route.total_wirelength();
+    result.total_vias += static_cast<int>(route.vias.size());
+  }
+  return result;
+}
+
+}  // namespace sma::route

@@ -1,0 +1,69 @@
+// Negotiated-congestion global router (PathFinder-style A* maze routing).
+//
+// Routes every net of a placed design over the RoutingGrid: multi-pin nets
+// are decomposed incrementally (each next-closest pin is routed to the
+// growing route tree with multi-source A*), preferred-direction and via
+// costs shape the paths, and a few rip-up-and-reroute rounds with history
+// costs resolve overflows. The output geometry feeds the split model and
+// the attack features.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "place/placement.hpp"
+#include "route/net_route.hpp"
+#include "route/routing_grid.hpp"
+
+namespace sma::route {
+
+struct RouterConfig {
+  double via_cost = 2.0;          ///< base cost of one via step
+  double wrongway_mult = 4.0;     ///< planar cost multiplier off-preference
+  double m1_cost_mult = 3.0;      ///< extra cost of routing through M1
+  double present_weight = 0.8;    ///< soft cost of partially used edges
+  double history_weight = 1.0;    ///< PathFinder history contribution
+  double overflow_penalty = 8.0;  ///< hard cost per unit of overflow
+  int max_iterations = 4;         ///< rip-up-and-reroute rounds
+  std::size_t max_expansions = 400000;  ///< per two-pin connection
+
+  /// Per-layer height surcharge: planar cost is multiplied by
+  /// 1 + layer_height_cost * (layer - 3) above M3. Together with via cost
+  /// this makes upper-metal excursions short: a route climbs over a
+  /// congested stretch and comes back down within a few gcells — the
+  /// short BEOL hops whose virtual pins an M3 attacker exploits.
+  double layer_height_cost = 2.0;
+
+  // Optional span-based layer promotion (off by default; congestion is the
+  // realistic driver of upper-layer usage). When enabled, connections
+  // spanning more than `promote_dist1` gcells prefer layers >=
+  // `promote_layer1` (and `promote_dist2` -> `promote_layer2`); planar
+  // wiring below the preferred minimum is soft-penalized except within
+  // `promote_access_region` gcells of the connection endpoints.
+  int promote_dist1 = 1 << 28;
+  int promote_layer1 = 4;
+  int promote_dist2 = 1 << 28;
+  int promote_layer2 = 5;
+  double promotion_penalty = 4.0;
+  /// Pin-access region: within this many gcells of either connection
+  /// endpoint the promotion penalty is waived, so promoted routes enter
+  /// and leave the BEOL near the middle of the connection — as detailed
+  /// routers do — rather than via-stacking directly on the pins.
+  int promote_access_region = 2;
+};
+
+/// Result of routing one design.
+struct RoutingResult {
+  std::vector<NetRoute> routes;   ///< indexed by NetId
+  int final_overflow = 0;         ///< overflowed edges after the last round
+  int fallback_routes = 0;        ///< connections routed by the L-shape fallback
+  std::int64_t total_wirelength = 0;
+  int total_vias = 0;
+};
+
+/// Route all nets of `placement` on `grid`. The grid's usage is left
+/// populated so callers can inspect congestion.
+RoutingResult route_design(const place::Placement& placement,
+                           RoutingGrid& grid, const RouterConfig& config = {});
+
+}  // namespace sma::route

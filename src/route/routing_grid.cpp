@@ -1,0 +1,220 @@
+#include "route/routing_grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sma::route {
+
+Dir reverse(Dir d) {
+  switch (d) {
+    case Dir::kEast: return Dir::kWest;
+    case Dir::kWest: return Dir::kEast;
+    case Dir::kNorth: return Dir::kSouth;
+    case Dir::kSouth: return Dir::kNorth;
+    case Dir::kUp: return Dir::kDown;
+    case Dir::kDown: return Dir::kUp;
+  }
+  return Dir::kEast;
+}
+
+RoutingGrid::RoutingGrid(const tech::LayerStack* stack, const util::Rect& die)
+    : RoutingGrid(stack, die, Config{}) {}
+
+RoutingGrid::RoutingGrid(const tech::LayerStack* stack, const util::Rect& die,
+                         const Config& config)
+    : stack_(stack), die_(die), config_(config) {
+  if (stack_ == nullptr) throw std::invalid_argument("null layer stack");
+  if (die_.empty()) throw std::invalid_argument("empty die");
+  nx_ = std::max<int>(
+      1, static_cast<int>((die_.width() + config_.gcell_size - 1) /
+                          config_.gcell_size));
+  ny_ = std::max<int>(
+      1, static_cast<int>((die_.height() + config_.gcell_size - 1) /
+                          config_.gcell_size));
+
+  const int layers = num_layers();
+  pref_capacity_.resize(layers);
+  for (int m = 1; m <= layers; ++m) {
+    int tracks =
+        std::max<int>(1, static_cast<int>(config_.gcell_size / stack_->pitch(m)));
+    pref_capacity_[m - 1] = std::max<int>(
+        1, static_cast<int>(tracks * config_.track_utilization));
+  }
+  pref_capacity_[0] = std::min(pref_capacity_[0], config_.m1_capacity);
+  if (layers > 1) {
+    pref_capacity_[1] = std::min(pref_capacity_[1], config_.m2_capacity);
+  }
+
+  const std::size_t per_layer = static_cast<std::size_t>(nx_) * ny_;
+  x_edges_.usage.assign(per_layer * layers, 0);
+  x_edges_.history.assign(per_layer * layers, 0.0f);
+  y_edges_.usage.assign(per_layer * layers, 0);
+  y_edges_.history.assign(per_layer * layers, 0.0f);
+  via_edges_.usage.assign(per_layer * (layers - 1), 0);
+  via_edges_.history.assign(per_layer * (layers - 1), 0.0f);
+}
+
+GridCoord RoutingGrid::coord_of(std::size_t index) const {
+  GridCoord c;
+  c.x = static_cast<int>(index % nx_);
+  index /= nx_;
+  c.y = static_cast<int>(index % ny_);
+  c.layer = static_cast<int>(index / ny_) + 1;
+  return c;
+}
+
+GridCoord RoutingGrid::gcell_at(const util::Point& p, int layer) const {
+  GridCoord c;
+  c.layer = layer;
+  c.x = std::clamp<int>(
+      static_cast<int>((p.x - die_.lo.x) / config_.gcell_size), 0, nx_ - 1);
+  c.y = std::clamp<int>(
+      static_cast<int>((p.y - die_.lo.y) / config_.gcell_size), 0, ny_ - 1);
+  return c;
+}
+
+util::Point RoutingGrid::gcell_center(const GridCoord& c) const {
+  return {die_.lo.x + c.x * config_.gcell_size + config_.gcell_size / 2,
+          die_.lo.y + c.y * config_.gcell_size + config_.gcell_size / 2};
+}
+
+bool RoutingGrid::has_neighbor(const GridCoord& c, Dir d) const {
+  switch (d) {
+    case Dir::kEast: return c.x + 1 < nx_;
+    case Dir::kWest: return c.x > 0;
+    case Dir::kNorth: return c.y + 1 < ny_;
+    case Dir::kSouth: return c.y > 0;
+    case Dir::kUp: return c.layer < num_layers();
+    case Dir::kDown: return c.layer > 1;
+  }
+  return false;
+}
+
+GridCoord RoutingGrid::neighbor(const GridCoord& c, Dir d) const {
+  GridCoord n = c;
+  switch (d) {
+    case Dir::kEast: ++n.x; break;
+    case Dir::kWest: --n.x; break;
+    case Dir::kNorth: ++n.y; break;
+    case Dir::kSouth: --n.y; break;
+    case Dir::kUp: ++n.layer; break;
+    case Dir::kDown: --n.layer; break;
+  }
+  return n;
+}
+
+bool RoutingGrid::is_preferred(int layer, Dir d) const {
+  util::Axis pref = stack_->preferred(layer);
+  bool horizontal = d == Dir::kEast || d == Dir::kWest;
+  return horizontal == (pref == util::Axis::kHorizontal);
+}
+
+int RoutingGrid::capacity(const GridCoord& c, Dir d) const {
+  if (!has_neighbor(c, d)) return 0;
+  if (d == Dir::kUp || d == Dir::kDown) return config_.via_capacity;
+  return is_preferred(c.layer, d) ? pref_capacity_[c.layer - 1]
+                                  : config_.wrongway_capacity;
+}
+
+std::size_t RoutingGrid::x_edge_index(int layer, int x, int y) const {
+  return (static_cast<std::size_t>(layer - 1) * ny_ + y) * nx_ + x;
+}
+std::size_t RoutingGrid::y_edge_index(int layer, int x, int y) const {
+  return (static_cast<std::size_t>(layer - 1) * ny_ + y) * nx_ + x;
+}
+std::size_t RoutingGrid::via_edge_index(int layer, int x, int y) const {
+  return (static_cast<std::size_t>(layer - 1) * ny_ + y) * nx_ + x;
+}
+
+std::pair<RoutingGrid::EdgeArrays*, std::size_t> RoutingGrid::edge_slot(
+    const GridCoord& c, Dir d) {
+  auto const_result =
+      static_cast<const RoutingGrid*>(this)->edge_slot(c, d);
+  return {const_cast<EdgeArrays*>(const_result.first), const_result.second};
+}
+
+std::pair<const RoutingGrid::EdgeArrays*, std::size_t>
+RoutingGrid::edge_slot(const GridCoord& c, Dir d) const {
+  switch (d) {
+    case Dir::kEast:
+      return {&x_edges_, x_edge_index(c.layer, c.x, c.y)};
+    case Dir::kWest:
+      return {&x_edges_, x_edge_index(c.layer, c.x - 1, c.y)};
+    case Dir::kNorth:
+      return {&y_edges_, y_edge_index(c.layer, c.x, c.y)};
+    case Dir::kSouth:
+      return {&y_edges_, y_edge_index(c.layer, c.x, c.y - 1)};
+    case Dir::kUp:
+      return {&via_edges_, via_edge_index(c.layer, c.x, c.y)};
+    case Dir::kDown:
+      return {&via_edges_, via_edge_index(c.layer - 1, c.x, c.y)};
+  }
+  return {&x_edges_, 0};
+}
+
+int RoutingGrid::usage(const GridCoord& c, Dir d) const {
+  auto [arr, idx] = edge_slot(c, d);
+  return arr->usage[idx];
+}
+
+void RoutingGrid::add_usage(const GridCoord& c, Dir d, int delta) {
+  auto [arr, idx] = edge_slot(c, d);
+  int value = static_cast<int>(arr->usage[idx]) + delta;
+  arr->usage[idx] = static_cast<std::uint16_t>(std::max(0, value));
+}
+
+float RoutingGrid::history(const GridCoord& c, Dir d) const {
+  auto [arr, idx] = edge_slot(c, d);
+  return arr->history[idx];
+}
+
+void RoutingGrid::bump_history_on_overflow(float increment) {
+  const int layers = num_layers();
+  auto bump = [&](EdgeArrays& edges, auto capacity_of) {
+    for (std::size_t i = 0; i < edges.usage.size(); ++i) {
+      if (edges.usage[i] > capacity_of(i)) edges.history[i] += increment;
+    }
+  };
+  const std::size_t per_layer = static_cast<std::size_t>(nx_) * ny_;
+  bump(x_edges_, [&](std::size_t i) {
+    int layer = static_cast<int>(i / per_layer) + 1;
+    return is_preferred(layer, Dir::kEast) ? pref_capacity_[layer - 1]
+                                           : config_.wrongway_capacity;
+  });
+  bump(y_edges_, [&](std::size_t i) {
+    int layer = static_cast<int>(i / per_layer) + 1;
+    return is_preferred(layer, Dir::kNorth) ? pref_capacity_[layer - 1]
+                                            : config_.wrongway_capacity;
+  });
+  bump(via_edges_, [&](std::size_t) { return config_.via_capacity; });
+  (void)layers;
+}
+
+int RoutingGrid::overflow_count() const {
+  int overflow = 0;
+  const std::size_t per_layer = static_cast<std::size_t>(nx_) * ny_;
+  for (std::size_t i = 0; i < x_edges_.usage.size(); ++i) {
+    int layer = static_cast<int>(i / per_layer) + 1;
+    int cap = is_preferred(layer, Dir::kEast) ? pref_capacity_[layer - 1]
+                                              : config_.wrongway_capacity;
+    if (x_edges_.usage[i] > cap) ++overflow;
+  }
+  for (std::size_t i = 0; i < y_edges_.usage.size(); ++i) {
+    int layer = static_cast<int>(i / per_layer) + 1;
+    int cap = is_preferred(layer, Dir::kNorth) ? pref_capacity_[layer - 1]
+                                               : config_.wrongway_capacity;
+    if (y_edges_.usage[i] > cap) ++overflow;
+  }
+  for (std::size_t i = 0; i < via_edges_.usage.size(); ++i) {
+    if (via_edges_.usage[i] > config_.via_capacity) ++overflow;
+  }
+  return overflow;
+}
+
+void RoutingGrid::clear_usage() {
+  std::fill(x_edges_.usage.begin(), x_edges_.usage.end(), 0);
+  std::fill(y_edges_.usage.begin(), y_edges_.usage.end(), 0);
+  std::fill(via_edges_.usage.begin(), via_edges_.usage.end(), 0);
+}
+
+}  // namespace sma::route

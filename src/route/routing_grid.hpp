@@ -1,0 +1,134 @@
+// Global-routing grid graph.
+//
+// The die is tiled into square gcells; each metal layer contributes one
+// 2-D lattice of nodes, stacked by vias. Edge capacities reflect the
+// track count per gcell: full capacity along a layer's preferred routing
+// direction, a small allowance for wrong-way jogs (the paper's direction
+// criterion explicitly accounts for those), and generous via capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "place/placement.hpp"
+#include "tech/layer_stack.hpp"
+#include "util/geometry.hpp"
+
+namespace sma::route {
+
+/// Location of a routing-grid node: 1-based metal layer + gcell indices.
+struct GridCoord {
+  int layer = 1;
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const GridCoord&, const GridCoord&) = default;
+};
+
+/// Direction of a grid edge out of a node.
+enum class Dir : std::uint8_t { kEast, kWest, kNorth, kSouth, kUp, kDown };
+inline constexpr int kNumDirs = 6;
+
+/// Returns the reverse direction.
+Dir reverse(Dir d);
+
+class RoutingGrid {
+ public:
+  struct Config {
+    std::int64_t gcell_size = 700;   ///< DBU; ~5 thin-metal tracks
+    int wrongway_capacity = 1;       ///< tracks available against preference
+    int via_capacity = 12;
+    /// M1 is mostly blocked by cell-internal shapes in real designs, so its
+    /// through-routing capacity is clamped to pin-access level. This is what
+    /// makes an M1 split shatter nearly every net, as in the paper.
+    int m1_capacity = 1;
+    /// Cap on M2 through-capacity (vertical FEOL supply). Keeping M2
+    /// generous lets long vertical runs stay in the FEOL; only locally
+    /// congested stretches then hop above M3 with short excursions — the
+    /// close-by virtual-pin pairs that dominate real M3-split layouts.
+    int m2_capacity = 3;
+    /// Fraction of signal tracks actually available: power/ground straps,
+    /// clock trees and cell blockages consume the rest. This sets the
+    /// congestion level that pushes a minority of nets into BEOL
+    /// excursions — the fragments an M3 split attacks.
+    double track_utilization = 0.65;
+  };
+
+  RoutingGrid(const tech::LayerStack* stack, const util::Rect& die,
+              const Config& config);
+  RoutingGrid(const tech::LayerStack* stack, const util::Rect& die);
+
+  int num_layers() const { return stack_->num_layers(); }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::int64_t gcell_size() const { return config_.gcell_size; }
+  const tech::LayerStack& stack() const { return *stack_; }
+
+  /// Total node count (layers * nx * ny).
+  std::size_t num_nodes() const {
+    return static_cast<std::size_t>(num_layers()) * nx_ * ny_;
+  }
+
+  std::size_t node_index(const GridCoord& c) const {
+    return (static_cast<std::size_t>(c.layer - 1) * ny_ + c.y) * nx_ + c.x;
+  }
+  GridCoord coord_of(std::size_t index) const;
+
+  /// Gcell containing a DBU point (clamped to the grid).
+  GridCoord gcell_at(const util::Point& p, int layer = 1) const;
+
+  /// DBU center of a gcell.
+  util::Point gcell_center(const GridCoord& c) const;
+
+  /// Does the neighbour of `c` in direction `d` exist?
+  bool has_neighbor(const GridCoord& c, Dir d) const;
+  GridCoord neighbor(const GridCoord& c, Dir d) const;
+
+  /// Capacity of the edge leaving `c` in direction `d` (0 = no edge).
+  int capacity(const GridCoord& c, Dir d) const;
+
+  /// Current usage of that edge.
+  int usage(const GridCoord& c, Dir d) const;
+  void add_usage(const GridCoord& c, Dir d, int delta);
+
+  /// Congestion history (PathFinder-style), bumped on overflowed edges.
+  float history(const GridCoord& c, Dir d) const;
+  void bump_history_on_overflow(float increment);
+
+  /// Number of edges with usage > capacity.
+  int overflow_count() const;
+
+  /// Reset all usage (history preserved).
+  void clear_usage();
+
+  /// True if `d` runs along the preferred axis of `c.layer`.
+  bool is_preferred(int layer, Dir d) const;
+
+ private:
+  struct EdgeArrays {
+    std::vector<std::uint16_t> usage;
+    std::vector<float> history;
+  };
+
+  // Edge storage: for each layer, x-edges (node -> east neighbour) and
+  // y-edges (node -> north neighbour); plus via edges (node -> up).
+  std::size_t x_edge_index(int layer, int x, int y) const;
+  std::size_t y_edge_index(int layer, int x, int y) const;
+  std::size_t via_edge_index(int layer, int x, int y) const;
+
+  /// Maps (c, d) onto canonical edge storage; returns array + index.
+  std::pair<EdgeArrays*, std::size_t> edge_slot(const GridCoord& c, Dir d);
+  std::pair<const EdgeArrays*, std::size_t> edge_slot(const GridCoord& c,
+                                                      Dir d) const;
+
+  const tech::LayerStack* stack_;
+  util::Rect die_;
+  Config config_;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<int> pref_capacity_;   ///< per layer: tracks per gcell
+  EdgeArrays x_edges_;
+  EdgeArrays y_edges_;
+  EdgeArrays via_edges_;
+};
+
+}  // namespace sma::route

@@ -1,0 +1,192 @@
+#include "split/candidates.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace sma::split {
+
+bool prefers(const VirtualPin& p, const VirtualPin& q) {
+  if (p.stub_directions.empty()) return true;  // unconstrained pin
+  const util::Point d{q.location.x - p.location.x,
+                      q.location.y - p.location.y};
+  for (const util::Point& stub : p.stub_directions) {
+    // q on the opposite side of (or beside) the wire stub.
+    std::int64_t dot = d.x * stub.x + d.y * stub.y;
+    if (dot <= 0) return true;
+  }
+  return false;
+}
+
+VppDistance vpp_distance(const SplitDesign& split, const VirtualPin& sink_vp,
+                         const VirtualPin& source_vp) {
+  const tech::LayerStack& stack = *split.design().stack;
+  util::Axis pref = stack.preferred(split.split_layer());
+  util::Axis nonpref = util::perpendicular(pref);
+  util::Point d{source_vp.location.x - sink_vp.location.x,
+                source_vp.location.y - sink_vp.location.y};
+  VppDistance dist;
+  dist.non_preferred = std::abs(util::along(d, nonpref));
+  dist.preferred = std::abs(util::along(d, pref));
+  return dist;
+}
+
+namespace {
+
+/// Source virtual pins sorted along the split layer's non-preferred axis,
+/// for banded nearest-neighbour gathering. The distance criterion orders
+/// by non-preferred distance first, so the nearest candidates of a sink
+/// pin always live in a thin band around its non-preferred coordinate.
+struct SourceVpIndex {
+  struct Entry {
+    std::int64_t nonpref = 0;
+    int vp_id = -1;
+    int fragment = -1;
+  };
+  std::vector<Entry> entries;
+
+  SourceVpIndex(const SplitDesign& split, util::Axis nonpref_axis) {
+    for (int source_fragment : split.source_fragments()) {
+      for (int vp_id : split.fragment(source_fragment).virtual_pins) {
+        const VirtualPin& vp = split.virtual_pin(vp_id);
+        entries.push_back(
+            {util::along(vp.location, nonpref_axis), vp_id, source_fragment});
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.nonpref != b.nonpref) return a.nonpref < b.nonpref;
+                return a.vp_id < b.vp_id;
+              });
+  }
+
+  /// The `count` entries nearest to `coord` by |Δnonpref| (two-pointer
+  /// expansion; ties resolved toward lower coordinates first).
+  void gather(std::int64_t coord, std::size_t count,
+              std::vector<const Entry*>& out) const {
+    out.clear();
+    if (entries.empty()) return;
+    // First entry with nonpref >= coord.
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), coord,
+        [](const Entry& e, std::int64_t c) { return e.nonpref < c; });
+    std::size_t right = static_cast<std::size_t>(it - entries.begin());
+    std::size_t left = right;
+    while (out.size() < count && (left > 0 || right < entries.size())) {
+      std::int64_t dl = left > 0
+                            ? coord - entries[left - 1].nonpref
+                            : std::numeric_limits<std::int64_t>::max();
+      std::int64_t dr = right < entries.size()
+                            ? entries[right].nonpref - coord
+                            : std::numeric_limits<std::int64_t>::max();
+      if (dl <= dr) {
+        out.push_back(&entries[--left]);
+      } else {
+        out.push_back(&entries[right++]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<SinkQuery> build_queries(const SplitDesign& split,
+                                     const CandidateConfig& config) {
+  const tech::LayerStack& stack = *split.design().stack;
+  const util::Axis pref = stack.preferred(split.split_layer());
+  const util::Axis nonpref = util::perpendicular(pref);
+
+  SourceVpIndex index(split, nonpref);
+  // Gather enough band neighbours that criteria filtering still leaves n
+  // candidates; generous multiple keeps the banded search near-exact.
+  const std::size_t gather_count =
+      std::max<std::size_t>(static_cast<std::size_t>(config.max_candidates) * 8,
+                            128);
+
+  std::vector<SinkQuery> queries;
+  queries.reserve(split.sink_fragments().size());
+  std::vector<const SourceVpIndex::Entry*> band;
+
+  for (int sink_fragment : split.sink_fragments()) {
+    const Fragment& sink = split.fragment(sink_fragment);
+    SinkQuery query;
+    query.sink_fragment = sink_fragment;
+    query.num_sinks = sink.num_sink_pins;
+    const int positive_source = split.positive_source_of(sink_fragment);
+
+    struct Entry {
+      VppDistance distance;
+      Vpp vpp;
+    };
+    std::vector<Entry> entries;
+
+    for (int sink_vp_id : sink.virtual_pins) {
+      const VirtualPin& p = split.virtual_pin(sink_vp_id);
+      index.gather(util::along(p.location, nonpref), gather_count, band);
+      for (const SourceVpIndex::Entry* source_entry : band) {
+        const VirtualPin& q = split.virtual_pin(source_entry->vp_id);
+        if (config.use_direction_criterion && !prefers(p, q) &&
+            !prefers(q, p)) {
+          continue;
+        }
+        Entry entry;
+        entry.distance = vpp_distance(split, p, q);
+        entry.vpp.sink_vp = sink_vp_id;
+        entry.vpp.source_vp = source_entry->vp_id;
+        entry.vpp.sink_fragment = sink_fragment;
+        entry.vpp.source_fragment = source_entry->fragment;
+        entry.vpp.positive = source_entry->fragment == positive_source;
+        entries.push_back(entry);
+      }
+    }
+
+    // Non-duplication: keep the closest VPP per source fragment.
+    if (config.use_non_duplication) {
+      std::map<int, Entry> best;  // source fragment -> best entry
+      for (const Entry& entry : entries) {
+        auto [it, inserted] = best.emplace(entry.vpp.source_fragment, entry);
+        if (!inserted && entry.distance < it->second.distance) {
+          it->second = entry;
+        }
+      }
+      entries.clear();
+      for (const auto& [fragment, entry] : best) {
+        entries.push_back(entry);
+      }
+    }
+
+    // Distance criterion: n closest, deterministic ordering.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       if (a.distance != b.distance) {
+                         return a.distance < b.distance;
+                       }
+                       return a.vpp.source_fragment < b.vpp.source_fragment;
+                     });
+    if (static_cast<int>(entries.size()) > config.max_candidates) {
+      entries.resize(config.max_candidates);
+    }
+
+    query.candidates.reserve(entries.size());
+    for (const Entry& entry : entries) {
+      if (entry.vpp.positive && query.positive_index < 0) {
+        query.positive_index = static_cast<int>(query.candidates.size());
+      }
+      query.candidates.push_back(entry.vpp);
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+double candidate_hit_rate(const std::vector<SinkQuery>& queries) {
+  long total = 0;
+  long hit = 0;
+  for (const SinkQuery& query : queries) {
+    total += query.num_sinks;
+    if (query.positive_index >= 0) hit += query.num_sinks;
+  }
+  return total > 0 ? static_cast<double>(hit) / total : 0.0;
+}
+
+}  // namespace sma::split

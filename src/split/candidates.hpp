@@ -1,0 +1,70 @@
+// Virtual-pin-pair (VPP) candidate generation (Sec. 4.1 of the paper).
+//
+// For every sink fragment, the attack scores a short list of candidate
+// source fragments instead of all of them. Candidates are selected with
+// the paper's three criteria:
+//   1. direction   — keep a VPP only if at least one of its two virtual
+//                    pins "prefers" the other (Fig. 3 / Table 1): q is
+//                    preferred by p when q lies on the opposite side of a
+//                    wire stub attached to p (pins without stubs are
+//                    unconstrained);
+//   2. non-duplication — one VPP per (sink fragment, source fragment)
+//                    pair: the one with the smallest distance along the
+//                    split layer's non-preferred routing direction;
+//   3. distance    — keep the n closest, ordered by (non-preferred,
+//                    preferred) distance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "split/split_design.hpp"
+
+namespace sma::split {
+
+/// One candidate virtual pin pair.
+struct Vpp {
+  int sink_vp = -1;
+  int source_vp = -1;
+  int sink_fragment = -1;
+  int source_fragment = -1;
+  bool positive = false;  ///< training-time label
+};
+
+/// All candidates for one sink fragment; the unit of one attack query.
+struct SinkQuery {
+  int sink_fragment = -1;
+  int num_sinks = 0;                ///< c_i of Eq. (1)
+  std::vector<Vpp> candidates;      ///< at most n, distance-ordered
+  int positive_index = -1;          ///< index into candidates, -1 if absent
+};
+
+struct CandidateConfig {
+  int max_candidates = 31;          ///< n (the paper uses 31)
+  bool use_direction_criterion = true;
+  bool use_non_duplication = true;
+};
+
+/// Does virtual pin `p` prefer `q` (direction-criterion semantics)?
+bool prefers(const VirtualPin& p, const VirtualPin& q);
+
+/// Candidate distance metric: (non-preferred, preferred) axis distances
+/// w.r.t. the split layer's preferred routing direction.
+struct VppDistance {
+  std::int64_t non_preferred = 0;
+  std::int64_t preferred = 0;
+  friend auto operator<=>(const VppDistance&, const VppDistance&) = default;
+};
+
+VppDistance vpp_distance(const SplitDesign& split, const VirtualPin& sink_vp,
+                         const VirtualPin& source_vp);
+
+/// Build queries for every sink fragment of `split`.
+std::vector<SinkQuery> build_queries(const SplitDesign& split,
+                                     const CandidateConfig& config = {});
+
+/// Fraction of queries whose candidate list contains the positive VPP —
+/// an upper bound on any attack's CCR over these queries (sink-weighted).
+double candidate_hit_rate(const std::vector<SinkQuery>& queries);
+
+}  // namespace sma::split

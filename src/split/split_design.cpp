@@ -1,0 +1,326 @@
+#include "split/split_design.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sma::split {
+
+namespace {
+
+using netlist::NetId;
+using netlist::PinRef;
+using route::RouteSegment;
+using route::RouteVia;
+using util::Point;
+
+/// Is `p` on the axis-aligned segment (inclusive)?
+bool point_on_segment(const Point& p, const RouteSegment& s) {
+  return p.x >= s.a.x && p.x <= s.b.x && p.y >= s.a.y && p.y <= s.b.y;
+}
+
+/// Do two axis-aligned segments on the same layer touch?
+bool segments_touch(const RouteSegment& s, const RouteSegment& t) {
+  return s.a.x <= t.b.x && t.a.x <= s.b.x && s.a.y <= t.b.y && t.a.y <= s.b.y;
+}
+
+/// Union-find over small per-net element sets.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::int64_t Fragment::wirelength_on(int layer) const {
+  std::int64_t total = 0;
+  for (const RouteSegment& s : segments) {
+    if (s.layer == layer) total += s.length();
+  }
+  return total;
+}
+
+std::int64_t Fragment::total_wirelength() const {
+  std::int64_t total = 0;
+  for (const RouteSegment& s : segments) total += s.length();
+  return total;
+}
+
+int Fragment::vias_on(int cut) const {
+  int count = 0;
+  for (const RouteVia& v : vias) {
+    if (v.cut == cut) ++count;
+  }
+  return count;
+}
+
+SplitDesign::SplitDesign(const layout::Design* design, int split_layer)
+    : design_(design), split_layer_(split_layer) {
+  if (design_ == nullptr) throw std::invalid_argument("null design");
+  if (split_layer_ < 1 || split_layer_ >= design_->stack->num_layers()) {
+    throw std::invalid_argument("split layer out of range");
+  }
+  const netlist::Netlist& nl = *design_->netlist;
+  net_source_fragment_.assign(nl.num_nets(), -1);
+  net_broken_.assign(nl.num_nets(), false);
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    extract_net(n);
+  }
+  for (const Fragment& f : fragments_) {
+    if (f.is_source()) source_fragments_.push_back(f.id);
+    if (f.is_sink()) sink_fragments_.push_back(f.id);
+  }
+}
+
+void SplitDesign::extract_net(NetId net_id) {
+  const netlist::Netlist& nl = *design_->netlist;
+  const route::RoutingGrid& grid = *design_->grid;
+  const netlist::Net& net = nl.net(net_id);
+  const route::NetRoute& route = design_->route_of(net_id);
+
+  // --- classify route elements.
+  std::vector<RouteSegment> feol_segments;
+  std::vector<RouteVia> feol_vias;
+  std::vector<RouteVia> vp_vias;  // cut == split: virtual pins
+  bool has_beol = false;
+  for (const RouteSegment& s : route.segments) {
+    if (s.layer <= split_layer_) {
+      feol_segments.push_back(s);
+    } else {
+      has_beol = true;
+    }
+  }
+  for (const RouteVia& v : route.vias) {
+    if (v.cut < split_layer_) {
+      feol_vias.push_back(v);
+    } else if (v.cut == split_layer_) {
+      vp_vias.push_back(v);
+    } else {
+      has_beol = true;
+    }
+  }
+
+  const int first_new_fragment = static_cast<int>(fragments_.size());
+
+  // Pin contact points (router connects pins at their gcell center).
+  struct PinElement {
+    PinRef pin;
+    Point at;
+    bool is_sink;
+  };
+  std::vector<PinElement> pin_elements;
+  auto add_pin = [&](const PinRef& pin, bool is_sink) {
+    Point loc = design_->placement->pin_location(pin);
+    pin_elements.push_back({pin, grid.gcell_center(grid.gcell_at(loc)), is_sink});
+  };
+  if (net.has_driver()) add_pin(net.driver, false);
+  for (const PinRef& sink : net.sinks) add_pin(sink, true);
+
+  if (vp_vias.empty()) {
+    // Net fully routed in the FEOL (or not routed at all): unbroken.
+    ++unbroken_nets_;
+    (void)has_beol;
+    return;
+  }
+
+  // --- union-find over elements: [pins][segments][vias].
+  const int num_pins = static_cast<int>(pin_elements.size());
+  const int num_segs = static_cast<int>(feol_segments.size());
+  const int num_vias = static_cast<int>(feol_vias.size());
+  const int total = num_pins + num_segs + num_vias;
+  UnionFind uf(total);
+
+  auto seg_index = [&](int s) { return num_pins + s; };
+  auto via_index = [&](int v) { return num_pins + num_segs + v; };
+
+  // pin-pin (same routed contact point).
+  for (int i = 0; i < num_pins; ++i) {
+    for (int j = i + 1; j < num_pins; ++j) {
+      if (pin_elements[i].at == pin_elements[j].at) uf.unite(i, j);
+    }
+  }
+  // pin-segment and pin-via: pins sit on metal 1.
+  for (int i = 0; i < num_pins; ++i) {
+    for (int s = 0; s < num_segs; ++s) {
+      if (feol_segments[s].layer == 1 &&
+          point_on_segment(pin_elements[i].at, feol_segments[s])) {
+        uf.unite(i, seg_index(s));
+      }
+    }
+    for (int v = 0; v < num_vias; ++v) {
+      if (feol_vias[v].cut == 1 && feol_vias[v].at == pin_elements[i].at) {
+        uf.unite(i, via_index(v));
+      }
+    }
+  }
+  // segment-segment on the same layer.
+  for (int s = 0; s < num_segs; ++s) {
+    for (int t = s + 1; t < num_segs; ++t) {
+      if (feol_segments[s].layer == feol_segments[t].layer &&
+          segments_touch(feol_segments[s], feol_segments[t])) {
+        uf.unite(seg_index(s), seg_index(t));
+      }
+    }
+  }
+  // via-segment: via on cut c touches metal c and c+1 at its location.
+  for (int v = 0; v < num_vias; ++v) {
+    const RouteVia& via = feol_vias[v];
+    for (int s = 0; s < num_segs; ++s) {
+      const RouteSegment& seg = feol_segments[s];
+      if ((seg.layer == via.cut || seg.layer == via.cut + 1) &&
+          point_on_segment(via.at, seg)) {
+        uf.unite(via_index(v), seg_index(s));
+      }
+    }
+  }
+  // via-via: stacked vias share the metal layer between them.
+  for (int v = 0; v < num_vias; ++v) {
+    for (int w = v + 1; w < num_vias; ++w) {
+      if (std::abs(feol_vias[v].cut - feol_vias[w].cut) == 1 &&
+          feol_vias[v].at == feol_vias[w].at) {
+        uf.unite(via_index(v), via_index(w));
+      }
+    }
+  }
+
+  // --- attach virtual pins: a VP via touches metal `split` at `at`.
+  // Find an element that carries that point.
+  auto component_of_vp = [&](const RouteVia& vp) -> int {
+    for (int s = 0; s < num_segs; ++s) {
+      if (feol_segments[s].layer == split_layer_ &&
+          point_on_segment(vp.at, feol_segments[s])) {
+        return uf.find(seg_index(s));
+      }
+    }
+    for (int v = 0; v < num_vias; ++v) {
+      if (feol_vias[v].cut == split_layer_ - 1 && feol_vias[v].at == vp.at) {
+        return uf.find(via_index(v));
+      }
+    }
+    if (split_layer_ == 1) {
+      for (int i = 0; i < num_pins; ++i) {
+        if (pin_elements[i].at == vp.at) return uf.find(i);
+      }
+    }
+    return -1;  // floating virtual pin (degenerate route)
+  };
+
+  // --- build fragments per component that has at least one VP.
+  std::vector<int> component_fragment(total, -1);
+  auto fragment_for = [&](int component) -> int {
+    if (component_fragment[component] >= 0) {
+      return component_fragment[component];
+    }
+    Fragment fragment;
+    fragment.id = static_cast<int>(fragments_.size());
+    fragment.net = net_id;
+    component_fragment[component] = fragment.id;
+    fragments_.push_back(std::move(fragment));
+    return component_fragment[component];
+  };
+
+  std::vector<std::pair<RouteVia, int>> vp_with_fragment;
+  for (const RouteVia& vp : vp_vias) {
+    int component = component_of_vp(vp);
+    if (component < 0) continue;
+    vp_with_fragment.emplace_back(vp, fragment_for(component));
+  }
+  if (vp_with_fragment.empty()) {
+    ++unbroken_nets_;
+    return;
+  }
+  net_broken_[net_id] = true;
+
+  // Populate fragment contents.
+  for (int i = 0; i < num_pins; ++i) {
+    int fragment_id = component_fragment[uf.find(i)];
+    if (fragment_id < 0) continue;
+    Fragment& fragment = fragments_[fragment_id];
+    fragment.pins.push_back(pin_elements[i].pin);
+    if (pin_elements[i].is_sink) {
+      ++fragment.num_sink_pins;
+    } else {
+      fragment.has_driver = true;
+    }
+  }
+  for (int s = 0; s < num_segs; ++s) {
+    int fragment_id = component_fragment[uf.find(seg_index(s))];
+    if (fragment_id >= 0) {
+      fragments_[fragment_id].segments.push_back(feol_segments[s]);
+    }
+  }
+  for (int v = 0; v < num_vias; ++v) {
+    int fragment_id = component_fragment[uf.find(via_index(v))];
+    if (fragment_id >= 0) {
+      fragments_[fragment_id].vias.push_back(feol_vias[v]);
+    }
+  }
+
+  // Virtual pins with stub directions.
+  for (const auto& [vp, fragment_id] : vp_with_fragment) {
+    VirtualPin pin;
+    pin.id = static_cast<int>(virtual_pins_.size());
+    pin.fragment = fragment_id;
+    pin.location = vp.at;
+    for (const RouteSegment& s : fragments_[fragment_id].segments) {
+      if (s.layer != split_layer_ || !point_on_segment(vp.at, s)) continue;
+      // Wire extends from the pin toward each segment end it does not sit on.
+      if (vp.at != s.a) {
+        pin.stub_directions.push_back(
+            {s.a.x < vp.at.x ? -1 : 0, s.a.y < vp.at.y ? -1 : 0});
+      }
+      if (vp.at != s.b) {
+        pin.stub_directions.push_back(
+            {s.b.x > vp.at.x ? 1 : 0, s.b.y > vp.at.y ? 1 : 0});
+      }
+    }
+    fragments_[fragment_id].virtual_pins.push_back(pin.id);
+    virtual_pins_.push_back(std::move(pin));
+  }
+
+  // Ground truth source fragment for this net.
+  for (int f = first_new_fragment; f < static_cast<int>(fragments_.size());
+       ++f) {
+    if (fragments_[f].has_driver) {
+      net_source_fragment_[net_id] = f;
+      break;
+    }
+  }
+}
+
+int SplitDesign::positive_source_of(int sink_fragment) const {
+  const Fragment& fragment = fragments_.at(sink_fragment);
+  return net_source_fragment_.at(fragment.net);
+}
+
+SplitStats SplitDesign::stats() const {
+  SplitStats s;
+  s.num_fragments = static_cast<int>(fragments_.size());
+  s.num_source_fragments = static_cast<int>(source_fragments_.size());
+  s.num_sink_fragments = static_cast<int>(sink_fragments_.size());
+  s.num_virtual_pins = static_cast<int>(virtual_pins_.size());
+  s.num_unbroken_nets = unbroken_nets_;
+  std::vector<bool> seen(design_->netlist->num_nets(), false);
+  for (const Fragment& f : fragments_) {
+    if (!seen[f.net]) {
+      seen[f.net] = true;
+      ++s.num_broken_nets;
+    }
+  }
+  return s;
+}
+
+}  // namespace sma::split

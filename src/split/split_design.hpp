@@ -1,0 +1,116 @@
+// Split-manufacturing model (Sec. 2.2 of the paper).
+//
+// Cutting a routed design at the split layer divides every net's wiring
+// into FEOL fragments: connected pieces of metal/vias on layers 1..split.
+// Vias crossing from the split layer to the layer above become *virtual
+// pins* — the only spots where the hidden BEOL attaches. A fragment
+// containing the net's driver is a *source fragment*; a driverless
+// fragment containing sink pins is a *sink fragment*. The attacker's task
+// is to reconnect each sink fragment to the right source fragment.
+//
+// Fragment extraction here is purely geometric (segment/via/pin contact),
+// so it works identically on freshly routed designs and on designs
+// re-imported from DEF-lite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/design.hpp"
+#include "route/net_route.hpp"
+#include "util/geometry.hpp"
+
+namespace sma::split {
+
+/// A via stub from the split layer up into the BEOL; the attachment point
+/// of one hidden connection.
+struct VirtualPin {
+  int id = -1;
+  int fragment = -1;            ///< owning fragment id
+  util::Point location;
+  /// Directions (unit axis vectors) of split-layer wire stubs attached at
+  /// this pin, pointing from the pin along the wire. Empty when the via
+  /// stack carries no split-layer metal — such a pin is unconstrained for
+  /// the direction criterion.
+  std::vector<util::Point> stub_directions;
+};
+
+/// One connected FEOL piece of a net holding at least one virtual pin.
+struct Fragment {
+  int id = -1;
+  netlist::NetId net = netlist::kInvalidId;
+  bool has_driver = false;
+  int num_sink_pins = 0;
+  std::vector<netlist::PinRef> pins;          ///< cell/port pins inside
+  std::vector<route::RouteSegment> segments;  ///< FEOL wiring
+  std::vector<route::RouteVia> vias;          ///< FEOL vias (cut < split)
+  std::vector<int> virtual_pins;              ///< VirtualPin ids
+
+  bool is_source() const { return has_driver; }
+  bool is_sink() const { return !has_driver && num_sink_pins > 0; }
+
+  /// Wirelength on a given metal layer (DBU).
+  std::int64_t wirelength_on(int layer) const;
+  std::int64_t total_wirelength() const;
+  int vias_on(int cut) const;
+};
+
+/// Summary counters for reporting.
+struct SplitStats {
+  int num_fragments = 0;
+  int num_source_fragments = 0;
+  int num_sink_fragments = 0;
+  int num_virtual_pins = 0;
+  int num_broken_nets = 0;
+  int num_unbroken_nets = 0;
+};
+
+/// The FEOL view of a design split at `split_layer`, plus the training-time
+/// ground truth (which source fragment each sink fragment belongs to).
+class SplitDesign {
+ public:
+  SplitDesign(const layout::Design* design, int split_layer);
+
+  const layout::Design& design() const { return *design_; }
+  int split_layer() const { return split_layer_; }
+
+  const std::vector<Fragment>& fragments() const { return fragments_; }
+  const Fragment& fragment(int id) const { return fragments_.at(id); }
+  const std::vector<VirtualPin>& virtual_pins() const { return virtual_pins_; }
+  const VirtualPin& virtual_pin(int id) const { return virtual_pins_.at(id); }
+
+  /// Fragment ids of all source / sink fragments.
+  const std::vector<int>& source_fragments() const {
+    return source_fragments_;
+  }
+  const std::vector<int>& sink_fragments() const { return sink_fragments_; }
+
+  /// Ground truth: source fragment of the sink fragment's net (-1 if the
+  /// net has no source fragment). Only available because we split our own
+  /// layouts — an attacker uses this at training time only.
+  int positive_source_of(int sink_fragment) const;
+
+  /// True if the net was cut by the split (contributed fragments). Nets
+  /// routed entirely within the FEOL are unbroken: their connectivity is
+  /// plainly visible to the attacker.
+  bool net_is_broken(netlist::NetId net) const { return net_broken_.at(net); }
+
+  SplitStats stats() const;
+
+ private:
+  void extract_net(netlist::NetId net);
+
+  const layout::Design* design_;
+  int split_layer_;
+  std::vector<Fragment> fragments_;
+  std::vector<VirtualPin> virtual_pins_;
+  std::vector<int> source_fragments_;
+  std::vector<int> sink_fragments_;
+  /// Per net: fragment id of its source fragment, -1 if none.
+  std::vector<int> net_source_fragment_;
+  std::vector<bool> net_broken_;
+  int unbroken_nets_ = 0;
+};
+
+}  // namespace sma::split

@@ -1,0 +1,105 @@
+// Standard-cell library model.
+//
+// Mirrors the slice of a Liberty file the attack needs (Sec. 2.1 of the
+// paper: the attacker knows the cell library, in particular maximum load
+// capacitances, pin capacitances, and drive strengths for delay bounds).
+// Functional behaviour is carried as a coarse `Function` tag: the attack is
+// purely structural, but the tag lets tests and the synthetic generator
+// build logically sensible netlists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace sma::tech {
+
+/// Coarse logic function of a library cell.
+enum class Function : std::uint8_t {
+  kInv,
+  kBuf,
+  kNand,
+  kNor,
+  kAnd,
+  kOr,
+  kXor,
+  kXnor,
+  kAoi21,   // !(a*b + c)
+  kOai21,   // !((a+b) * c)
+  kMux2,    // s ? b : a
+  kDff,     // D flip-flop (sequential)
+};
+
+/// True for cells whose output is a clocked state element.
+bool is_sequential(Function f);
+
+enum class PinDirection : std::uint8_t { kInput, kOutput };
+
+/// One pin of a library cell template.
+struct LibPin {
+  std::string name;
+  PinDirection direction;
+  /// Geometric offset of the pin shape from the cell origin, in DBU.
+  util::Point offset;
+  /// Input pin capacitance in fF (0 for outputs).
+  double capacitance = 0.0;
+};
+
+/// One standard-cell template.
+struct LibCell {
+  std::string name;        ///< e.g. "NAND2_X1"
+  Function function;
+  int drive_strength;      ///< X1 = 1, X2 = 2, X4 = 4
+  std::int64_t width;      ///< cell width in DBU (multiple of site width)
+  std::vector<LibPin> pins;
+  double max_load_cap;     ///< max output load in fF (the attacker's bound)
+  double drive_resistance; ///< output resistance in ohm (for Elmore delay)
+  double intrinsic_delay;  ///< gate intrinsic delay in ps
+
+  /// Index of the single output pin in `pins`.
+  int output_pin() const;
+  /// Indices of input pins in `pins`.
+  std::vector<int> input_pins() const;
+  /// Number of input pins.
+  int num_inputs() const;
+  /// Total input capacitance (fF).
+  double input_cap_sum() const;
+};
+
+/// A set of cell templates with name lookup.
+class CellLibrary {
+ public:
+  /// NanGate-45-like library: INV/BUF X1-X4, NAND/NOR/AND/OR 2-4 inputs,
+  /// XOR/XNOR2, AOI21/OAI21, MUX2, DFF. Site width 190 nm, row height
+  /// 1400 nm.
+  static CellLibrary nangate45_like();
+
+  explicit CellLibrary(std::vector<LibCell> cells, std::int64_t site_width,
+                       std::int64_t row_height);
+
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  const LibCell& cell(int index) const { return cells_.at(index); }
+
+  /// Index of the cell named `name`, or nullopt.
+  std::optional<int> find(const std::string& name) const;
+
+  /// All cells implementing `f`, sorted by drive strength.
+  std::vector<int> cells_with_function(Function f) const;
+
+  /// The weakest (X1) cell implementing `f` with exactly `num_inputs`
+  /// inputs; nullopt if none exists.
+  std::optional<int> pick(Function f, int num_inputs) const;
+
+  std::int64_t site_width() const { return site_width_; }
+  std::int64_t row_height() const { return row_height_; }
+
+ private:
+  std::vector<LibCell> cells_;
+  std::int64_t site_width_;
+  std::int64_t row_height_;
+};
+
+}  // namespace sma::tech

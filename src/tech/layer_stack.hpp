@@ -1,0 +1,55 @@
+// Back-end metal stack description.
+//
+// Models the interconnect resources of a NanGate-45-like technology:
+// alternating preferred routing directions, per-layer track pitch, and the
+// cut (via) layers between adjacent metals. The split-manufacturing model
+// (`sma::split`) cuts this stack at a chosen metal layer: layers 1..split
+// form the FEOL available to the attacker, layers above form the hidden
+// BEOL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace sma::tech {
+
+/// 1-based metal layer index: 1 = M1 (lowest), up to `num_layers()`.
+using MetalLayer = int;
+
+/// Properties of a single metal layer.
+struct LayerInfo {
+  std::string name;            ///< "M1", "M2", ...
+  util::Axis preferred;        ///< preferred routing direction
+  std::int64_t pitch;          ///< track-to-track pitch in DBU
+  double cap_per_dbu;          ///< wire capacitance in fF per DBU of length
+  double res_per_dbu;          ///< wire resistance in ohm per DBU of length
+};
+
+/// The full metal stack. Cut layer `k` (1-based, V12 = 1) joins metal `k`
+/// and metal `k + 1`.
+class LayerStack {
+ public:
+  /// NanGate-45-like default: 6 metals, M1 horizontal, alternating above,
+  /// 140 nm pitch on M1-M3 and 280 nm on M4-M6.
+  static LayerStack nangate45_like();
+
+  explicit LayerStack(std::vector<LayerInfo> layers);
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  int num_cut_layers() const { return num_layers() - 1; }
+
+  const LayerInfo& layer(MetalLayer m) const { return layers_.at(m - 1); }
+  util::Axis preferred(MetalLayer m) const { return layer(m).preferred; }
+  std::int64_t pitch(MetalLayer m) const { return layer(m).pitch; }
+
+  /// Name of the cut layer between metal `m` and metal `m + 1` ("V12"...).
+  std::string cut_name(int cut) const;
+
+ private:
+  std::vector<LayerInfo> layers_;
+};
+
+}  // namespace sma::tech

@@ -1,0 +1,15 @@
+#include "util/geometry.hpp"
+
+#include <ostream>
+
+namespace sma::util {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo << " - " << r.hi << ']';
+}
+
+}  // namespace sma::util

@@ -1,0 +1,106 @@
+// Integer geometry primitives used across the layout pipeline.
+//
+// All coordinates are in database units (DBU); this project uses
+// 1 DBU = 1 nanometre. Keeping coordinates integral avoids the
+// floating-point comparison pitfalls that plague layout code and is
+// the convention of LEF/DEF-based tools.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iosfwd>
+
+namespace sma::util {
+
+/// One DBU is one nanometre.
+inline constexpr std::int64_t kDbuPerMicron = 1000;
+
+/// A point on the manufacturing grid, in DBU.
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  friend auto operator<=>(const Point&, const Point&) = default;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Manhattan (L1) distance between two points; the metric of routed wires.
+inline std::int64_t manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y] in DBU.
+///
+/// An empty rectangle is represented by lo > hi on either axis; the
+/// default-constructed rectangle is empty and acts as the identity for
+/// `expand`.
+struct Rect {
+  Point lo{1, 1};
+  Point hi{0, 0};
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  bool empty() const { return lo.x > hi.x || lo.y > hi.y; }
+  std::int64_t width() const { return empty() ? 0 : hi.x - lo.x; }
+  std::int64_t height() const { return empty() ? 0 : hi.y - lo.y; }
+  std::int64_t half_perimeter() const { return width() + height(); }
+
+  /// Center point (rounded toward lo).
+  Point center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+
+  bool contains(const Point& p) const {
+    return !empty() && p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  bool intersects(const Rect& o) const {
+    return !empty() && !o.empty() && lo.x <= o.hi.x && o.lo.x <= hi.x &&
+           lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+
+  /// Grow the rectangle so it also covers `p`.
+  void expand(const Point& p) {
+    if (empty()) {
+      lo = hi = p;
+      return;
+    }
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Grow the rectangle so it also covers `o` (no-op for empty `o`).
+  void expand(const Rect& o) {
+    if (o.empty()) return;
+    expand(o.lo);
+    expand(o.hi);
+  }
+
+  /// Rectangle inflated by `margin` on every side.
+  Rect inflated(std::int64_t margin) const {
+    if (empty()) return *this;
+    return {{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  }
+};
+
+/// Axis of travel; metal layers route predominantly along one axis.
+enum class Axis : std::uint8_t { kHorizontal, kVertical };
+
+/// The orthogonal axis.
+inline Axis perpendicular(Axis a) {
+  return a == Axis::kHorizontal ? Axis::kVertical : Axis::kHorizontal;
+}
+
+/// Component of `p` along `a` (x for horizontal travel, y for vertical).
+inline std::int64_t along(const Point& p, Axis a) {
+  return a == Axis::kHorizontal ? p.x : p.y;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace sma::util

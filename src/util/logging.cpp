@@ -1,0 +1,45 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace sma::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%8.3f] %s %s\n", elapsed_seconds(), tag(level),
+               message.c_str());
+}
+
+}  // namespace sma::util

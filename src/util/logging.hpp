@@ -1,0 +1,56 @@
+// Minimal leveled logging to stderr.
+//
+// The library never prints to stdout (reserved for experiment tables);
+// diagnostics go through this logger so verbosity can be raised in the
+// examples and silenced in the unit tests.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sma::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global verbosity threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` with a level tag and elapsed wall time.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Builds a message with stream syntax and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogMessage log_error() {
+  return detail::LogMessage(LogLevel::kError);
+}
+inline detail::LogMessage log_warn() {
+  return detail::LogMessage(LogLevel::kWarn);
+}
+inline detail::LogMessage log_info() {
+  return detail::LogMessage(LogLevel::kInfo);
+}
+inline detail::LogMessage log_debug() {
+  return detail::LogMessage(LogLevel::kDebug);
+}
+
+}  // namespace sma::util

@@ -1,0 +1,77 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sma::util {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t sequence)
+    : state_(0), inc_((sequence << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Pcg32::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Pcg32::next_below(std::uint32_t bound) {
+  // Lemire-style rejection to remove modulo bias.
+  std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Pcg32::next_in(std::int64_t lo, std::int64_t hi) {
+  auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span <= 1) return lo;
+  // Two 32-bit draws cover 64-bit spans; for the small spans used here a
+  // single draw suffices, but keep it general.
+  std::uint64_t r =
+      (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Pcg32::next_double() {
+  return next_u32() * 0x1.0p-32;
+}
+
+bool Pcg32::next_bool(double p) {
+  return next_double() < p;
+}
+
+double Pcg32::next_gaussian() {
+  // Box-Muller; guard the log argument away from zero.
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Pcg32::next_weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return weights.empty() ? 0 : weights.size() - 1;
+  double r = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Pcg32 Pcg32::fork(std::uint64_t stream_id) const {
+  // Derive a child stream from the current state and the caller-chosen id.
+  return Pcg32(state_ ^ (stream_id * 0x9e3779b97f4a7c15ULL),
+               inc_ + 2 * stream_id + 1);
+}
+
+}  // namespace sma::util

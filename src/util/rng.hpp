@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic stage of the pipeline (netlist generation, placement,
+// training) draws from a seeded Pcg32 so that whole experiments are exactly
+// reproducible from a single seed. std::mt19937 is avoided because its
+// stream is not guaranteed identical across standard library versions for
+// the distributions layered on top; all distribution logic here is our own.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sma::util {
+
+/// PCG-XSH-RR 64/32 generator (O'Neill, 2014). Small, fast, seedable, and
+/// with a per-stream `sequence` selector so independent pipeline stages can
+/// derive decorrelated streams from one master seed.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t sequence = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform in [0, bound) without modulo bias. `bound` must be > 0.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool next_bool(double p);
+
+  /// Standard normal variate (Box-Muller; consumes two uniforms).
+  double next_gaussian();
+
+  /// Sample an index from unnormalized non-negative weights.
+  /// Returns `weights.size() - 1` if all weights are zero.
+  std::size_t next_weighted(const std::vector<double>& weights);
+
+  /// A decorrelated child generator for a named sub-stage.
+  Pcg32 fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Fisher-Yates shuffle driven by Pcg32 (deterministic across platforms).
+template <typename T>
+void shuffle(std::vector<T>& v, Pcg32& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = rng.next_below(static_cast<std::uint32_t>(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace sma::util

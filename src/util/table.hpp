@@ -1,0 +1,37 @@
+// Plain-text table rendering for experiment reports.
+//
+// The bench binaries print paper-style tables (e.g. Table 3) to stdout;
+// this helper keeps column alignment logic in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sma::util {
+
+/// A right-padded text table with a header row and `---` separator.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with two-space column gaps.
+  std::string to_string() const;
+
+  /// Render as comma-separated values (for machine post-processing).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("12.34"); NaN renders as "N/A",
+/// matching the paper's notation for timed-out attacks.
+std::string format_double(double value, int precision = 2);
+
+}  // namespace sma::util

@@ -1,0 +1,26 @@
+// Wall-clock timing for attack runtime reporting (Table 3 columns).
+#pragma once
+
+#include <chrono>
+
+namespace sma::util {
+
+/// Stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last `reset()`.
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sma::util

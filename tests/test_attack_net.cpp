@@ -1,0 +1,200 @@
+#include "nn/attack_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/losses.hpp"
+#include "nn/optimizer.hpp"
+
+namespace sma::nn {
+namespace {
+
+NetConfig tiny_config(bool use_images, bool two_class = false) {
+  NetConfig config;
+  config.hidden = 16;
+  config.vector_res_blocks = 2;
+  config.merged_res_blocks = 1;
+  config.use_images = use_images;
+  config.image_channels = 2;
+  config.conv_channels = {4, 6, 8, 10};
+  config.image_fc = 24;
+  config.fc6_width = 8;
+  config.two_class = two_class;
+  return config;
+}
+
+QueryInput tiny_input(int n, bool use_images, std::uint64_t seed = 1) {
+  util::Pcg32 rng(seed);
+  QueryInput input;
+  input.vec = Tensor::randn({n, 27}, rng, 1.0);
+  if (use_images) {
+    input.images = Tensor::randn({n + 1, 2, 15, 15}, rng, 0.3);
+  }
+  return input;
+}
+
+TEST(AttackNet, VectorOnlyForwardShape) {
+  AttackNet net(tiny_config(false));
+  Tensor scores = net.forward(tiny_input(7, false));
+  EXPECT_EQ(scores.shape(), (std::vector<int>{7}));
+}
+
+TEST(AttackNet, WithImagesForwardShape) {
+  AttackNet net(tiny_config(true));
+  Tensor scores = net.forward(tiny_input(5, true));
+  EXPECT_EQ(scores.shape(), (std::vector<int>{5}));
+}
+
+TEST(AttackNet, TwoClassForwardShape) {
+  AttackNet net(tiny_config(true, true));
+  Tensor scores = net.forward(tiny_input(5, true));
+  EXPECT_EQ(scores.shape(), (std::vector<int>{5, 2}));
+}
+
+TEST(AttackNet, VariableBatchSizes) {
+  AttackNet net(tiny_config(true));
+  for (int n : {1, 3, 9}) {
+    Tensor scores = net.forward(tiny_input(n, true));
+    EXPECT_EQ(scores.dim(0), n);
+  }
+}
+
+TEST(AttackNet, DeterministicForward) {
+  AttackNet a(tiny_config(true));
+  AttackNet b(tiny_config(true));
+  Tensor sa = a.forward(tiny_input(4, true));
+  Tensor sb = b.forward(tiny_input(4, true));
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_FLOAT_EQ(sa[i], sb[i]);
+  }
+}
+
+TEST(AttackNet, RejectsBadInput) {
+  AttackNet net(tiny_config(true));
+  QueryInput bad = tiny_input(4, true);
+  bad.vec = Tensor({4, 5});  // wrong feature width
+  EXPECT_THROW(net.forward(bad), std::invalid_argument);
+  QueryInput bad2 = tiny_input(4, true);
+  bad2.images = Tensor({4, 2, 15, 15});  // n images instead of n+1
+  EXPECT_THROW(net.forward(bad2), std::invalid_argument);
+}
+
+TEST(AttackNet, EndToEndGradientCheck) {
+  // Numerical gradient through the whole network on a handful of inputs.
+  NetConfig config = tiny_config(true);
+  AttackNet net(config);
+  QueryInput input = tiny_input(3, true, 7);
+  const int target = 1;
+
+  Tensor scores = net.forward(input);
+  LossResult loss = softmax_regression_loss(scores, target);
+  net.backward(loss.grad);
+
+  // Gradient w.r.t. fc1 weights via finite differences.
+  std::vector<Param> params = net.params();
+  Param* fc1_w = nullptr;
+  for (Param& p : params) {
+    if (p.name == "fc1.w") fc1_w = &p;
+  }
+  ASSERT_NE(fc1_w, nullptr);
+
+  const float eps = 1e-2f;
+  util::Pcg32 pick(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::size_t i =
+        pick.next_below(static_cast<std::uint32_t>(fc1_w->value->size()));
+    float saved = (*fc1_w->value)[i];
+    (*fc1_w->value)[i] = saved + eps;
+    double lp =
+        softmax_regression_loss(net.forward(input), target).loss;
+    (*fc1_w->value)[i] = saved - eps;
+    double lm =
+        softmax_regression_loss(net.forward(input), target).loss;
+    (*fc1_w->value)[i] = saved;
+    double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR((*fc1_w->grad)[i], numeric, 5e-2)
+        << "fc1.w gradient mismatch at " << i;
+  }
+}
+
+TEST(AttackNet, LearnsSyntheticRule) {
+  // Teach the net "the candidate with the largest feature-0 wins" on
+  // random data; it should fit quickly.
+  NetConfig config = tiny_config(false);
+  AttackNet net(config);
+  AdamConfig adam_config;
+  adam_config.lr = 0.005;
+  Adam adam(net.params(), adam_config);
+
+  util::Pcg32 rng(17);
+  double last_loss = 0.0;
+  for (int step = 0; step < 900; ++step) {
+    const int n = 6;
+    QueryInput input;
+    input.vec = Tensor::randn({n, 27}, rng, 1.0);
+    int target = 0;
+    for (int j = 1; j < n; ++j) {
+      if (input.vec[static_cast<std::size_t>(j) * 27] >
+          input.vec[static_cast<std::size_t>(target) * 27]) {
+        target = j;
+      }
+    }
+    Tensor scores = net.forward(input);
+    LossResult loss = softmax_regression_loss(scores, target);
+    net.backward(loss.grad);
+    adam.step();
+    last_loss = loss.loss;
+  }
+  // Check accuracy on fresh samples.
+  int correct = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    const int n = 6;
+    QueryInput input;
+    input.vec = Tensor::randn({n, 27}, rng, 1.0);
+    int target = 0;
+    for (int j = 1; j < n; ++j) {
+      if (input.vec[static_cast<std::size_t>(j) * 27] >
+          input.vec[static_cast<std::size_t>(target) * 27]) {
+        target = j;
+      }
+    }
+    if (predict(net.forward(input)) == target) ++correct;
+  }
+  EXPECT_GT(correct, trials * 3 / 5)
+      << "net failed to learn an easy rule; last loss " << last_loss;
+}
+
+TEST(AttackNet, SaveLoadRoundTrip) {
+  AttackNet net(tiny_config(true));
+  QueryInput input = tiny_input(4, true, 11);
+  Tensor before = net.forward(input);
+
+  std::stringstream buffer;
+  net.save(buffer);
+  AttackNet restored = AttackNet::load(buffer);
+  Tensor after = restored.forward(input);
+
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]);
+  }
+  EXPECT_EQ(restored.config().hidden, 16);
+  EXPECT_TRUE(restored.config().use_images);
+}
+
+TEST(AttackNet, LoadRejectsGarbage) {
+  std::stringstream buffer;
+  buffer << "not a model";
+  EXPECT_THROW(AttackNet::load(buffer), std::runtime_error);
+}
+
+TEST(AttackNet, ParameterCountPaperConfigIsLarge) {
+  AttackNet net(NetConfig::paper());
+  // fc trunks alone: fc1 + 12 + 9 fc2 layers of 128x128 > 300k params.
+  EXPECT_GT(net.num_parameters(), 500000u);
+}
+
+}  // namespace
+}  // namespace sma::nn

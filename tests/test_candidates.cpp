@@ -1,0 +1,149 @@
+#include "split/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_support.hpp"
+
+namespace sma::split {
+namespace {
+
+TEST(Prefers, UnconstrainedPinPrefersEverything) {
+  VirtualPin p;
+  p.location = {0, 0};
+  VirtualPin q;
+  q.location = {100, 100};
+  EXPECT_TRUE(prefers(p, q));
+}
+
+TEST(Prefers, OppositeSideOfStub) {
+  VirtualPin p;
+  p.location = {0, 0};
+  p.stub_directions = {{1, 0}};  // wire extends east
+  VirtualPin west;
+  west.location = {-50, 0};
+  VirtualPin east;
+  east.location = {50, 0};
+  VirtualPin north;
+  north.location = {0, 50};
+  EXPECT_TRUE(prefers(p, west));    // opposite side
+  EXPECT_FALSE(prefers(p, east));   // same side as the wire
+  EXPECT_TRUE(prefers(p, north));   // perpendicular counts as opposite/beside
+}
+
+TEST(Prefers, AnyStubSufficies) {
+  VirtualPin p;
+  p.location = {0, 0};
+  p.stub_directions = {{1, 0}, {-1, 0}};  // wire passes through
+  VirtualPin east;
+  east.location = {50, 0};
+  EXPECT_TRUE(prefers(p, east));  // opposite of the westward stub
+}
+
+class CandidatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { s_ = &test::shared_split(3, 400, 7); }
+  const test::SmallSplit* s_ = nullptr;
+};
+
+TEST_F(CandidatesTest, OneQueryPerSinkFragment) {
+  auto queries = build_queries(*s_->split);
+  EXPECT_EQ(queries.size(), s_->split->sink_fragments().size());
+  std::set<int> seen;
+  for (const SinkQuery& q : queries) {
+    EXPECT_TRUE(seen.insert(q.sink_fragment).second);
+    EXPECT_GT(q.num_sinks, 0);
+  }
+}
+
+TEST_F(CandidatesTest, RespectsMaxCandidates) {
+  CandidateConfig config;
+  config.max_candidates = 5;
+  for (const SinkQuery& q : build_queries(*s_->split, config)) {
+    EXPECT_LE(q.candidates.size(), 5u);
+  }
+}
+
+TEST_F(CandidatesTest, CandidatesAreDistanceSorted) {
+  for (const SinkQuery& q : build_queries(*s_->split)) {
+    for (std::size_t i = 1; i < q.candidates.size(); ++i) {
+      VppDistance prev = vpp_distance(
+          *s_->split, s_->split->virtual_pin(q.candidates[i - 1].sink_vp),
+          s_->split->virtual_pin(q.candidates[i - 1].source_vp));
+      VppDistance curr = vpp_distance(
+          *s_->split, s_->split->virtual_pin(q.candidates[i].sink_vp),
+          s_->split->virtual_pin(q.candidates[i].source_vp));
+      EXPECT_LE(prev, curr);
+    }
+  }
+}
+
+TEST_F(CandidatesTest, NonDuplicationOneVppPerSourceFragment) {
+  for (const SinkQuery& q : build_queries(*s_->split)) {
+    std::set<int> sources;
+    for (const Vpp& vpp : q.candidates) {
+      EXPECT_TRUE(sources.insert(vpp.source_fragment).second)
+          << "duplicate source fragment in candidate list";
+    }
+  }
+}
+
+TEST_F(CandidatesTest, PositiveIndexConsistent) {
+  for (const SinkQuery& q : build_queries(*s_->split)) {
+    if (q.positive_index >= 0) {
+      ASSERT_LT(q.positive_index, static_cast<int>(q.candidates.size()));
+      EXPECT_TRUE(q.candidates[q.positive_index].positive);
+      EXPECT_EQ(q.candidates[q.positive_index].source_fragment,
+                s_->split->positive_source_of(q.sink_fragment));
+    } else {
+      for (const Vpp& vpp : q.candidates) {
+        EXPECT_FALSE(vpp.positive);
+      }
+    }
+  }
+}
+
+TEST_F(CandidatesTest, HitRateReasonableOnSmallDesign) {
+  auto queries = build_queries(*s_->split);
+  // On a small uncongested design, the positive VPP should almost always
+  // be among the 31 nearest candidates.
+  EXPECT_GT(candidate_hit_rate(queries), 0.7);
+}
+
+TEST_F(CandidatesTest, LargerNNeverLowersHitRate) {
+  CandidateConfig small;
+  small.max_candidates = 4;
+  CandidateConfig large;
+  large.max_candidates = 31;
+  double small_rate = candidate_hit_rate(build_queries(*s_->split, small));
+  double large_rate = candidate_hit_rate(build_queries(*s_->split, large));
+  EXPECT_GE(large_rate, small_rate);
+}
+
+TEST_F(CandidatesTest, DirectionCriterionOnlyPrunes) {
+  CandidateConfig with;
+  with.max_candidates = 1000000;  // no distance truncation
+  CandidateConfig without = with;
+  without.use_direction_criterion = false;
+  auto q_with = build_queries(*s_->split, with);
+  auto q_without = build_queries(*s_->split, without);
+  ASSERT_EQ(q_with.size(), q_without.size());
+  for (std::size_t i = 0; i < q_with.size(); ++i) {
+    EXPECT_LE(q_with[i].candidates.size(), q_without[i].candidates.size());
+  }
+}
+
+TEST_F(CandidatesTest, VppDistanceUsesSplitLayerAxes) {
+  // Split layer 3 is horizontal-preferred, so non-preferred = vertical.
+  VirtualPin p;
+  p.location = {0, 0};
+  VirtualPin q;
+  q.location = {100, 40};
+  VppDistance d = vpp_distance(*s_->split, p, q);
+  EXPECT_EQ(d.preferred, 100);
+  EXPECT_EQ(d.non_preferred, 40);
+}
+
+}  // namespace
+}  // namespace sma::split

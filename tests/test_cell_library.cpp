@@ -1,0 +1,96 @@
+#include "tech/cell_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sma::tech {
+namespace {
+
+TEST(CellLibrary, FindByName) {
+  const CellLibrary& lib = test::library();
+  auto inv = lib.find("INV_X1");
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(lib.cell(*inv).function, Function::kInv);
+  EXPECT_FALSE(lib.find("NOPE_X9").has_value());
+}
+
+TEST(CellLibrary, EveryCellHasOneOutputAndPositiveWidth) {
+  const CellLibrary& lib = test::library();
+  for (int i = 0; i < lib.num_cells(); ++i) {
+    const LibCell& cell = lib.cell(i);
+    EXPECT_NO_THROW(cell.output_pin()) << cell.name;
+    EXPECT_GT(cell.width, 0) << cell.name;
+    EXPECT_EQ(cell.width % lib.site_width(), 0)
+        << cell.name << " width must be a site multiple";
+    int outputs = 0;
+    for (const LibPin& pin : cell.pins) {
+      if (pin.direction == PinDirection::kOutput) ++outputs;
+    }
+    EXPECT_EQ(outputs, 1) << cell.name;
+  }
+}
+
+TEST(CellLibrary, PinOffsetsInsideCell) {
+  const CellLibrary& lib = test::library();
+  for (int i = 0; i < lib.num_cells(); ++i) {
+    const LibCell& cell = lib.cell(i);
+    for (const LibPin& pin : cell.pins) {
+      EXPECT_GE(pin.offset.x, 0) << cell.name << "/" << pin.name;
+      EXPECT_LE(pin.offset.x, cell.width) << cell.name << "/" << pin.name;
+      EXPECT_GE(pin.offset.y, 0) << cell.name << "/" << pin.name;
+      EXPECT_LE(pin.offset.y, lib.row_height()) << cell.name << "/" << pin.name;
+    }
+  }
+}
+
+TEST(CellLibrary, InputPinsHaveCapacitance) {
+  const CellLibrary& lib = test::library();
+  for (int i = 0; i < lib.num_cells(); ++i) {
+    const LibCell& cell = lib.cell(i);
+    for (int pin : cell.input_pins()) {
+      EXPECT_GT(cell.pins[pin].capacitance, 0.0) << cell.name;
+    }
+    EXPECT_GT(cell.max_load_cap, 0.0) << cell.name;
+    EXPECT_GT(cell.drive_resistance, 0.0) << cell.name;
+  }
+}
+
+TEST(CellLibrary, PickMatchesFunctionAndFanin) {
+  const CellLibrary& lib = test::library();
+  auto nand3 = lib.pick(Function::kNand, 3);
+  ASSERT_TRUE(nand3.has_value());
+  EXPECT_EQ(lib.cell(*nand3).num_inputs(), 3);
+  EXPECT_EQ(lib.cell(*nand3).function, Function::kNand);
+  EXPECT_FALSE(lib.pick(Function::kNand, 7).has_value());
+  EXPECT_FALSE(lib.pick(Function::kXor, 3).has_value());
+}
+
+TEST(CellLibrary, CellsWithFunctionSortedByDrive) {
+  const CellLibrary& lib = test::library();
+  auto inverters = lib.cells_with_function(Function::kInv);
+  ASSERT_GE(inverters.size(), 2u);
+  for (std::size_t i = 1; i < inverters.size(); ++i) {
+    EXPECT_LE(lib.cell(inverters[i - 1]).drive_strength,
+              lib.cell(inverters[i]).drive_strength);
+  }
+}
+
+TEST(CellLibrary, StrongerDriversAllowMoreLoad) {
+  const CellLibrary& lib = test::library();
+  const LibCell& x1 = lib.cell(*lib.find("INV_X1"));
+  const LibCell& x4 = lib.cell(*lib.find("INV_X4"));
+  EXPECT_GT(x4.max_load_cap, x1.max_load_cap);
+  EXPECT_LT(x4.drive_resistance, x1.drive_resistance);
+}
+
+TEST(CellLibrary, SequentialClassification) {
+  EXPECT_TRUE(is_sequential(Function::kDff));
+  EXPECT_FALSE(is_sequential(Function::kNand));
+  const CellLibrary& lib = test::library();
+  auto dff = lib.pick(Function::kDff, 1);
+  ASSERT_TRUE(dff.has_value());
+}
+
+}  // namespace
+}  // namespace sma::tech

@@ -1,0 +1,78 @@
+#include "attack/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sma::attack {
+namespace {
+
+DatasetConfig small_config(bool images = true) {
+  DatasetConfig config;
+  config.candidates.max_candidates = 8;
+  config.images.size = 15;
+  config.images.pixel_sizes = {100, 200};
+  config.build_images = images;
+  return config;
+}
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override { s_ = &test::shared_split(3, 400, 7); }
+  const test::SmallSplit* s_ = nullptr;
+};
+
+TEST_F(DatasetTest, InputShapes) {
+  QueryDataset dataset(s_->split.get(), small_config());
+  ASSERT_GT(dataset.num_queries(), 0u);
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, dataset.num_queries());
+       ++i) {
+    const int n = static_cast<int>(dataset.query(i).candidates.size());
+    if (n == 0) continue;
+    nn::QueryInput input = dataset.input(i);
+    EXPECT_EQ(input.vec.shape(),
+              (std::vector<int>{n, features::kNumVectorFeatures}));
+    EXPECT_EQ(input.images.shape(), (std::vector<int>{n + 1, 2, 15, 15}));
+  }
+}
+
+TEST_F(DatasetTest, VectorOnlyLeavesImagesEmpty) {
+  QueryDataset dataset(s_->split.get(), small_config(false));
+  nn::QueryInput input = dataset.input(0);
+  EXPECT_TRUE(input.images.empty());
+  EXPECT_FALSE(input.vec.empty());
+}
+
+TEST_F(DatasetTest, ImageCachingSharesVirtualPins) {
+  QueryDataset dataset(s_->split.get(), small_config());
+  std::size_t queries = std::min<std::size_t>(10, dataset.num_queries());
+  std::size_t total_images = 0;
+  for (std::size_t i = 0; i < queries; ++i) {
+    total_images += dataset.query(i).candidates.size() + 1;
+    dataset.input(i);
+  }
+  // Cache must be smaller than the naive count (pins are shared).
+  EXPECT_LT(dataset.cached_images(), total_images);
+  EXPECT_GT(dataset.cached_images(), 0u);
+}
+
+TEST_F(DatasetTest, TargetsMatchQueries) {
+  QueryDataset dataset(s_->split.get(), small_config());
+  for (std::size_t i = 0; i < dataset.num_queries(); ++i) {
+    const split::SinkQuery& q = dataset.query(i);
+    EXPECT_EQ(dataset.target(i), q.positive_index);
+    EXPECT_EQ(dataset.num_sinks(i), q.num_sinks);
+    if (q.positive_index >= 0) {
+      EXPECT_LT(q.positive_index, static_cast<int>(q.candidates.size()));
+    }
+  }
+}
+
+TEST_F(DatasetTest, HitRateMatchesSplitHelper) {
+  QueryDataset dataset(s_->split.get(), small_config());
+  EXPECT_GT(dataset.candidate_hit_rate(), 0.0);
+  EXPECT_LE(dataset.candidate_hit_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace sma::attack

@@ -1,0 +1,50 @@
+#include "layout/design.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sma::layout {
+namespace {
+
+TEST(DesignFlow, EndToEndSmallDesign) {
+  Design design = test::small_routed_design(60, 3);
+  EXPECT_TRUE(design.netlist->validate().empty());
+  EXPECT_TRUE(design.placement->is_legal());
+  EXPECT_EQ(static_cast<int>(design.routing.routes.size()),
+            design.netlist->num_nets());
+  EXPECT_GT(design.routing.total_wirelength, 0);
+  EXPECT_GT(design.routing.total_vias, 0);
+}
+
+TEST(DesignFlow, DifferentSeedsGiveDifferentLayouts) {
+  Design a = test::small_routed_design(60, 3);
+  Design b = test::small_routed_design(60, 4);
+  bool any_difference = false;
+  for (netlist::CellId c = 0; c < a.netlist->num_cells(); ++c) {
+    if (a.placement->cell_origin(c) != b.placement->cell_origin(c)) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DesignFlow, MoveKeepsInternalReferencesValid) {
+  Design a = test::small_routed_design(40, 5);
+  const netlist::Netlist* nl_before = a.netlist.get();
+  Design b = std::move(a);
+  EXPECT_EQ(b.netlist.get(), nl_before);
+  EXPECT_EQ(&b.placement->netlist(), nl_before);
+  EXPECT_TRUE(b.placement->is_legal());
+}
+
+TEST(DesignFlow, RouteOfReturnsPerNetRoute) {
+  Design design = test::small_routed_design(40, 6);
+  for (netlist::NetId n = 0; n < design.netlist->num_nets(); ++n) {
+    EXPECT_EQ(design.route_of(n).net, n);
+  }
+}
+
+}  // namespace
+}  // namespace sma::layout

@@ -1,0 +1,130 @@
+#include "netlist/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/profiles.hpp"
+#include "netlist/stats.hpp"
+#include "test_support.hpp"
+
+namespace sma::netlist {
+namespace {
+
+TEST(Generator, ProducesRequestedShape) {
+  GeneratorConfig config;
+  config.num_inputs = 12;
+  config.num_outputs = 6;
+  config.num_gates = 200;
+  config.seed = 42;
+  Netlist nl = generate_netlist(config, "g", &test::library());
+  EXPECT_EQ(nl.num_cells(), 200);
+  EXPECT_TRUE(nl.validate().empty());
+  int inputs = 0;
+  int outputs = 0;
+  for (PortId p = 0; p < nl.num_ports(); ++p) {
+    if (nl.port(p).direction == PortDirection::kInput) {
+      ++inputs;
+    } else {
+      ++outputs;
+    }
+  }
+  EXPECT_EQ(inputs, 12);
+  EXPECT_GE(outputs, 6);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorConfig config;
+  config.num_gates = 120;
+  config.seed = 7;
+  Netlist a = generate_netlist(config, "a", &test::library());
+  Netlist b = generate_netlist(config, "b", &test::library());
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (CellId c = 0; c < a.num_cells(); ++c) {
+    EXPECT_EQ(a.cell(c).lib_cell, b.cell(c).lib_cell);
+    EXPECT_EQ(a.cell(c).pin_nets, b.cell(c).pin_nets);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig config;
+  config.num_gates = 120;
+  config.seed = 7;
+  Netlist a = generate_netlist(config, "a", &test::library());
+  config.seed = 8;
+  Netlist b = generate_netlist(config, "b", &test::library());
+  bool any_difference = a.num_nets() != b.num_nets();
+  for (CellId c = 0; !any_difference && c < a.num_cells(); ++c) {
+    any_difference = a.cell(c).lib_cell != b.cell(c).lib_cell;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, SequentialFractionRespected) {
+  GeneratorConfig config;
+  config.num_gates = 600;
+  config.seq_fraction = 0.15;
+  config.seed = 11;
+  Netlist nl = generate_netlist(config, "seq", &test::library());
+  NetlistStats stats = compute_stats(nl);
+  EXPECT_NEAR(stats.num_sequential / 600.0, 0.15, 0.05);
+}
+
+TEST(Generator, RealisticShape) {
+  GeneratorConfig config;
+  config.num_gates = 500;
+  config.seed = 13;
+  Netlist nl = generate_netlist(config, "shape", &test::library());
+  NetlistStats stats = compute_stats(nl);
+  // Technology-mapped netlists: average fanin ~2, some logic depth,
+  // a modest fanout tail.
+  EXPECT_GT(stats.avg_fanin, 1.4);
+  EXPECT_LT(stats.avg_fanin, 3.0);
+  EXPECT_GT(stats.logic_depth, 4);
+  EXPECT_GT(stats.max_fanout, 2);
+  EXPECT_GE(stats.avg_fanout, 1.0);
+}
+
+TEST(Generator, RejectsDegenerateConfig) {
+  GeneratorConfig config;
+  config.num_inputs = 0;
+  EXPECT_THROW(generate_netlist(config, "x", &test::library()),
+               std::invalid_argument);
+}
+
+TEST(Profiles, AllProfilesBuildValidNetlists) {
+  // Only the small profiles here; the big ones are exercised by benches.
+  for (const DesignProfile& p : validation_profiles()) {
+    Netlist nl = build_profile(p, &test::library(), 5);
+    EXPECT_EQ(nl.num_cells(), p.num_gates) << p.name;
+    EXPECT_TRUE(nl.validate().empty()) << p.name;
+  }
+}
+
+TEST(Profiles, SuitesAreDisjointAndComplete) {
+  EXPECT_EQ(attack_profiles().size(), 16u);     // Table 3 designs
+  EXPECT_EQ(training_profiles().size(), 9u);    // paper: 9 training
+  EXPECT_EQ(validation_profiles().size(), 5u);  // paper: 5 validation
+  for (const DesignProfile& a : attack_profiles()) {
+    for (const DesignProfile& t : training_profiles()) {
+      EXPECT_NE(a.name, t.name);
+    }
+  }
+}
+
+TEST(Profiles, FindProfileWorksAcrossSuites) {
+  EXPECT_EQ(find_profile("c432").num_gates, 160);
+  EXPECT_EQ(find_profile("t_alu2").num_gates, 420);
+  EXPECT_THROW(find_profile("unknown"), std::invalid_argument);
+}
+
+TEST(Profiles, ScaledDesignsAreFlagged) {
+  const DesignProfile& b18 = find_profile("b18");
+  EXPECT_TRUE(b18.scaled_down);
+  EXPECT_GT(b18.paper_gates, b18.num_gates);
+  const DesignProfile& c432 = find_profile("c432");
+  EXPECT_FALSE(c432.scaled_down);
+  EXPECT_EQ(c432.paper_gates, c432.num_gates);
+}
+
+}  // namespace
+}  // namespace sma::netlist

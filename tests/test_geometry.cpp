@@ -1,0 +1,97 @@
+#include "util/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sma::util {
+namespace {
+
+TEST(Geometry, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(manhattan({1, 2}, {4, 6}), 7);
+  EXPECT_EQ(manhattan({-3, 5}, {2, -1}), 11);
+}
+
+TEST(Geometry, PointArithmetic) {
+  Point a{3, 4};
+  Point b{1, -2};
+  EXPECT_EQ(a + b, (Point{4, 2}));
+  EXPECT_EQ(a - b, (Point{2, 6}));
+}
+
+TEST(Geometry, DefaultRectIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.width(), 0);
+  EXPECT_EQ(r.height(), 0);
+  EXPECT_EQ(r.half_perimeter(), 0);
+  EXPECT_FALSE(r.contains({0, 0}));
+}
+
+TEST(Geometry, ExpandFromEmpty) {
+  Rect r;
+  r.expand(Point{5, 7});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.lo, (Point{5, 7}));
+  EXPECT_EQ(r.hi, (Point{5, 7}));
+  r.expand(Point{-1, 9});
+  EXPECT_EQ(r.lo, (Point{-1, 7}));
+  EXPECT_EQ(r.hi, (Point{5, 9}));
+  EXPECT_EQ(r.width(), 6);
+  EXPECT_EQ(r.height(), 2);
+  EXPECT_EQ(r.half_perimeter(), 8);
+}
+
+TEST(Geometry, ExpandWithEmptyRectIsNoop) {
+  Rect r{{0, 0}, {2, 2}};
+  Rect empty;
+  r.expand(empty);
+  EXPECT_EQ(r, (Rect{{0, 0}, {2, 2}}));
+}
+
+TEST(Geometry, ContainsIsInclusive) {
+  Rect r{{0, 0}, {10, 5}};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 5}));
+  EXPECT_TRUE(r.contains({5, 3}));
+  EXPECT_FALSE(r.contains({11, 3}));
+  EXPECT_FALSE(r.contains({5, -1}));
+}
+
+TEST(Geometry, Intersects) {
+  Rect a{{0, 0}, {4, 4}};
+  Rect b{{4, 4}, {8, 8}};   // corner touch counts (closed rects)
+  Rect c{{5, 5}, {8, 8}};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(a.intersects(Rect{}));
+}
+
+TEST(Geometry, Inflated) {
+  Rect r{{2, 3}, {4, 5}};
+  Rect inflated = r.inflated(2);
+  EXPECT_EQ(inflated, (Rect{{0, 1}, {6, 7}}));
+}
+
+TEST(Geometry, CenterRoundsTowardLow) {
+  Rect r{{0, 0}, {5, 3}};
+  EXPECT_EQ(r.center(), (Point{2, 1}));
+}
+
+TEST(Geometry, AxisHelpers) {
+  EXPECT_EQ(perpendicular(Axis::kHorizontal), Axis::kVertical);
+  EXPECT_EQ(perpendicular(Axis::kVertical), Axis::kHorizontal);
+  Point p{3, 9};
+  EXPECT_EQ(along(p, Axis::kHorizontal), 3);
+  EXPECT_EQ(along(p, Axis::kVertical), 9);
+}
+
+TEST(Geometry, Streaming) {
+  std::ostringstream os;
+  os << Point{1, 2} << ' ' << Rect{{0, 0}, {1, 1}};
+  EXPECT_EQ(os.str(), "(1, 2) [(0, 0) - (1, 1)]");
+}
+
+}  // namespace
+}  // namespace sma::util

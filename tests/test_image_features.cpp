@@ -1,0 +1,121 @@
+#include "features/image_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+
+namespace sma::features {
+namespace {
+
+ImageConfig small_config() {
+  ImageConfig config;
+  config.size = 15;
+  config.pixel_sizes = {100, 200, 400};
+  return config;
+}
+
+class ImageFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s_ = &test::shared_split(3, 400, 7);
+    renderer_ = std::make_unique<ImageRenderer>(s_->split.get(), small_config());
+  }
+  const test::SmallSplit* s_ = nullptr;
+  std::unique_ptr<ImageRenderer> renderer_;
+};
+
+TEST_F(ImageFeaturesTest, ConfigValidation) {
+  ImageConfig even;
+  even.size = 16;
+  EXPECT_THROW(ImageRenderer(s_->split.get(), even), std::invalid_argument);
+  ImageConfig no_scales;
+  no_scales.pixel_sizes.clear();
+  EXPECT_THROW(ImageRenderer(s_->split.get(), no_scales),
+               std::invalid_argument);
+  EXPECT_THROW(ImageRenderer(nullptr, small_config()), std::invalid_argument);
+}
+
+TEST_F(ImageFeaturesTest, OutputShapeAndRange) {
+  const ImageConfig& config = renderer_->config();
+  for (int vp = 0; vp < std::min<int>(20, static_cast<int>(
+                                              s_->split->virtual_pins().size()));
+       ++vp) {
+    std::vector<float> image = renderer_->render(vp);
+    EXPECT_EQ(image.size(), config.pixels_per_image());
+    for (float v : image) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST_F(ImageFeaturesTest, CenterPixelShowsOwnFragment) {
+  // The virtual pin sits at the center pixel, and its own via is drawn at
+  // the split layer -> the own-fragment bit for M3 (bit m + 2 of m = 3)
+  // must be set, making the packed value >= 32/63.
+  const ImageConfig& config = renderer_->config();
+  const int size = config.size;
+  const int center_index = (size / 2) * size + (size / 2);
+  const float own_m3_bit = 32.0f / 63.0f;
+  for (int vp = 0; vp < std::min<int>(20, static_cast<int>(
+                                              s_->split->virtual_pins().size()));
+       ++vp) {
+    std::vector<float> image = renderer_->render(vp);
+    EXPECT_GE(image[center_index], own_m3_bit)
+        << "virtual pin " << vp << " missing its own via mark";
+  }
+}
+
+TEST_F(ImageFeaturesTest, CoarserScalesSeeMoreGeometry) {
+  // Channel 2 (coarse) covers 4x the area of channel 1; it should light at
+  // least as many "other fragment" pixels in busy regions on average.
+  const ImageConfig& config = renderer_->config();
+  const std::size_t per_channel =
+      static_cast<std::size_t>(config.size) * config.size;
+  long fine_lit = 0;
+  long coarse_lit = 0;
+  int count = std::min<int>(30, static_cast<int>(
+                                    s_->split->virtual_pins().size()));
+  for (int vp = 0; vp < count; ++vp) {
+    std::vector<float> image = renderer_->render(vp);
+    for (std::size_t i = 0; i < per_channel; ++i) {
+      if (image[i] > 0) ++fine_lit;
+      if (image[2 * per_channel + i] > 0) ++coarse_lit;
+    }
+  }
+  EXPECT_GT(coarse_lit, fine_lit / 2);
+  EXPECT_GT(fine_lit, 0);
+  EXPECT_GT(coarse_lit, 0);
+}
+
+TEST_F(ImageFeaturesTest, DeterministicRendering) {
+  std::vector<float> a = renderer_->render(0);
+  std::vector<float> b = renderer_->render(0);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ImageFeaturesTest, M1SplitUsesTwoLayerBits) {
+  const test::SmallSplit& m1 = test::shared_split(1, 400, 7);
+  ImageRenderer renderer(m1.split.get(), small_config());
+  // m = 1 -> values quantized to multiples of 1/3 (2 bits).
+  std::vector<float> image = renderer.render(0);
+  for (float v : image) {
+    float scaled = v * 3.0f;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-4);
+  }
+}
+
+TEST_F(ImageFeaturesTest, PixelValuesAreQuantizedToLayerBits) {
+  // m = 3 -> 6 bits -> multiples of 1/63.
+  std::vector<float> image = renderer_->render(0);
+  for (float v : image) {
+    float scaled = v * 63.0f;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace sma::features

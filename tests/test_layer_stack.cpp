@@ -1,0 +1,49 @@
+#include "tech/layer_stack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sma::tech {
+namespace {
+
+TEST(LayerStack, Nangate45LikeShape) {
+  LayerStack stack = LayerStack::nangate45_like();
+  EXPECT_EQ(stack.num_layers(), 6);
+  EXPECT_EQ(stack.num_cut_layers(), 5);
+  EXPECT_EQ(stack.layer(1).name, "M1");
+  EXPECT_EQ(stack.layer(6).name, "M6");
+}
+
+TEST(LayerStack, AlternatingPreferredDirections) {
+  LayerStack stack = LayerStack::nangate45_like();
+  for (int m = 1; m < stack.num_layers(); ++m) {
+    EXPECT_NE(stack.preferred(m), stack.preferred(m + 1))
+        << "layers " << m << " and " << m + 1;
+  }
+  EXPECT_EQ(stack.preferred(1), util::Axis::kHorizontal);
+}
+
+TEST(LayerStack, UniformThinPitch) {
+  LayerStack stack = LayerStack::nangate45_like();
+  for (int m = 1; m <= stack.num_layers(); ++m) {
+    EXPECT_EQ(stack.pitch(m), 140) << "M" << m;
+  }
+  // Upper metals are thicker: lower resistance per DBU.
+  EXPECT_LT(stack.layer(6).res_per_dbu, stack.layer(1).res_per_dbu);
+}
+
+TEST(LayerStack, CutNames) {
+  LayerStack stack = LayerStack::nangate45_like();
+  EXPECT_EQ(stack.cut_name(1), "V12");
+  EXPECT_EQ(stack.cut_name(5), "V56");
+  EXPECT_THROW(stack.cut_name(0), std::out_of_range);
+  EXPECT_THROW(stack.cut_name(6), std::out_of_range);
+}
+
+TEST(LayerStack, RejectsTooFewLayers) {
+  EXPECT_THROW(
+      LayerStack({{"M1", util::Axis::kHorizontal, 140, 0.0002, 0.002}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sma::tech

@@ -1,0 +1,245 @@
+// Layer tests, including numerical gradient checks — the ground truth for
+// every hand-written backward pass.
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace sma::nn {
+namespace {
+
+/// Numerical vs analytic input gradient for a layer functor.
+/// `forward` must be pure given the same layer state.
+template <typename Layer>
+void check_input_gradient(Layer& layer, Tensor x, double tolerance = 2e-2) {
+  Tensor y = layer.forward(x);
+  // Loss = sum(y * c) with fixed pseudo-random coefficients.
+  Tensor coeff(y.shape());
+  util::Pcg32 rng(99);
+  for (std::size_t i = 0; i < coeff.size(); ++i) {
+    coeff[i] = static_cast<float>(rng.next_double() - 0.5);
+  }
+  Tensor dy = coeff;
+  Tensor dx = layer.backward(dy);
+
+  const float eps = 1e-2f;
+  util::Pcg32 pick(123);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::size_t i = pick.next_below(static_cast<std::uint32_t>(x.size()));
+    Tensor xp = x;
+    xp[i] += eps;
+    Tensor xm = x;
+    xm[i] -= eps;
+    Tensor yp = layer.forward(xp);
+    Tensor ym = layer.forward(xm);
+    double lp = 0.0;
+    double lm = 0.0;
+    for (std::size_t j = 0; j < yp.size(); ++j) {
+      lp += static_cast<double>(yp[j]) * coeff[j];
+      lm += static_cast<double>(ym[j]) * coeff[j];
+    }
+    double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(dx[i], numeric, tolerance)
+        << "input gradient mismatch at " << i;
+  }
+}
+
+TEST(Gemm, NnMatchesManual) {
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]]
+  float a[] = {1, 2, 3, 4};
+  float b[] = {5, 6, 7, 8};
+  float c[4] = {0, 0, 0, 0};
+  gemm_nn(2, 2, 2, a, b, c);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(Gemm, TnMatchesNnWithTranspose) {
+  // A^T stored [K=2, M=3]: effective A [3,2].
+  float at[] = {1, 2, 3, 4, 5, 6};  // A = [[1,4],[2,5],[3,6]]
+  float b[] = {1, 0, 0, 1};         // identity
+  float c[6] = {};
+  gemm_tn(3, 2, 2, at, b, c);
+  EXPECT_FLOAT_EQ(c[0], 1);
+  EXPECT_FLOAT_EQ(c[1], 4);
+  EXPECT_FLOAT_EQ(c[2], 2);
+  EXPECT_FLOAT_EQ(c[3], 5);
+  EXPECT_FLOAT_EQ(c[4], 3);
+  EXPECT_FLOAT_EQ(c[5], 6);
+}
+
+TEST(Gemm, NtMatchesManual) {
+  // B^T stored [N=2, K=2]; B = [[5,7],[6,8]].
+  float a[] = {1, 2, 3, 4};
+  float bt[] = {5, 6, 7, 8};
+  float c[4] = {};
+  gemm_nt(2, 2, 2, a, bt, c);
+  EXPECT_FLOAT_EQ(c[0], 17);
+  EXPECT_FLOAT_EQ(c[1], 23);
+  EXPECT_FLOAT_EQ(c[2], 39);
+  EXPECT_FLOAT_EQ(c[3], 53);
+}
+
+TEST(Linear, ForwardShapeAndBias) {
+  util::Pcg32 rng(1);
+  Linear layer(4, 3, rng, "t");
+  Tensor x({2, 4});
+  x.fill(0.0f);
+  Tensor y = layer.forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<int>{2, 3}));
+  // Zero input -> output equals bias (zero-initialized).
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 0.0f);
+}
+
+TEST(Linear, GradientCheck) {
+  util::Pcg32 rng(2);
+  Linear layer(5, 4, rng, "t");
+  Tensor x = Tensor::randn({3, 5}, rng, 1.0);
+  check_input_gradient(layer, x);
+}
+
+TEST(Linear, WeightGradientCheck) {
+  util::Pcg32 rng(3);
+  Linear layer(3, 2, rng, "t");
+  Tensor x = Tensor::randn({2, 3}, rng, 1.0);
+
+  std::vector<Param> params;
+  layer.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  Tensor& w = *params[0].value;
+  Tensor& dw = *params[0].grad;
+
+  Tensor y = layer.forward(x);
+  Tensor dy(y.shape());
+  dy.fill(1.0f);
+  layer.backward(dy);
+
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    float saved = w[i];
+    w[i] = saved + eps;
+    Tensor yp = layer.forward(x);
+    w[i] = saved - eps;
+    Tensor ym = layer.forward(x);
+    w[i] = saved;
+    double lp = 0.0;
+    double lm = 0.0;
+    for (std::size_t j = 0; j < yp.size(); ++j) {
+      lp += yp[j];
+      lm += ym[j];
+    }
+    EXPECT_NEAR(dw[i], (lp - lm) / (2 * eps), 2e-2);
+  }
+}
+
+TEST(LeakyReLU, ForwardSemantics) {
+  LeakyReLU act;
+  Tensor x({4});
+  x[0] = 2.0f;
+  x[1] = -2.0f;
+  x[2] = 0.0f;
+  x[3] = -100.0f;
+  Tensor y = act.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], -0.02f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+  EXPECT_FLOAT_EQ(y[3], -1.0f);
+}
+
+TEST(LeakyReLU, BackwardMask) {
+  LeakyReLU act;
+  Tensor x({2});
+  x[0] = 3.0f;
+  x[1] = -3.0f;
+  act.forward(x);
+  Tensor dy({2});
+  dy.fill(1.0f);
+  Tensor dx = act.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);
+  EXPECT_FLOAT_EQ(dx[1], 0.01f);
+}
+
+TEST(Conv2d, OutputSizes) {
+  util::Pcg32 rng(4);
+  Conv2d stride1(3, 8, 1, rng, "c1");
+  Conv2d stride3(3, 8, 3, rng, "c3");
+  EXPECT_EQ(stride1.out_size(99), 99);
+  EXPECT_EQ(stride3.out_size(99), 33);
+  EXPECT_EQ(stride3.out_size(33), 11);
+  EXPECT_EQ(stride3.out_size(11), 4);
+  EXPECT_EQ(stride3.out_size(15), 5);
+}
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  util::Pcg32 rng(5);
+  Conv2d conv(1, 1, 1, rng, "id");
+  std::vector<Param> params;
+  conv.collect_params(params);
+  Tensor& w = *params[0].value;
+  w.fill(0.0f);
+  w[4] = 1.0f;  // center tap of the 3x3 kernel
+  Tensor x = Tensor::randn({1, 1, 5, 5}, rng, 1.0);
+  Tensor y = conv.forward(x);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-5);
+  }
+}
+
+TEST(Conv2d, GradientCheck) {
+  util::Pcg32 rng(6);
+  Conv2d conv(2, 3, 1, rng, "g");
+  Tensor x = Tensor::randn({2, 2, 4, 4}, rng, 1.0);
+  check_input_gradient(conv, x);
+}
+
+TEST(Conv2d, StridedGradientCheck) {
+  util::Pcg32 rng(7);
+  Conv2d conv(1, 2, 3, rng, "gs");
+  Tensor x = Tensor::randn({1, 1, 7, 7}, rng, 1.0);
+  check_input_gradient(conv, x);
+}
+
+TEST(GlobalAvgPool, ForwardAndBackward) {
+  GlobalAvgPool pool;
+  Tensor x({1, 2, 2, 2});
+  for (int i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<int>{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 1.5f);  // mean of 0..3
+  EXPECT_FLOAT_EQ(y[1], 5.5f);  // mean of 4..7
+  Tensor dy({1, 2});
+  dy[0] = 4.0f;
+  dy[1] = 8.0f;
+  Tensor dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);
+  EXPECT_FLOAT_EQ(dx[7], 2.0f);
+}
+
+TEST(ResBlock, IdentitySkipPath) {
+  util::Pcg32 rng(8);
+  ResBlock block(8, rng, "r");
+  // Zero all weights: output must equal input (plus lrelu(0) = 0).
+  std::vector<Param> params;
+  block.collect_params(params);
+  for (Param& p : params) p.value->fill(0.0f);
+  Tensor x = Tensor::randn({3, 8}, rng, 1.0);
+  Tensor y = block.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(y[i], x[i]);
+  }
+}
+
+TEST(ResBlock, GradientCheck) {
+  util::Pcg32 rng(9);
+  ResBlock block(6, rng, "r");
+  Tensor x = Tensor::randn({2, 6}, rng, 1.0);
+  check_input_gradient(block, x);
+}
+
+}  // namespace
+}  // namespace sma::nn

@@ -1,0 +1,172 @@
+// Loss tests, verifying the implementation against Eqs. (3)-(8) of the
+// paper both analytically and with numerical differentiation.
+#include "nn/losses.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sma::nn {
+namespace {
+
+TEST(SoftmaxRegressionLoss, MatchesEquation6) {
+  Tensor scores({3});
+  scores[0] = 1.0f;
+  scores[1] = 2.0f;
+  scores[2] = 0.5f;
+  LossResult r = softmax_regression_loss(scores, 1);
+  double denom = std::exp(1.0) + std::exp(2.0) + std::exp(0.5);
+  EXPECT_NEAR(r.loss, -std::log(std::exp(2.0) / denom), 1e-6);
+}
+
+TEST(SoftmaxRegressionLoss, GradientMatchesEquation7) {
+  Tensor scores({4});
+  scores[0] = 0.3f;
+  scores[1] = -1.2f;
+  scores[2] = 2.0f;
+  scores[3] = 0.0f;
+  const int target = 2;
+  LossResult r = softmax_regression_loss(scores, target);
+  double denom = 0.0;
+  for (int j = 0; j < 4; ++j) denom += std::exp(scores[j]);
+  for (int j = 0; j < 4; ++j) {
+    double p = std::exp(scores[j]) / denom;
+    double expected = p - (j == target ? 1.0 : 0.0);
+    EXPECT_NEAR(r.grad[j], expected, 1e-6);
+  }
+}
+
+TEST(SoftmaxRegressionLoss, GradientSumsToZero) {
+  // The positive and negative gradient coefficients balance (the paper's
+  // no-imbalance argument): sum_j dL/ds_j = 0.
+  util::Pcg32 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 2 + static_cast<int>(rng.next_below(10));
+    Tensor scores({n});
+    for (int j = 0; j < n; ++j) {
+      scores[j] = static_cast<float>(rng.next_gaussian());
+    }
+    LossResult r = softmax_regression_loss(
+        scores, static_cast<int>(rng.next_below(n)));
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) sum += r.grad[j];
+    EXPECT_NEAR(sum, 0.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxRegressionLoss, NumericalGradient) {
+  util::Pcg32 rng(7);
+  Tensor scores({5});
+  for (int j = 0; j < 5; ++j) {
+    scores[j] = static_cast<float>(rng.next_gaussian());
+  }
+  LossResult r = softmax_regression_loss(scores, 3);
+  const float eps = 1e-3f;
+  for (int j = 0; j < 5; ++j) {
+    Tensor sp = scores;
+    sp[j] += eps;
+    Tensor sm = scores;
+    sm[j] -= eps;
+    double numeric = (softmax_regression_loss(sp, 3).loss -
+                      softmax_regression_loss(sm, 3).loss) /
+                     (2.0 * eps);
+    EXPECT_NEAR(r.grad[j], numeric, 1e-3);
+  }
+}
+
+TEST(SoftmaxRegressionLoss, PerfectPredictionHasLowLoss) {
+  Tensor scores({3});
+  scores[0] = -10.0f;
+  scores[1] = 10.0f;
+  scores[2] = -10.0f;
+  EXPECT_LT(softmax_regression_loss(scores, 1).loss, 1e-6);
+  EXPECT_GT(softmax_regression_loss(scores, 0).loss, 10.0);
+}
+
+TEST(SoftmaxRegressionLoss, InvalidInputsRejected) {
+  Tensor scores({3});
+  EXPECT_THROW(softmax_regression_loss(scores, -1), std::invalid_argument);
+  EXPECT_THROW(softmax_regression_loss(scores, 3), std::invalid_argument);
+  Tensor matrix({3, 2});
+  EXPECT_THROW(softmax_regression_loss(matrix, 0), std::invalid_argument);
+}
+
+TEST(TwoClassLoss, MatchesEquation3) {
+  Tensor scores({2, 2});
+  // candidate 0: s- = 0.5, s+ = 1.5 ; candidate 1: s- = 1.0, s+ = -1.0
+  scores[0] = 0.5f;
+  scores[1] = 1.5f;
+  scores[2] = 1.0f;
+  scores[3] = -1.0f;
+  LossResult r = two_class_loss(scores, 0);
+  double p0_pos = std::exp(1.5) / (std::exp(0.5) + std::exp(1.5));
+  double p1_neg = std::exp(1.0) / (std::exp(1.0) + std::exp(-1.0));
+  double expected = -(std::log(p0_pos) + std::log(p1_neg)) / 2.0;
+  EXPECT_NEAR(r.loss, expected, 1e-6);
+}
+
+TEST(TwoClassLoss, GradientSignsFollowEquation4) {
+  Tensor scores({3, 2});
+  for (int i = 0; i < 6; ++i) scores[i] = 0.1f * i;
+  LossResult r = two_class_loss(scores, 1);
+  // Positive candidate: gradient pushes s+ up (negative grad on s+).
+  EXPECT_LT(r.grad[1 * 2 + 1], 0.0f);
+  EXPECT_GT(r.grad[1 * 2 + 0], 0.0f);
+  // Negative candidates: gradient pushes s+ down.
+  EXPECT_GT(r.grad[0 * 2 + 1], 0.0f);
+  EXPECT_LT(r.grad[0 * 2 + 0], 0.0f);
+}
+
+TEST(TwoClassLoss, NumericalGradient) {
+  util::Pcg32 rng(11);
+  Tensor scores({4, 2});
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<float>(rng.next_gaussian());
+  }
+  LossResult r = two_class_loss(scores, 2);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    Tensor sp = scores;
+    sp[i] += eps;
+    Tensor sm = scores;
+    sm[i] -= eps;
+    double numeric =
+        (two_class_loss(sp, 2).loss - two_class_loss(sm, 2).loss) /
+        (2.0 * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(TwoClassLoss, PositiveGradientScalesWithN) {
+  // The paper's imbalance critique: the positive sample's gradient is
+  // divided by n, shrinking as candidate lists grow.
+  auto positive_grad_magnitude = [](int n) {
+    Tensor scores({n, 2});
+    LossResult r = two_class_loss(scores, 0);
+    return std::abs(r.grad[1]);
+  };
+  EXPECT_GT(positive_grad_magnitude(2), positive_grad_magnitude(20) * 5);
+}
+
+TEST(Predict, SingleScoreArgmax) {
+  Tensor scores({4});
+  scores[0] = 0.1f;
+  scores[1] = 3.0f;
+  scores[2] = -1.0f;
+  scores[3] = 2.9f;
+  EXPECT_EQ(predict(scores), 1);
+}
+
+TEST(Predict, TwoClassMargin) {
+  Tensor scores({2, 2});
+  scores[0] = 0.0f;  // candidate 0: margin 1.0
+  scores[1] = 1.0f;
+  scores[2] = -2.0f;  // candidate 1: margin 3.0
+  scores[3] = 1.0f;
+  EXPECT_EQ(predict(scores), 1);
+}
+
+}  // namespace
+}  // namespace sma::nn

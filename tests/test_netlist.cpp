@@ -1,0 +1,118 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sma::netlist {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  NetlistTest() : nl_("t", &test::library()) {}
+  Netlist nl_;
+};
+
+TEST_F(NetlistTest, BuildTinyCircuit) {
+  PortId in_a = nl_.add_port("a", PortDirection::kInput);
+  PortId in_b = nl_.add_port("b", PortDirection::kInput);
+  PortId out = nl_.add_port("z", PortDirection::kOutput);
+  int nand2 = *test::library().find("NAND2_X1");
+  CellId g = nl_.add_cell("g1", nand2);
+
+  NetId na = nl_.add_net("a");
+  NetId nb = nl_.add_net("b");
+  NetId nz = nl_.add_net("z");
+
+  const tech::LibCell& lib = test::library().cell(nand2);
+  auto inputs = lib.input_pins();
+  nl_.connect(na, PinRef::port(in_a));
+  nl_.connect(na, PinRef::cell_pin(g, inputs[0]));
+  nl_.connect(nb, PinRef::port(in_b));
+  nl_.connect(nb, PinRef::cell_pin(g, inputs[1]));
+  nl_.connect(nz, PinRef::cell_pin(g, lib.output_pin()));
+  nl_.connect(nz, PinRef::port(out));
+
+  EXPECT_TRUE(nl_.validate().empty());
+  EXPECT_EQ(nl_.num_cells(), 1);
+  EXPECT_EQ(nl_.num_nets(), 3);
+  EXPECT_EQ(nl_.num_ports(), 3);
+  EXPECT_EQ(nl_.net(na).sinks.size(), 1u);
+  EXPECT_TRUE(nl_.net(na).has_driver());
+  EXPECT_TRUE(nl_.net(na).driver.is_port());
+  EXPECT_FALSE(nl_.net(nz).driver.is_port());
+}
+
+TEST_F(NetlistTest, DuplicateNamesRejected) {
+  nl_.add_port("p", PortDirection::kInput);
+  EXPECT_THROW(nl_.add_port("p", PortDirection::kOutput),
+               std::invalid_argument);
+  nl_.add_net("n");
+  EXPECT_THROW(nl_.add_net("n"), std::invalid_argument);
+  nl_.add_cell("c", 0);
+  EXPECT_THROW(nl_.add_cell("c", 0), std::invalid_argument);
+}
+
+TEST_F(NetlistTest, DoubleDriverRejected) {
+  PortId a = nl_.add_port("a", PortDirection::kInput);
+  PortId b = nl_.add_port("b", PortDirection::kInput);
+  NetId n = nl_.add_net("n");
+  nl_.connect(n, PinRef::port(a));
+  EXPECT_THROW(nl_.connect(n, PinRef::port(b)), std::logic_error);
+}
+
+TEST_F(NetlistTest, DoubleConnectRejected) {
+  PortId a = nl_.add_port("a", PortDirection::kInput);
+  NetId n1 = nl_.add_net("n1");
+  NetId n2 = nl_.add_net("n2");
+  nl_.connect(n1, PinRef::port(a));
+  EXPECT_THROW(nl_.connect(n2, PinRef::port(a)), std::logic_error);
+}
+
+TEST_F(NetlistTest, ValidateReportsProblems) {
+  NetId n = nl_.add_net("floating");
+  (void)n;
+  CellId c = nl_.add_cell("open_cell", *test::library().find("INV_X1"));
+  (void)c;
+  auto problems = nl_.validate();
+  EXPECT_GE(problems.size(), 3u);  // no driver, no sinks, open pins
+}
+
+TEST_F(NetlistTest, SinkCapacitanceAndNames) {
+  int inv = *test::library().find("INV_X1");
+  CellId c = nl_.add_cell("u1", inv);
+  const tech::LibCell& lib = test::library().cell(inv);
+  PinRef in_pin = PinRef::cell_pin(c, lib.input_pins()[0]);
+  PinRef out_pin = PinRef::cell_pin(c, lib.output_pin());
+  EXPECT_GT(nl_.sink_capacitance(in_pin), 0.0);
+  EXPECT_EQ(nl_.sink_capacitance(out_pin), 0.0);
+  EXPECT_EQ(nl_.pin_name(in_pin), "u1/A");
+  EXPECT_EQ(nl_.pin_name(out_pin), "u1/Z");
+  EXPECT_FALSE(nl_.is_driver_pin(in_pin));
+  EXPECT_TRUE(nl_.is_driver_pin(out_pin));
+}
+
+TEST_F(NetlistTest, FindLookups) {
+  nl_.add_cell("u42", 0);
+  nl_.add_net("mynet");
+  nl_.add_port("myport", PortDirection::kInput);
+  EXPECT_TRUE(nl_.find_cell("u42").has_value());
+  EXPECT_TRUE(nl_.find_net("mynet").has_value());
+  EXPECT_TRUE(nl_.find_port("myport").has_value());
+  EXPECT_FALSE(nl_.find_cell("nope").has_value());
+  EXPECT_FALSE(nl_.find_net("nope").has_value());
+  EXPECT_FALSE(nl_.find_port("nope").has_value());
+}
+
+TEST_F(NetlistTest, NumPinsCountsCellsAndPorts) {
+  nl_.add_port("p", PortDirection::kInput);
+  nl_.add_cell("u1", *test::library().find("NAND2_X1"));  // 3 pins
+  EXPECT_EQ(nl_.num_pins(), 4);
+}
+
+TEST(Netlist, RequiresLibrary) {
+  EXPECT_THROW(Netlist("x", nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sma::netlist

@@ -1,0 +1,86 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sma::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  // Minimize f(x) = (x - 3)^2 elementwise.
+  Tensor x({4});
+  Tensor g({4});
+  x.fill(0.0f);
+  AdamConfig config;
+  config.lr = 0.1;
+  Adam adam({{"x", &x, &g}}, config);
+  for (int step = 0; step < 400; ++step) {
+    for (int i = 0; i < 4; ++i) {
+      g[i] = 2.0f * (x[i] - 3.0f);
+    }
+    adam.step();
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x[i], 3.0f, 0.05f);
+  }
+}
+
+TEST(Adam, StepZerosGradients) {
+  Tensor x({2});
+  Tensor g({2});
+  g.fill(1.0f);
+  Adam adam({{"x", &x, &g}});
+  adam.step();
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 0.0f);
+}
+
+TEST(Adam, ZeroGradWithoutUpdate) {
+  Tensor x({2});
+  x.fill(5.0f);
+  Tensor g({2});
+  g.fill(1.0f);
+  Adam adam({{"x", &x, &g}});
+  adam.zero_grad();
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(x[0], 5.0f);  // no parameter change
+}
+
+TEST(Adam, LrDecaySchedule) {
+  Tensor x({1});
+  Tensor g({1});
+  AdamConfig config;
+  config.lr = 0.001;
+  config.decay = 0.6;
+  Adam adam({{"x", &x, &g}}, config);
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.001);
+  adam.decay_lr();
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.0006);
+  adam.decay_lr();
+  EXPECT_NEAR(adam.learning_rate(), 0.00036, 1e-9);
+}
+
+TEST(Adam, FirstStepSizeIsLr) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Tensor x({1});
+  Tensor g({1});
+  g[0] = 0.5f;
+  AdamConfig config;
+  config.lr = 0.01;
+  Adam adam({{"x", &x, &g}}, config);
+  adam.step();
+  EXPECT_NEAR(x[0], -0.01f, 1e-4);
+}
+
+TEST(Adam, CountsParameters) {
+  Tensor a({3, 4});
+  Tensor ga({3, 4});
+  Tensor b({5});
+  Tensor gb({5});
+  Adam adam({{"a", &a, &ga}, {"b", &b, &gb}});
+  EXPECT_EQ(adam.num_parameters(), 17u);
+}
+
+}  // namespace
+}  // namespace sma::nn

@@ -1,0 +1,105 @@
+#include "place/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "test_support.hpp"
+
+namespace sma::place {
+namespace {
+
+netlist::Netlist c17() {
+  return netlist::parse_bench_string(sma::test::kC17Bench, "c17",
+                                     &sma::test::library());
+}
+
+TEST(Floorplan, SizedForUtilization) {
+  netlist::Netlist nl = c17();
+  Floorplan fp = make_floorplan(nl, 0.5);
+  EXPECT_GT(fp.num_rows, 0);
+  EXPECT_GT(fp.num_sites, 0);
+  std::int64_t total_width = 0;
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    total_width += nl.lib_cell_of(c).width;
+  }
+  std::int64_t capacity =
+      static_cast<std::int64_t>(fp.num_rows) * fp.num_sites * fp.site_width;
+  EXPECT_GE(capacity, total_width);
+  // Roughly square.
+  double aspect = static_cast<double>(fp.die.width()) / fp.die.height();
+  EXPECT_GT(aspect, 0.4);
+  EXPECT_LT(aspect, 2.5);
+}
+
+TEST(Floorplan, UtilizationClamped) {
+  netlist::Netlist nl = c17();
+  EXPECT_NO_THROW(make_floorplan(nl, -1.0));
+  EXPECT_NO_THROW(make_floorplan(nl, 2.0));
+}
+
+TEST(Placement, PortsOnBoundary) {
+  netlist::Netlist nl = c17();
+  Floorplan fp = make_floorplan(nl);
+  Placement placement(&nl, fp);
+  for (netlist::PortId p = 0; p < nl.num_ports(); ++p) {
+    const util::Point& loc = placement.port_location(p);
+    bool on_edge = loc.x == fp.die.lo.x || loc.x == fp.die.hi.x ||
+                   loc.y == fp.die.lo.y || loc.y == fp.die.hi.y;
+    EXPECT_TRUE(on_edge) << nl.port(p).name << " at " << loc.x << ","
+                         << loc.y;
+  }
+}
+
+TEST(Placement, PinLocationAddsLibOffset) {
+  netlist::Netlist nl = c17();
+  Floorplan fp = make_floorplan(nl);
+  Placement placement(&nl, fp);
+  placement.set_cell_origin(0, {1000, 2000});
+  const tech::LibCell& lib = nl.lib_cell_of(0);
+  util::Point pin =
+      placement.pin_location(netlist::PinRef::cell_pin(0, lib.output_pin()));
+  EXPECT_EQ(pin.x, 1000 + lib.pins[lib.output_pin()].offset.x);
+  EXPECT_EQ(pin.y, 2000 + lib.pins[lib.output_pin()].offset.y);
+}
+
+TEST(Placement, HpwlZeroWhenCoincident) {
+  netlist::Netlist nl = c17();
+  Floorplan fp = make_floorplan(nl);
+  Placement placement(&nl, fp);
+  // All cells at origin: every net's bbox is small but port nets still
+  // stretch to the boundary.
+  EXPECT_GE(placement.total_hpwl(), 0);
+}
+
+TEST(Placement, IsLegalDetectsOverlap) {
+  netlist::Netlist nl = c17();
+  Floorplan fp = make_floorplan(nl);
+  Placement placement(&nl, fp);
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    placement.set_cell_origin(c, {0, 0});  // pile-up
+  }
+  std::vector<std::string> problems;
+  EXPECT_FALSE(placement.is_legal(&problems));
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(Placement, IsLegalDetectsOffGridAndOutside) {
+  netlist::Netlist nl = c17();
+  Floorplan fp = make_floorplan(nl);
+  Placement placement(&nl, fp);
+  // Spread cells legally first.
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    placement.set_cell_origin(
+        c, {fp.site_x(c * 6), fp.row_y(c % std::max(1, fp.num_rows))});
+  }
+  placement.set_cell_origin(0, {7, 0});  // off site grid
+  std::vector<std::string> problems;
+  EXPECT_FALSE(placement.is_legal(&problems));
+
+  placement.set_cell_origin(0, {fp.die.hi.x + fp.site_width, 0});
+  problems.clear();
+  EXPECT_FALSE(placement.is_legal(&problems));
+}
+
+}  // namespace
+}  // namespace sma::place

@@ -1,0 +1,134 @@
+// Property-style parameterized sweeps over pipeline invariants: seeds,
+// design sizes and split layers vary; the invariants must hold everywhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "attack/dataset.hpp"
+#include "netlist/generator.hpp"
+#include "split/candidates.hpp"
+#include "test_support.hpp"
+
+namespace sma {
+namespace {
+
+struct PipelineParam {
+  int gates;
+  std::uint64_t seed;
+  int split_layer;
+};
+
+void PrintTo(const PipelineParam& p, std::ostream* os) {
+  *os << "gates=" << p.gates << " seed=" << p.seed << " M" << p.split_layer;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<PipelineParam> {
+ protected:
+  void SetUp() override {
+    const PipelineParam& p = GetParam();
+    s_ = test::small_split(p.split_layer, p.gates, p.seed);
+  }
+  test::SmallSplit s_;
+};
+
+TEST_P(PipelineProperty, NetlistAndPlacementInvariants) {
+  EXPECT_TRUE(s_.design->netlist->validate().empty());
+  EXPECT_TRUE(s_.design->placement->is_legal());
+}
+
+TEST_P(PipelineProperty, RoutesCoverEveryNet) {
+  const netlist::Netlist& nl = *s_.design->netlist;
+  ASSERT_EQ(static_cast<int>(s_.design->routing.routes.size()),
+            nl.num_nets());
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const route::NetRoute& route = s_.design->route_of(n);
+    EXPECT_EQ(route.net, n);
+    // Multi-gcell nets must have geometry.
+    if (route.pin_nodes.size() >= 2) {
+      EXPECT_FALSE(route.grid_edges.empty())
+          << "net " << nl.net(n).name << " spans gcells but has no route";
+    }
+  }
+}
+
+TEST_P(PipelineProperty, FragmentInvariants) {
+  for (const split::Fragment& f : s_.split->fragments()) {
+    // Every fragment belongs to a net and owns >= 1 virtual pin.
+    EXPECT_GE(f.net, 0);
+    EXPECT_FALSE(f.virtual_pins.empty());
+    // FEOL-only geometry.
+    for (const route::RouteSegment& seg : f.segments) {
+      EXPECT_LE(seg.layer, s_.split->split_layer());
+    }
+    // Sink/source classification is exclusive.
+    EXPECT_FALSE(f.is_sink() && f.is_source());
+  }
+}
+
+TEST_P(PipelineProperty, GroundTruthAlwaysSameNet) {
+  for (int sink : s_.split->sink_fragments()) {
+    int source = s_.split->positive_source_of(sink);
+    if (source < 0) continue;
+    EXPECT_EQ(s_.split->fragment(sink).net, s_.split->fragment(source).net);
+  }
+}
+
+TEST_P(PipelineProperty, CandidateListsSortedAndUnique) {
+  split::CandidateConfig config;
+  config.max_candidates = 10;
+  for (const split::SinkQuery& q : split::build_queries(*s_.split, config)) {
+    EXPECT_LE(q.candidates.size(), 10u);
+    std::set<int> sources;
+    for (const split::Vpp& vpp : q.candidates) {
+      EXPECT_TRUE(sources.insert(vpp.source_fragment).second);
+      EXPECT_EQ(vpp.sink_fragment, q.sink_fragment);
+    }
+  }
+}
+
+TEST_P(PipelineProperty, VectorFeaturesFiniteEverywhere) {
+  split::CandidateConfig config;
+  config.max_candidates = 6;
+  for (const split::SinkQuery& q : split::build_queries(*s_.split, config)) {
+    for (const split::Vpp& vpp : q.candidates) {
+      features::VectorFeatures f =
+          features::compute_vector_features(*s_.split, vpp);
+      for (float v : f) {
+        ASSERT_TRUE(std::isfinite(v));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineProperty,
+    ::testing::Values(PipelineParam{40, 1, 1}, PipelineParam{40, 1, 3},
+                      PipelineParam{80, 2, 1}, PipelineParam{80, 2, 3},
+                      PipelineParam{120, 3, 2}, PipelineParam{80, 4, 4},
+                      PipelineParam{60, 5, 3}, PipelineParam{100, 6, 1}));
+
+/// Generator sweep: structural sanity across sizes and seeds.
+class GeneratorProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(GeneratorProperty, AlwaysValidAndSized) {
+  auto [gates, seed] = GetParam();
+  netlist::GeneratorConfig config;
+  config.num_gates = gates;
+  config.num_inputs = std::max(4, gates / 10);
+  config.num_outputs = std::max(2, gates / 20);
+  config.seed = seed;
+  netlist::Netlist nl =
+      netlist::generate_netlist(config, "sweep", &test::library());
+  EXPECT_EQ(nl.num_cells(), gates);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorProperty,
+    ::testing::Combine(::testing::Values(20, 100, 400),
+                       ::testing::Values(1ull, 99ull, 12345ull)));
+
+}  // namespace
+}  // namespace sma

@@ -1,0 +1,127 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace sma::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Pcg32 a(123, 7);
+  Pcg32 b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Pcg32 rng(5);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInClosedRange) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.next_in(42, 42), 42);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BoolProbabilityRoughlyHolds) {
+  Pcg32 rng(17);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.03);
+}
+
+TEST(Rng, GaussianMoments) {
+  Pcg32 rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    double v = rng.next_gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);
+  EXPECT_NEAR(sq / trials, 1.0, 0.08);
+}
+
+TEST(Rng, WeightedSamplingRespectsWeights) {
+  Pcg32 rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.next_weighted(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.5);
+}
+
+TEST(Rng, WeightedAllZeroReturnsLastIndex) {
+  Pcg32 rng(29);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.next_weighted(weights), 2u);
+}
+
+TEST(Rng, ForkProducesDecorrelatedStream) {
+  Pcg32 a(31);
+  Pcg32 b = a.fork(1);
+  Pcg32 c = a.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (b.next_u32() == c.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ShuffleIsPermutationAndDeterministic) {
+  std::vector<int> v1 = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> v2 = v1;
+  Pcg32 r1(37);
+  Pcg32 r2(37);
+  shuffle(v1, r1);
+  shuffle(v2, r2);
+  EXPECT_EQ(v1, v2);
+  std::sort(v1.begin(), v1.end());
+  EXPECT_EQ(v1, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+}  // namespace
+}  // namespace sma::util

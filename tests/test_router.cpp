@@ -1,0 +1,178 @@
+#include "route/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "netlist/generator.hpp"
+#include "place/global_placer.hpp"
+#include "place/legalizer.hpp"
+#include "test_support.hpp"
+
+namespace sma::route {
+namespace {
+
+struct Routed {
+  netlist::Netlist nl;
+  place::Floorplan fp;
+  std::unique_ptr<place::Placement> placement;
+  tech::LayerStack stack = tech::LayerStack::nangate45_like();
+  std::unique_ptr<RoutingGrid> grid;
+  RoutingResult result;
+};
+
+Routed route_small(int gates = 80, std::uint64_t seed = 5) {
+  netlist::GeneratorConfig config;
+  config.num_inputs = 8;
+  config.num_outputs = 4;
+  config.num_gates = gates;
+  config.seed = seed;
+  Routed r{netlist::generate_netlist(config, "r", &sma::test::library()),
+           {},
+           nullptr};
+  r.fp = place::make_floorplan(r.nl);
+  r.placement = std::make_unique<place::Placement>(&r.nl, r.fp);
+  place::run_global_placement(*r.placement);
+  place::run_legalization(*r.placement);
+  r.grid = std::make_unique<RoutingGrid>(&r.stack, r.fp.die);
+  r.result = route_design(*r.placement, *r.grid);
+  return r;
+}
+
+/// Every routed net must form a connected tree over its pin nodes.
+void check_connectivity(const Routed& r) {
+  for (netlist::NetId n = 0; n < r.nl.num_nets(); ++n) {
+    const NetRoute& route = r.result.routes[n];
+    if (route.pin_nodes.size() < 2) continue;
+
+    std::set<std::size_t> nodes;
+    std::map<std::size_t, std::vector<std::size_t>> adj;
+    for (const GridEdge& e : route.grid_edges) {
+      std::size_t a = r.grid->node_index(e.from);
+      std::size_t b = r.grid->node_index(r.grid->neighbor(e.from, e.dir));
+      nodes.insert(a);
+      nodes.insert(b);
+      adj[a].push_back(b);
+      adj[b].push_back(a);
+    }
+    // BFS from the first pin.
+    std::set<std::size_t> reached;
+    std::vector<std::size_t> stack = {r.grid->node_index(route.pin_nodes[0])};
+    reached.insert(stack[0]);
+    while (!stack.empty()) {
+      std::size_t v = stack.back();
+      stack.pop_back();
+      for (std::size_t w : adj[v]) {
+        if (reached.insert(w).second) stack.push_back(w);
+      }
+    }
+    for (const GridCoord& pin : route.pin_nodes) {
+      EXPECT_TRUE(reached.contains(r.grid->node_index(pin)))
+          << "net " << r.nl.net(n).name << " pin unreachable";
+    }
+  }
+}
+
+TEST(Router, AllNetsConnected) {
+  Routed r = route_small();
+  check_connectivity(r);
+}
+
+TEST(Router, UsageMatchesRoutes) {
+  Routed r = route_small();
+  // Sum of per-net edges must equal total grid usage.
+  long route_edges = 0;
+  for (const NetRoute& route : r.result.routes) {
+    route_edges += static_cast<long>(route.grid_edges.size());
+  }
+  long usage = 0;
+  for (std::size_t i = 0; i < r.grid->num_nodes(); ++i) {
+    GridCoord c = r.grid->coord_of(i);
+    if (r.grid->has_neighbor(c, Dir::kEast)) {
+      usage += r.grid->usage(c, Dir::kEast);
+    }
+    if (r.grid->has_neighbor(c, Dir::kNorth)) {
+      usage += r.grid->usage(c, Dir::kNorth);
+    }
+    if (r.grid->has_neighbor(c, Dir::kUp)) usage += r.grid->usage(c, Dir::kUp);
+  }
+  EXPECT_EQ(route_edges, usage);
+}
+
+TEST(Router, GeometryMatchesGridEdges) {
+  Routed r = route_small();
+  for (const NetRoute& route : r.result.routes) {
+    // Total segment length equals planar step count * gcell size.
+    long planar = 0;
+    long vias = 0;
+    for (const GridEdge& e : route.grid_edges) {
+      if (e.dir == Dir::kUp || e.dir == Dir::kDown) {
+        ++vias;
+      } else {
+        ++planar;
+      }
+    }
+    EXPECT_EQ(route.total_wirelength(),
+              planar * r.grid->gcell_size());
+    EXPECT_EQ(static_cast<long>(route.vias.size()), vias);
+  }
+}
+
+TEST(Router, WirelengthTracksPlacementHpwl) {
+  Routed r = route_small();
+  std::int64_t hpwl = r.placement->total_hpwl();
+  // Routed length >= HPWL-ish and below a generous detour factor.
+  EXPECT_GT(r.result.total_wirelength, hpwl / 4);
+  EXPECT_LT(r.result.total_wirelength, hpwl * 4);
+}
+
+TEST(Router, PreferredDirectionDominates) {
+  Routed r = route_small(120, 9);
+  long preferred = 0;
+  long wrongway = 0;
+  for (const NetRoute& route : r.result.routes) {
+    for (const RouteSegment& s : route.segments) {
+      bool horizontal = s.is_horizontal();
+      bool pref = (r.stack.preferred(s.layer) == util::Axis::kHorizontal) ==
+                  horizontal;
+      if (s.a == s.b) continue;
+      (pref ? preferred : wrongway) += s.length();
+    }
+  }
+  EXPECT_GT(preferred, 3 * wrongway);
+}
+
+TEST(Router, LowOverflowOnUncongestedDesign) {
+  Routed r = route_small();
+  EXPECT_LE(r.result.final_overflow, 5);
+}
+
+TEST(Router, DeterministicAcrossRuns) {
+  Routed a = route_small(60, 77);
+  Routed b = route_small(60, 77);
+  ASSERT_EQ(a.result.routes.size(), b.result.routes.size());
+  EXPECT_EQ(a.result.total_wirelength, b.result.total_wirelength);
+  EXPECT_EQ(a.result.total_vias, b.result.total_vias);
+  for (std::size_t i = 0; i < a.result.routes.size(); ++i) {
+    EXPECT_EQ(a.result.routes[i].grid_edges.size(),
+              b.result.routes[i].grid_edges.size());
+  }
+}
+
+TEST(NetRoute, PerLayerAccounting) {
+  Routed r = route_small();
+  for (const NetRoute& route : r.result.routes) {
+    std::int64_t sum = 0;
+    for (int layer = 1; layer <= 6; ++layer) {
+      sum += route.wirelength_on(layer);
+    }
+    EXPECT_EQ(sum, route.total_wirelength());
+    int via_sum = 0;
+    for (int cut = 1; cut <= 5; ++cut) via_sum += route.vias_on(cut);
+    EXPECT_EQ(via_sum, static_cast<int>(route.vias.size()));
+  }
+}
+
+}  // namespace
+}  // namespace sma::route

@@ -1,0 +1,140 @@
+#include "split/split_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_support.hpp"
+
+namespace sma::split {
+namespace {
+
+TEST(SplitDesign, RejectsBadLayer) {
+  layout::Design design = test::small_routed_design(30, 2);
+  EXPECT_THROW(SplitDesign(&design, 0), std::invalid_argument);
+  EXPECT_THROW(SplitDesign(&design, 6), std::invalid_argument);
+  EXPECT_THROW(SplitDesign(nullptr, 3), std::invalid_argument);
+}
+
+TEST(SplitDesign, FragmentGeometryStaysInFeol) {
+  for (int layer : {1, 3}) {
+    test::SmallSplit s = test::small_split(layer);
+    for (const Fragment& f : s.split->fragments()) {
+      for (const route::RouteSegment& seg : f.segments) {
+        EXPECT_LE(seg.layer, layer);
+      }
+      for (const route::RouteVia& via : f.vias) {
+        EXPECT_LT(via.cut, layer);
+      }
+      EXPECT_FALSE(f.virtual_pins.empty())
+          << "fragments exist only where BEOL connects";
+    }
+  }
+}
+
+TEST(SplitDesign, EveryBrokenNetHasOneSourceFragment) {
+  const test::SmallSplit& s = test::shared_split(3, 400, 7);
+  const netlist::Netlist& nl = *s.design->netlist;
+  std::set<netlist::NetId> broken;
+  for (const Fragment& f : s.split->fragments()) broken.insert(f.net);
+  for (netlist::NetId n : broken) {
+    int sources = 0;
+    for (const Fragment& f : s.split->fragments()) {
+      if (f.net == n && f.has_driver) ++sources;
+    }
+    EXPECT_EQ(sources, 1) << "net " << nl.net(n).name;
+  }
+}
+
+TEST(SplitDesign, GroundTruthPointsToSameNet) {
+  const test::SmallSplit& s = test::shared_split(3, 400, 7);
+  for (int sink_id : s.split->sink_fragments()) {
+    int source_id = s.split->positive_source_of(sink_id);
+    ASSERT_GE(source_id, 0);
+    EXPECT_EQ(s.split->fragment(sink_id).net,
+              s.split->fragment(source_id).net);
+    EXPECT_TRUE(s.split->fragment(source_id).has_driver);
+  }
+}
+
+TEST(SplitDesign, SinkAndSourceSetsAreDisjoint) {
+  const test::SmallSplit& s = test::shared_split(3, 400, 7);
+  std::set<int> sinks(s.split->sink_fragments().begin(),
+                      s.split->sink_fragments().end());
+  for (int source : s.split->source_fragments()) {
+    EXPECT_FALSE(sinks.contains(source));
+  }
+}
+
+TEST(SplitDesign, M1SplitBreaksMoreNetsThanM3) {
+  const test::SmallSplit& m1 = test::shared_split(1, 400, 7);
+  const test::SmallSplit& m3 = test::shared_split(3, 400, 7);
+  SplitStats s1 = m1.split->stats();
+  SplitStats s3 = m3.split->stats();
+  EXPECT_GT(s1.num_broken_nets, s3.num_broken_nets);
+  EXPECT_GT(s1.num_sink_fragments, s3.num_sink_fragments);
+  EXPECT_GT(s1.num_virtual_pins, s3.num_virtual_pins);
+}
+
+TEST(SplitDesign, StatsAreConsistent) {
+  const test::SmallSplit& s = test::shared_split(3, 400, 7);
+  SplitStats stats = s.split->stats();
+  EXPECT_EQ(stats.num_fragments,
+            static_cast<int>(s.split->fragments().size()));
+  EXPECT_EQ(stats.num_sink_fragments,
+            static_cast<int>(s.split->sink_fragments().size()));
+  EXPECT_EQ(stats.num_source_fragments,
+            static_cast<int>(s.split->source_fragments().size()));
+  EXPECT_EQ(stats.num_broken_nets + stats.num_unbroken_nets,
+            s.design->netlist->num_nets());
+  // Virtual pins belong to fragments with matching back-references.
+  for (const VirtualPin& vp : s.split->virtual_pins()) {
+    const Fragment& f = s.split->fragment(vp.fragment);
+    bool found = false;
+    for (int id : f.virtual_pins) found |= id == vp.id;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SplitDesign, PinsPartitionAcrossFragmentsOfANet) {
+  const test::SmallSplit& s = test::shared_split(3, 400, 7);
+  const netlist::Netlist& nl = *s.design->netlist;
+  // For each broken net: sink pins across fragments never exceed the
+  // net's sinks, and driver appears in exactly one fragment.
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    if (!s.split->net_is_broken(n)) continue;
+    int sink_pins = 0;
+    int drivers = 0;
+    for (const Fragment& f : s.split->fragments()) {
+      if (f.net != n) continue;
+      sink_pins += f.num_sink_pins;
+      if (f.has_driver) ++drivers;
+    }
+    EXPECT_LE(sink_pins, static_cast<int>(nl.net(n).sinks.size()));
+    EXPECT_EQ(drivers, 1);
+  }
+}
+
+TEST(SplitDesign, VirtualPinStubDirectionsAreUnitAxis) {
+  const test::SmallSplit& s = test::shared_split(3, 400, 7);
+  for (const VirtualPin& vp : s.split->virtual_pins()) {
+    for (const util::Point& d : vp.stub_directions) {
+      EXPECT_EQ(std::abs(d.x) + std::abs(d.y), 1)
+          << "stub direction must be a unit axis vector";
+    }
+  }
+}
+
+TEST(SplitDesign, FragmentWirelengthMatchesSegments) {
+  const test::SmallSplit& s = test::shared_split(3, 400, 7);
+  for (const Fragment& f : s.split->fragments()) {
+    std::int64_t sum = 0;
+    for (int layer = 1; layer <= 3; ++layer) {
+      sum += f.wirelength_on(layer);
+    }
+    EXPECT_EQ(sum, f.total_wirelength());
+  }
+}
+
+}  // namespace
+}  // namespace sma::split

@@ -1,0 +1,71 @@
+#include "netlist/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "test_support.hpp"
+
+namespace sma::netlist {
+namespace {
+
+TEST(Stats, C17Stats) {
+  Netlist nl = parse_bench_string(test::kC17Bench, "c17", &test::library());
+  NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.num_cells, 6);
+  EXPECT_EQ(s.num_nets, 11);
+  EXPECT_EQ(s.num_ports, 7);
+  EXPECT_EQ(s.num_sequential, 0);
+  EXPECT_EQ(s.logic_depth, 2);
+  EXPECT_DOUBLE_EQ(s.avg_fanin, 2.0);
+  EXPECT_GE(s.max_fanout, 2);
+}
+
+TEST(Stats, LevelizationOrderRespectsDependencies) {
+  Netlist nl = parse_bench_string(test::kC17Bench, "c17", &test::library());
+  Levelization lev = levelize(nl);
+  ASSERT_EQ(lev.topo_order.size(), 6u);
+  // Every cell must appear after all its combinational fanin cells.
+  std::vector<int> position(nl.num_cells());
+  for (std::size_t i = 0; i < lev.topo_order.size(); ++i) {
+    position[lev.topo_order[i]] = static_cast<int>(i);
+  }
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const Cell& cell = nl.cell(c);
+    for (int pin : nl.lib_cell_of(c).input_pins()) {
+      const Net& net = nl.net(cell.pin_nets[pin]);
+      if (net.driver.is_port()) continue;
+      EXPECT_LT(position[net.driver.id], position[c]);
+    }
+  }
+}
+
+TEST(Stats, DffBreaksLevels) {
+  std::string text =
+      "INPUT(a)\nOUTPUT(q)\nx = NOT(a)\nq1 = DFF(x)\nq = NOT(q1)\n";
+  Netlist nl = parse_bench_string(text, "d", &test::library());
+  Levelization lev = levelize(nl);
+  EXPECT_FALSE(lev.has_combinational_loop);
+  // The NOT after the DFF restarts at level 0.
+  auto q_net = nl.find_net("q");
+  ASSERT_TRUE(q_net.has_value());
+  CellId final_not = nl.net(*q_net).driver.id;
+  EXPECT_EQ(lev.cell_level[final_not], 0);
+}
+
+TEST(Stats, SequentialLoopIsNotCombinational) {
+  // q = DFF(x); x = NOT(q) — a legal sequential loop.
+  std::string text = "INPUT(a)\nOUTPUT(q)\nq = DFF(x)\nx = NOR(q, a)\n";
+  Netlist nl = parse_bench_string(text, "loop", &test::library());
+  Levelization lev = levelize(nl);
+  EXPECT_FALSE(lev.has_combinational_loop);
+}
+
+TEST(Stats, ToStringMentionsKeyNumbers) {
+  Netlist nl = parse_bench_string(test::kC17Bench, "c17", &test::library());
+  std::string s = to_string(compute_stats(nl));
+  EXPECT_NE(s.find("6 cells"), std::string::npos);
+  EXPECT_NE(s.find("11 nets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sma::netlist

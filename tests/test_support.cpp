@@ -1,0 +1,65 @@
+#include "test_support.hpp"
+
+#include <map>
+#include <tuple>
+
+#include "netlist/generator.hpp"
+
+namespace sma::test {
+
+const tech::CellLibrary& library() {
+  static const tech::CellLibrary kLibrary =
+      tech::CellLibrary::nangate45_like();
+  return kLibrary;
+}
+
+const char* kC17Bench = R"(# c17 ISCAS-85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+layout::Design small_routed_design(int gates, std::uint64_t seed) {
+  netlist::GeneratorConfig config;
+  config.num_inputs = std::max(8, gates / 10);
+  config.num_outputs = std::max(4, gates / 20);
+  config.num_gates = gates;
+  config.seed = seed;
+  netlist::Netlist nl =
+      netlist::generate_netlist(config, "small", &library());
+  layout::FlowConfig flow;
+  flow.seed = seed;
+  return layout::run_flow(std::move(nl), flow);
+}
+
+SmallSplit small_split(int split_layer, int gates, std::uint64_t seed) {
+  SmallSplit result;
+  result.design =
+      std::make_unique<layout::Design>(small_routed_design(gates, seed));
+  result.split = std::make_unique<split::SplitDesign>(result.design.get(),
+                                                      split_layer);
+  return result;
+}
+
+const SmallSplit& shared_split(int split_layer, int gates,
+                               std::uint64_t seed) {
+  static std::map<std::tuple<int, int, std::uint64_t>, SmallSplit> cache;
+  auto key = std::make_tuple(split_layer, gates, seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, small_split(split_layer, gates, seed)).first;
+  }
+  return it->second;
+}
+
+}  // namespace sma::test

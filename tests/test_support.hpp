@@ -1,0 +1,40 @@
+// Shared fixtures/helpers for the test suite.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "eval/experiment.hpp"
+#include "layout/design.hpp"
+#include "netlist/netlist.hpp"
+#include "split/split_design.hpp"
+#include "tech/cell_library.hpp"
+
+namespace sma::test {
+
+/// Process-wide default library (cheap to build, but sharing keeps tests
+/// terse).
+const tech::CellLibrary& library();
+
+/// The real ISCAS-85 c17 netlist in .bench format (public-domain
+/// benchmark, 6 NAND gates) — ground truth for parser tests.
+extern const char* kC17Bench;
+
+/// A small generated netlist, placed and routed with fast settings.
+layout::Design small_routed_design(int gates = 60, std::uint64_t seed = 3);
+
+/// A small design split at `layer`.
+struct SmallSplit {
+  std::unique_ptr<layout::Design> design;
+  std::unique_ptr<split::SplitDesign> split;
+};
+SmallSplit small_split(int split_layer, int gates = 60,
+                       std::uint64_t seed = 3);
+
+/// Process-wide cached split (M3 splits need a few hundred gates to carry
+/// a meaningful number of fragments; rebuilding one per test would
+/// dominate suite runtime). Do not mutate through this reference.
+const SmallSplit& shared_split(int split_layer, int gates = 400,
+                               std::uint64_t seed = 7);
+
+}  // namespace sma::test

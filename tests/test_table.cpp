@@ -1,0 +1,38 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sma::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "bb"});
+  t.add_row({"xxx", "y"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("a    bb"), std::string::npos);
+  EXPECT_NE(s.find("xxx  y"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 4), "3.1416");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatDouble, NanRendersAsNa) {
+  EXPECT_EQ(format_double(std::nan(""), 2), "N/A");
+}
+
+}  // namespace
+}  // namespace sma::util

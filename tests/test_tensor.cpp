@@ -1,0 +1,61 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sma::nn {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(2), 4);
+  EXPECT_EQ(t.shape_string(), "[2, 3, 4]");
+  EXPECT_FALSE(t.empty());
+  Tensor empty;
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({5, 5});
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(Tensor, FillAndIndex) {
+  Tensor t({3});
+  t.fill(2.5f);
+  EXPECT_EQ(t[0], 2.5f);
+  t[1] = -1.0f;
+  EXPECT_EQ(t[1], -1.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t[7] = 9.0f;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t[7], 9.0f);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, RandnStatistics) {
+  util::Pcg32 rng(3);
+  Tensor t = Tensor::randn({10000}, rng, 0.5);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  EXPECT_NEAR(sum / t.size(), 0.0, 0.03);
+  EXPECT_NEAR(sq / t.size(), 0.25, 0.03);
+}
+
+TEST(Tensor, NegativeDimensionRejected) {
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sma::nn

@@ -1,0 +1,136 @@
+#include "features/vector_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+
+namespace sma::features {
+namespace {
+
+class VectorFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s_ = &test::shared_split(3, 400, 7);
+    queries_ = split::build_queries(*s_->split);
+    ASSERT_FALSE(queries_.empty());
+  }
+  const test::SmallSplit* s_ = nullptr;
+  std::vector<split::SinkQuery> queries_;
+};
+
+TEST_F(VectorFeaturesTest, NamesMatchWidth) {
+  EXPECT_EQ(vector_feature_names().size(),
+            static_cast<std::size_t>(kNumVectorFeatures));
+  EXPECT_EQ(kNumVectorFeatures, 27);  // the paper's fc1 input width
+}
+
+TEST_F(VectorFeaturesTest, AllFinite) {
+  for (const split::SinkQuery& q : queries_) {
+    for (const split::Vpp& vpp : q.candidates) {
+      VectorFeatures f = compute_vector_features(*s_->split, vpp);
+      for (float v : f) {
+        EXPECT_TRUE(std::isfinite(v));
+      }
+    }
+  }
+}
+
+TEST_F(VectorFeaturesTest, DistanceConsistency) {
+  for (const split::SinkQuery& q : queries_) {
+    for (const split::Vpp& vpp : q.candidates) {
+      VectorFeatures f = compute_vector_features(*s_->split, vpp);
+      // |signed| == abs features.
+      EXPECT_FLOAT_EQ(std::abs(f[0]), f[2]);
+      EXPECT_FLOAT_EQ(std::abs(f[1]), f[3]);
+      // Manhattan = |pref| + |nonpref|.
+      EXPECT_NEAR(f[4], f[2] + f[3], 1e-4);
+      // Ratio features have consistent sign.
+      EXPECT_EQ(f[0] < 0, f[5] < 0);
+      EXPECT_GE(f[9], 0.0f);
+      EXPECT_LE(f[9], 1.0f);  // distance cannot exceed the half-perimeter
+    }
+  }
+}
+
+TEST_F(VectorFeaturesTest, ElectricalBoundsOrdered) {
+  for (const split::SinkQuery& q : queries_) {
+    for (const split::Vpp& vpp : q.candidates) {
+      VectorFeatures f = compute_vector_features(*s_->split, vpp);
+      EXPECT_GT(f[10], 0.0f) << "driver max cap must be positive";
+      EXPECT_GE(f[11], 0.0f);
+      EXPECT_GE(f[12], 1.0f) << "sink fragment has at least one sink";
+      EXPECT_GE(f[23], 0.0f) << "delay bound non-negative";
+    }
+  }
+}
+
+TEST_F(VectorFeaturesTest, WirelengthsRespectSplitLayer) {
+  // Split at M3: per-layer wirelengths for M1..M3 may be nonzero; totals
+  // equal the fragment accounting.
+  for (const split::SinkQuery& q : queries_) {
+    for (const split::Vpp& vpp : q.candidates) {
+      VectorFeatures f = compute_vector_features(*s_->split, vpp);
+      float src_sum = f[13] + f[14] + f[15];
+      EXPECT_NEAR(src_sum, f[24], 1e-3);
+      float snk_sum = f[16] + f[17] + f[18];
+      EXPECT_NEAR(snk_sum, f[25], 1e-3);
+    }
+  }
+}
+
+TEST_F(VectorFeaturesTest, M1SplitZerosUpperLayerFeatures) {
+  const test::SmallSplit& m1 = test::shared_split(1, 400, 7);
+  auto queries = split::build_queries(*m1.split);
+  for (const split::SinkQuery& q : queries) {
+    for (const split::Vpp& vpp : q.candidates) {
+      VectorFeatures f = compute_vector_features(*m1.split, vpp);
+      EXPECT_EQ(f[14], 0.0f);  // no M2 in the FEOL
+      EXPECT_EQ(f[15], 0.0f);  // no M3
+      EXPECT_EQ(f[19], 0.0f);  // no V12 vias
+      EXPECT_EQ(f[20], 0.0f);
+    }
+  }
+}
+
+TEST_F(VectorFeaturesTest, PositiveVppTendsToBeCloser) {
+  // Averaged over queries, the positive candidate's Manhattan distance
+  // should not exceed the mean candidate distance — the physical-design
+  // locality the attack exploits.
+  double positive_sum = 0.0;
+  double all_sum = 0.0;
+  int positive_count = 0;
+  int all_count = 0;
+  for (const split::SinkQuery& q : queries_) {
+    for (const split::Vpp& vpp : q.candidates) {
+      VectorFeatures f = compute_vector_features(*s_->split, vpp);
+      all_sum += f[4];
+      ++all_count;
+      if (vpp.positive) {
+        positive_sum += f[4];
+        ++positive_count;
+      }
+    }
+  }
+  ASSERT_GT(positive_count, 0);
+  EXPECT_LT(positive_sum / positive_count, all_sum / all_count);
+}
+
+TEST_F(VectorFeaturesTest, FragmentElectricalSourceVsSink) {
+  for (int source_id : s_->split->source_fragments()) {
+    FragmentElectrical e =
+        fragment_electrical(*s_->split, s_->split->fragment(source_id));
+    EXPECT_GT(e.driver_max_cap, 0.0);
+    EXPECT_GT(e.driver_resistance, 0.0);
+  }
+  for (int sink_id : s_->split->sink_fragments()) {
+    FragmentElectrical e =
+        fragment_electrical(*s_->split, s_->split->fragment(sink_id));
+    EXPECT_EQ(e.driver_max_cap, 0.0);
+    EXPECT_GT(e.sink_pin_cap, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sma::features
