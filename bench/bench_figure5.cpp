@@ -6,11 +6,13 @@
 // Expected shape: CCR(two-class) < CCR(vec) <= CCR(vec+img) (the paper
 // reports 1.00 : 1.07 : 1.09), with comparable inference times.
 //
-// Flags: --fast (default) / --paper, --designs=...
+// Flags: --fast (default) / --paper, --designs=..., --threads=N
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "eval/experiment.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -20,6 +22,7 @@ int main(int argc, char** argv) {
 
   sma::eval::ExperimentProfile profile = sma::eval::ExperimentProfile::fast();
   std::vector<std::string> design_filter;
+  std::optional<int> threads;  // applied last: flag order must not matter
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--paper") {
@@ -27,19 +30,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--fast") {
       profile = sma::eval::ExperimentProfile::fast();
     } else if (arg.rfind("--designs=", 0) == 0) {
-      std::string csv = arg.substr(10);
-      std::size_t start = 0;
-      while (start <= csv.size()) {
-        std::size_t comma = csv.find(',', start);
-        if (comma == std::string::npos) comma = csv.size();
-        if (comma > start) design_filter.push_back(csv.substr(start, comma - start));
-        start = comma + 1;
-      }
+      design_filter = sma::benchutil::split_list(arg.substr(10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = sma::benchutil::parse_int(arg.substr(10), "--threads", 0);
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
     }
   }
+  if (threads) profile.runtime.threads = *threads;
 
   // Figure 5 averages over the to-be-attacked designs; by default use the
   // small and mid-size ones so all three settings run in minutes.

@@ -1,0 +1,167 @@
+// Serial-vs-parallel speedup of the experiment pipeline (the tentpole
+// measurement for the runtime subsystem): run_table3 with the fast()
+// profile at each requested thread count, verifying along the way that
+// every thread count produces row-for-row identical CCRs (the runtime's
+// determinism contract).
+//
+// Human-readable progress goes to stderr; stdout carries exactly one JSON
+// object (scripts/bench.sh redirects it to BENCH_parallel.json).
+//
+// Flags:
+//   --threads=1,2,4    thread counts to sweep (first one is the baseline)
+//   --designs=c432,... victim subset (default: four small/mid designs)
+//   --layer=1          split layer
+//   --paper            full-fidelity profile (very slow; default --fast)
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "eval/experiment.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using sma::benchutil::split_list;
+using sma::eval::ExperimentProfile;
+using sma::eval::Table3Result;
+
+/// The determinism contract covers the DL side (models, CCRs, candidate
+/// hit rates). Flow-attack timeouts are wall-clock budgets and may
+/// legitimately flip under contention, so flow columns are excluded.
+bool dl_rows_identical(const Table3Result& a, const Table3Result& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i].design != b.rows[i].design) return false;
+    if (a.rows[i].num_sink_fragments != b.rows[i].num_sink_fragments) {
+      return false;
+    }
+    if (a.rows[i].num_source_fragments != b.rows[i].num_source_fragments) {
+      return false;
+    }
+    if (a.rows[i].dl_ccr != b.rows[i].dl_ccr) return false;
+    if (a.rows[i].hit_rate != b.rows[i].hit_rate) return false;
+  }
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sma::util::set_log_level(sma::util::LogLevel::kWarn);
+
+  ExperimentProfile profile = ExperimentProfile::fast();
+  std::string profile_name = "fast";
+  std::vector<int> threads = {1, 2, 4};
+  std::vector<std::string> design_names = {"c432", "c880", "b7", "b13"};
+  int layer = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--paper") {
+      profile = ExperimentProfile::paper();
+      profile_name = "paper";
+    } else if (arg == "--fast") {
+      profile = ExperimentProfile::fast();
+      profile_name = "fast";
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads.clear();
+      for (const std::string& t : split_list(arg.substr(10))) {
+        threads.push_back(sma::benchutil::parse_int(t, "--threads", 1));
+      }
+    } else if (arg.rfind("--designs=", 0) == 0) {
+      design_names = split_list(arg.substr(10));
+    } else if (arg.rfind("--layer=", 0) == 0) {
+      layer = sma::benchutil::parse_int(arg.substr(8), "--layer", 1);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (threads.empty()) {
+    std::cerr << "need at least one thread count\n";
+    return 2;
+  }
+
+  std::vector<sma::netlist::DesignProfile> designs;
+  for (const std::string& name : design_names) {
+    try {
+      designs.push_back(sma::netlist::find_profile(name));
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  std::cerr << "bench_parallel: run_table3 M" << layer << ", profile "
+            << profile_name << ", " << designs.size()
+            << " designs, host concurrency "
+            << sma::runtime::Config{}.resolved() << "\n";
+
+  struct Run {
+    int threads = 0;
+    double seconds = 0.0;
+    double train_seconds = 0.0;
+  };
+  std::vector<Run> runs;
+  Table3Result baseline;
+  bool deterministic = true;
+  double baseline_seconds = 0.0;
+
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    ExperimentProfile variant = profile;
+    variant.runtime.threads = threads[i];
+    sma::util::Timer timer;
+    Table3Result result =
+        sma::eval::run_table3(layer, variant, sma::layout::FlowConfig{},
+                              designs, /*seed=*/2019);
+    Run run;
+    run.threads = threads[i];
+    run.seconds = timer.seconds();
+    run.train_seconds = result.train_seconds;
+    runs.push_back(run);
+
+    if (i == 0) {
+      baseline = result;
+      baseline_seconds = run.seconds;
+    } else if (!dl_rows_identical(baseline, result)) {
+      deterministic = false;
+    }
+    std::cerr << "  threads=" << run.threads << ": " << run.seconds
+              << "s total (train " << run.train_seconds << "s), speedup "
+              << baseline_seconds / run.seconds << "x\n";
+  }
+
+  std::ostringstream json;
+  json << "{\"bench\": \"parallel\", \"profile\": \"" << profile_name
+       << "\", \"layer\": " << layer << ", \"designs\": [";
+  for (std::size_t i = 0; i < design_names.size(); ++i) {
+    json << (i ? ", " : "") << "\"" << json_escape(design_names[i]) << "\"";
+  }
+  json << "], \"host_concurrency\": " << sma::runtime::Config{}.resolved()
+       << ", \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    json << (i ? ", " : "") << "{\"threads\": " << runs[i].threads
+         << ", \"seconds\": " << runs[i].seconds
+         << ", \"train_seconds\": " << runs[i].train_seconds
+         << ", \"speedup\": " << baseline_seconds / runs[i].seconds << "}";
+  }
+  json << "], \"deterministic\": " << (deterministic ? "true" : "false")
+       << "}";
+  std::cout << json.str() << "\n";
+  std::cerr << (deterministic
+                    ? "determinism check: all thread counts identical\n"
+                    : "determinism check FAILED: rows differ across runs\n");
+  return deterministic ? 0 : 1;
+}

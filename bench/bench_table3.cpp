@@ -7,6 +7,12 @@
 //   --layers=1,3       which split layers to run
 //   --designs=c432,... subset of designs (default: all 16)
 //   --flow-timeout=S   network-flow budget per design in seconds
+//   --threads=N        runtime threads (default: hardware concurrency;
+//                      DL results are identical at any thread count, but
+//                      flow-attack timeout verdicts are wall-clock-based
+//                      and can flip under contention, and per-design
+//                      Time columns reflect the contended run — use
+//                      --threads=1 for paper-comparable runtimes)
 //
 // Expected shape (not absolute numbers — our substrate is a from-scratch
 // simulator, not the authors' Innovus testbed): DL CCR >= flow CCR on
@@ -14,31 +20,22 @@
 // faster on the large designs, where the flow attack times out.
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "eval/experiment.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
 namespace {
 
+using sma::benchutil::split_list;
 using sma::eval::ExperimentProfile;
 using sma::eval::Table3Result;
 using sma::eval::Table3Row;
 using sma::util::format_double;
-
-std::vector<std::string> split_list(const std::string& csv) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= csv.size()) {
-    std::size_t comma = csv.find(',', start);
-    if (comma == std::string::npos) comma = csv.size();
-    if (comma > start) out.push_back(csv.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return out;
-}
 
 }  // namespace
 
@@ -49,6 +46,10 @@ int main(int argc, char** argv) {
   bool paper_mode = false;
   std::vector<int> layers = {1, 3};
   std::vector<std::string> design_filter;
+  // Profile tweaks are collected and applied after the loop so flag
+  // order doesn't matter (--threads=1 --paper must keep 1 thread).
+  std::optional<double> flow_timeout;
+  std::optional<int> threads;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--paper") {
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
       paper_mode = true;
     } else if (arg == "--fast") {
       profile = ExperimentProfile::fast();
+      paper_mode = false;
     } else if (arg.rfind("--layers=", 0) == 0) {
       layers.clear();
       for (const std::string& l : split_list(arg.substr(9))) {
@@ -64,12 +66,18 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--designs=", 0) == 0) {
       design_filter = split_list(arg.substr(10));
     } else if (arg.rfind("--flow-timeout=", 0) == 0) {
-      profile.flow_attack.timeout_seconds = std::stod(arg.substr(15));
+      flow_timeout =
+          sma::benchutil::parse_double(arg.substr(15), "--flow-timeout", 0.0);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      // 0 = hardware concurrency; negative thread counts are nonsense.
+      threads = sma::benchutil::parse_int(arg.substr(10), "--threads", 0);
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
     }
   }
+  if (flow_timeout) profile.flow_attack.timeout_seconds = *flow_timeout;
+  if (threads) profile.runtime.threads = *threads;
 
   std::vector<sma::netlist::DesignProfile> designs;
   for (const auto& p : sma::netlist::attack_profiles()) {

@@ -1,0 +1,66 @@
+// Small helpers shared by the bench main()s.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sma::benchutil {
+
+/// Parse an integer flag value; exits(2) with a message naming the flag
+/// on malformed input or a value below `min_value`.
+inline int parse_int(const std::string& value, const std::string& flag,
+                     int min_value) {
+  int parsed = 0;
+  try {
+    std::size_t used = 0;
+    parsed = std::stoi(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+  } catch (const std::exception&) {
+    std::cerr << "invalid integer for " << flag << ": '" << value << "'\n";
+    std::exit(2);
+  }
+  if (parsed < min_value) {
+    std::cerr << flag << " must be >= " << min_value << " (got " << parsed
+              << ")\n";
+    std::exit(2);
+  }
+  return parsed;
+}
+
+/// `parse_int`'s floating-point sibling.
+inline double parse_double(const std::string& value, const std::string& flag,
+                           double min_value) {
+  double parsed = 0.0;
+  try {
+    std::size_t used = 0;
+    parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+  } catch (const std::exception&) {
+    std::cerr << "invalid number for " << flag << ": '" << value << "'\n";
+    std::exit(2);
+  }
+  if (parsed < min_value) {
+    std::cerr << flag << " must be >= " << min_value << " (got " << parsed
+              << ")\n";
+    std::exit(2);
+  }
+  return parsed;
+}
+
+/// "a,b,c" -> {"a", "b", "c"}; empty tokens are dropped.
+inline std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace sma::benchutil

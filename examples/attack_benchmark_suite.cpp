@@ -4,6 +4,7 @@
 // Usage: attack_benchmark_suite [design] [split_layer]
 //   e.g. attack_benchmark_suite c880 3
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "attack/dl_attack.hpp"
@@ -23,6 +24,13 @@ int main(int argc, char** argv) {
   sma::eval::ExperimentProfile profile =
       sma::eval::ExperimentProfile::fast();
 
+  // All stages share one pool sized to the host (results are identical
+  // at any thread count; see src/runtime/).
+  std::unique_ptr<sma::runtime::ThreadPool> pool_owner =
+      profile.runtime.make_pool();
+  sma::runtime::ThreadPool* pool = pool_owner.get();
+  profile.dataset.pool = pool;
+
   // Train on the standard training corpus (smaller subset for an example).
   std::vector<sma::eval::PreparedSplit> prepared_store;
   std::vector<sma::attack::QueryDataset> training;
@@ -41,7 +49,7 @@ int main(int argc, char** argv) {
       static_cast<int>(profile.dataset.images.pixel_sizes.size());
   sma::attack::DlAttack dl(net_config);
   profile.train.epochs = 10;
-  dl.train(training, validation, profile.train);
+  dl.train(training, validation, profile.train, pool);
 
   // Victim.
   sma::eval::PreparedSplit victim = sma::eval::prepare_split(
@@ -53,7 +61,7 @@ int main(int argc, char** argv) {
             << stats.num_source_fragments << " source fragments\n\n";
 
   sma::attack::QueryDataset dataset(victim.split.get(), profile.dataset);
-  sma::attack::AttackResult dl_result = dl.attack(dataset);
+  sma::attack::AttackResult dl_result = dl.attack(dataset, pool);
   sma::attack::AttackResult flow_result =
       sma::attack::run_flow_attack(*victim.split, profile.flow_attack);
   sma::attack::AttackResult prox_result =

@@ -6,6 +6,7 @@
 //   4. train the paper's DL model on another layout from the same flow,
 //   5. attack: recover the hidden BEOL connections, report CCR.
 #include <iostream>
+#include <memory>
 
 #include "attack/dl_attack.hpp"
 #include "attack/proximity_attack.hpp"
@@ -53,7 +54,15 @@ int main() {
   sma::eval::ExperimentProfile profile =
       sma::eval::ExperimentProfile::fast();
   profile.train.epochs = 8;
+
+  // Parallel runtime: one pool for feature extraction, training lanes and
+  // inference. Thread count never changes the numbers below.
+  std::unique_ptr<sma::runtime::ThreadPool> pool_owner =
+      profile.runtime.make_pool();
+  sma::runtime::ThreadPool* pool = pool_owner.get();
+
   sma::attack::DatasetConfig dataset_config = profile.dataset;
+  dataset_config.pool = pool;
   std::vector<sma::attack::QueryDataset> training;
   training.emplace_back(&training_split, dataset_config);
   std::vector<sma::attack::QueryDataset> validation;
@@ -63,14 +72,14 @@ int main() {
       static_cast<int>(dataset_config.images.pixel_sizes.size());
   sma::attack::DlAttack dl(net_config);
   sma::attack::TrainStats train_stats =
-      dl.train(training, validation, profile.train);
+      dl.train(training, validation, profile.train, pool);
   std::cout << "trained " << dl.net().num_parameters() << " parameters in "
             << train_stats.seconds << "s (final loss "
             << train_stats.epoch_loss.back() << ")\n";
 
   // 5. Attack.
   sma::attack::QueryDataset victim(&split, dataset_config);
-  sma::attack::AttackResult result = dl.attack(victim);
+  sma::attack::AttackResult result = dl.attack(victim, pool);
   sma::attack::AttackResult proximity =
       sma::attack::run_proximity_attack(split);
   std::cout << "DL attack CCR: " << result.ccr * 100 << "% in "

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run the parallel-runtime speedup bench and emit BENCH_parallel.json.
+#
+# Usage: scripts/bench.sh [extra bench_parallel flags]
+#   e.g. scripts/bench.sh --threads=1,2,4,8 --layer=3
+#
+# The bench prints human-readable progress on stderr and exactly one JSON
+# object on stdout; exit status is non-zero if the determinism check
+# (identical CCRs at every thread count) fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ ! -d build ]; then
+  cmake -B build -S . >&2
+fi
+# Always (re)build — incremental and cheap, and it prevents silently
+# benchmarking a stale binary after source changes.
+cmake --build build -j --target bench_parallel >&2
+
+build/bench_parallel "$@" > BENCH_parallel.json
+echo "wrote BENCH_parallel.json:" >&2
+cat BENCH_parallel.json

@@ -1,6 +1,9 @@
 #include "attack/dataset.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "runtime/parallel.hpp"
 
 namespace sma::attack {
 
@@ -9,16 +12,51 @@ QueryDataset::QueryDataset(const split::SplitDesign* split,
     : split_(split), config_(config) {
   queries_ = split::build_queries(*split_, config_.candidates);
   vector_features_.resize(queries_.size());
-  for (std::size_t i = 0; i < queries_.size(); ++i) {
-    vector_features_[i].reserve(queries_[i].candidates.size());
-    for (const split::Vpp& vpp : queries_[i].candidates) {
-      vector_features_[i].push_back(
-          features::compute_vector_features(*split_, vpp));
-    }
-  }
+  runtime::parallel_for(
+      config_.pool, 0, queries_.size(), /*grain=*/8, [this](std::size_t i) {
+        vector_features_[i].reserve(queries_[i].candidates.size());
+        for (const split::Vpp& vpp : queries_[i].candidates) {
+          vector_features_[i].push_back(
+              features::compute_vector_features(*split_, vpp));
+        }
+      });
   if (config_.build_images) {
     renderer_ =
         std::make_unique<features::ImageRenderer>(split_, config_.images);
+    if (config_.pool != nullptr) prebuild_images(config_.pool);
+  }
+}
+
+std::vector<int> QueryDataset::referenced_pins() const {
+  std::vector<int> pins;
+  for (const split::SinkQuery& query : queries_) {
+    for (const split::Vpp& vpp : query.candidates) {
+      pins.push_back(vpp.source_vp);
+    }
+    if (!query.candidates.empty()) {
+      const split::Fragment& sink = split_->fragment(query.sink_fragment);
+      pins.push_back(sink.virtual_pins.front());
+    }
+  }
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  return pins;
+}
+
+void QueryDataset::prebuild_images(runtime::ThreadPool* pool) {
+  if (!config_.build_images || renderer_ == nullptr) return;
+  if (pool == nullptr) pool = config_.pool;
+
+  std::vector<int> pins = referenced_pins();
+  std::erase_if(pins, [this](int pin) { return image_cache_.count(pin) > 0; });
+  if (pins.empty()) return;
+
+  // Rendering is pure per pin; the cache fill stays on this thread.
+  std::vector<std::vector<float>> images = runtime::parallel_map(
+      pool, pins.size(), /*grain=*/1,
+      [this, &pins](std::size_t i) { return renderer_->render(pins[i]); });
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    image_cache_.emplace(pins[i], std::move(images[i]));
   }
 }
 

@@ -2,8 +2,11 @@
 // network inputs, with cached virtual-pin images.
 //
 // One dataset wraps one split design. Vector features are computed eagerly
-// (they are cheap); images are rendered lazily per virtual pin and cached,
-// since the same pin appears in many queries.
+// (in parallel when the config carries a pool); images are rendered lazily
+// per virtual pin and cached, since the same pin appears in many queries.
+// With a pool, construction instead prebuilds every image the dataset can
+// ever need — after `prebuild_images()` the cache is immutable, making
+// `input()` safe to call from concurrent attack/training workers.
 #pragma once
 
 #include <memory>
@@ -13,6 +16,7 @@
 #include "features/image_features.hpp"
 #include "features/vector_features.hpp"
 #include "nn/attack_net.hpp"
+#include "runtime/thread_pool.hpp"
 #include "split/candidates.hpp"
 
 namespace sma::attack {
@@ -22,6 +26,9 @@ struct DatasetConfig {
   features::ImageConfig images;
   /// Skip all image work (vector-only attacks / ablation).
   bool build_images = true;
+  /// Non-owning pool for parallel feature extraction; null = serial. The
+  /// pool must outlive every dataset operation that uses it.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 class QueryDataset {
@@ -39,8 +46,14 @@ class QueryDataset {
   int num_sinks(std::size_t i) const { return queries_.at(i).num_sinks; }
 
   /// Assemble the network input for query `i`. Renders and caches images
-  /// on first use.
+  /// on first use. Safe to call concurrently only after
+  /// `prebuild_images()` (or construction with a pool, which prebuilds).
   nn::QueryInput input(std::size_t i);
+
+  /// Render every image any query references into the cache, in parallel
+  /// over `pool` (falling back to the config's pool, then serial).
+  /// Idempotent; a no-op for vector-only datasets.
+  void prebuild_images(runtime::ThreadPool* pool = nullptr);
 
   /// Weighted fraction of queries whose candidate list holds the truth.
   double candidate_hit_rate() const {
@@ -52,6 +65,9 @@ class QueryDataset {
 
  private:
   const std::vector<float>& image_of(int virtual_pin);
+  /// All virtual pins whose image some query needs, deduplicated, in a
+  /// deterministic order.
+  std::vector<int> referenced_pins() const;
 
   const split::SplitDesign* split_;
   DatasetConfig config_;

@@ -1,12 +1,39 @@
 #include "attack/dl_attack.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "runtime/parallel.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace sma::attack {
+
+namespace {
+
+/// One labelled training query.
+struct Ref {
+  int design;
+  int query;
+};
+
+/// Score one query on `net` and fill `out` (no-op choice for empty
+/// candidate lists, as in the serial reference implementation).
+void select_one(nn::AttackNet& net, QueryDataset& dataset, std::size_t i,
+                Selection& out) {
+  const split::SinkQuery& query = dataset.query(i);
+  out.sink_fragment = query.sink_fragment;
+  out.num_sinks = query.num_sinks;
+  if (query.candidates.empty()) return;
+  nn::QueryInput input = dataset.input(i);
+  nn::Tensor scores = net.forward(input);
+  int predicted = nn::predict(scores);
+  out.chosen_source = query.candidates[predicted].source_fragment;
+  out.correct = query.candidates[predicted].positive;
+}
+
+}  // namespace
 
 DlAttack::DlAttack(const nn::NetConfig& net_config) : net_(net_config) {}
 
@@ -14,20 +41,41 @@ DlAttack::DlAttack(nn::AttackNet net) : net_(std::move(net)) {}
 
 TrainStats DlAttack::train(std::vector<QueryDataset>& training,
                            std::vector<QueryDataset>& validation,
-                           const TrainConfig& config) {
+                           const TrainConfig& config,
+                           runtime::ThreadPool* pool) {
   util::Timer timer;
   TrainStats stats;
   util::Pcg32 rng(config.seed, 0x7a13);
 
   nn::Adam optimizer(net_.params(), config.adam);
   const bool two_class = net_.config().two_class;
+  const int lanes = std::max(1, config.batch_size);
+
+  // Lane replicas: identical weights, private gradients and activation
+  // caches. The lane structure runs even without a pool: accumulating a
+  // batch directly on the master net would associate the per-parameter
+  // float additions differently (backward's internal adds interleave
+  // with the cross-query sum), so only identical lane bookkeeping keeps
+  // serial and parallel models bit-identical. The lane count is fixed by
+  // the config — never by the pool — so the reduction order below is
+  // thread-count-invariant.
+  const bool use_lanes = lanes > 1;
+  std::vector<nn::AttackNet> lane_nets;
+  std::vector<std::vector<nn::Param>> lane_params;
+  std::vector<nn::Param> master_params;
+  if (use_lanes) {
+    lane_nets.reserve(lanes);
+    for (int l = 0; l < lanes; ++l) lane_nets.push_back(net_.clone());
+    for (nn::AttackNet& lane : lane_nets) lane_params.push_back(lane.params());
+    master_params = net_.params();
+    // Concurrent lanes read the datasets' image caches; freeze them now.
+    if (pool != nullptr) {
+      for (QueryDataset& dataset : training) dataset.prebuild_images(pool);
+    }
+  }
 
   // Index all trainable queries (those whose candidate list contains the
   // positive VPP — Eq. 6 needs a labelled target).
-  struct Ref {
-    int design;
-    int query;
-  };
   std::vector<std::vector<Ref>> per_design(training.size());
   for (std::size_t d = 0; d < training.size(); ++d) {
     for (std::size_t q = 0; q < training[d].num_queries(); ++q) {
@@ -60,18 +108,81 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
     util::shuffle(order, rng);
 
     double epoch_loss = 0.0;
-    for (const Ref& ref : order) {
-      QueryDataset& dataset = training[ref.design];
-      nn::QueryInput input = dataset.input(ref.query);
-      nn::Tensor scores = net_.forward(input);
-      nn::LossResult loss =
-          two_class ? nn::two_class_loss(scores, dataset.target(ref.query))
+    if (!use_lanes) {
+      // The paper's per-query SGD, unchanged. Adam runs serially here —
+      // a per-query fork/join over small tensors costs more than it
+      // saves.
+      for (const Ref& ref : order) {
+        QueryDataset& dataset = training[ref.design];
+        nn::QueryInput input = dataset.input(ref.query);
+        nn::Tensor scores = net_.forward(input);
+        nn::LossResult loss =
+            two_class ? nn::two_class_loss(scores, dataset.target(ref.query))
+                      : nn::softmax_regression_loss(
+                            scores, dataset.target(ref.query));
+        net_.backward(loss.grad);
+        optimizer.step(nullptr);
+        epoch_loss += loss.loss;
+        ++stats.queries_seen;
+      }
+    } else {
+      std::vector<double> lane_loss(static_cast<std::size_t>(lanes), 0.0);
+      for (std::size_t base = 0; base < order.size();
+           base += static_cast<std::size_t>(lanes)) {
+        const int active = static_cast<int>(
+            std::min<std::size_t>(lanes, order.size() - base));
+
+        // Forward/backward one query per lane, concurrently.
+        runtime::TaskGroup group(pool);
+        for (int l = 0; l < active; ++l) {
+          group.run([l, base, two_class, &order, &training, &lane_nets,
+                     &lane_loss] {
+            const Ref& ref = order[base + static_cast<std::size_t>(l)];
+            QueryDataset& dataset = training[ref.design];
+            nn::QueryInput input = dataset.input(ref.query);
+            nn::AttackNet& net = lane_nets[l];
+            nn::Tensor scores = net.forward(input);
+            nn::LossResult loss =
+                two_class
+                    ? nn::two_class_loss(scores, dataset.target(ref.query))
                     : nn::softmax_regression_loss(scores,
                                                   dataset.target(ref.query));
-      net_.backward(loss.grad);
-      optimizer.step();
-      epoch_loss += loss.loss;
-      ++stats.queries_seen;
+            net.backward(loss.grad);
+            lane_loss[l] = loss.loss;
+          });
+        }
+        group.wait();
+
+        // Reduce: per parameter, add lane gradients in lane order — the
+        // order (hence the float sum) is independent of scheduling.
+        runtime::parallel_for(
+            pool, 0, master_params.size(), /*grain=*/4, [&](std::size_t k) {
+              float* master = master_params[k].grad->data();
+              const std::size_t size = master_params[k].grad->size();
+              for (int l = 0; l < active; ++l) {
+                float* lane = lane_params[l][k].grad->data();
+                for (std::size_t j = 0; j < size; ++j) {
+                  master[j] += lane[j];
+                  lane[j] = 0.0f;
+                }
+              }
+            });
+        optimizer.step(pool);
+
+        // Broadcast the updated weights back to every lane.
+        runtime::parallel_for(
+            pool, 0, static_cast<std::size_t>(lanes) * master_params.size(),
+            /*grain=*/8, [&](std::size_t t) {
+              const std::size_t l = t / master_params.size();
+              const std::size_t k = t % master_params.size();
+              std::memcpy(lane_params[l][k].value->data(),
+                          master_params[k].value->data(),
+                          master_params[k].value->size() * sizeof(float));
+            });
+
+        for (int l = 0; l < active; ++l) epoch_loss += lane_loss[l];
+        stats.queries_seen += active;
+      }
     }
     stats.epoch_loss.push_back(
         order.empty() ? 0.0 : epoch_loss / static_cast<double>(order.size()));
@@ -81,7 +192,7 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
       long total = 0;
       long correct = 0;
       for (QueryDataset& dataset : validation) {
-        AttackResult result = attack(dataset);
+        AttackResult result = attack(dataset, pool);
         for (const Selection& s : result.selections) {
           total += s.num_sinks;
           if (s.correct) correct += s.num_sinks;
@@ -101,24 +212,41 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
   return stats;
 }
 
-AttackResult DlAttack::attack(QueryDataset& dataset) {
+AttackResult DlAttack::attack(QueryDataset& dataset,
+                              runtime::ThreadPool* pool) {
   util::Timer timer;
   AttackResult result;
   result.attack_name = net_.config().use_images ? "dl(vec+img)" : "dl(vec)";
+  const std::size_t n = dataset.num_queries();
+  result.selections.assign(n, Selection{});
 
-  for (std::size_t i = 0; i < dataset.num_queries(); ++i) {
-    const split::SinkQuery& query = dataset.query(i);
-    Selection selection;
-    selection.sink_fragment = query.sink_fragment;
-    selection.num_sinks = query.num_sinks;
-    if (!query.candidates.empty()) {
-      nn::QueryInput input = dataset.input(i);
-      nn::Tensor scores = net_.forward(input);
-      int predicted = nn::predict(scores);
-      selection.chosen_source = query.candidates[predicted].source_fragment;
-      selection.correct = query.candidates[predicted].positive;
+  if (pool == nullptr || n == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      select_one(net_, dataset, i, result.selections[i]);
     }
-    result.selections.push_back(selection);
+  } else {
+    // The shared net is only a clone source here, so concurrent attack()
+    // calls (e.g. parallel per-design evaluation) stay race-free.
+    dataset.prebuild_images(pool);
+    const std::size_t num_chunks = std::min<std::size_t>(
+        n, static_cast<std::size_t>(pool->num_threads()) + 1);
+    const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+    std::vector<nn::AttackNet> replicas;
+    replicas.reserve(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      replicas.push_back(net_.clone());
+    }
+    runtime::TaskGroup group(pool);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      group.run([c, chunk, n, &replicas, &dataset, &result] {
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = std::min(n, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          select_one(replicas[c], dataset, i, result.selections[i]);
+        }
+      });
+    }
+    group.wait();
   }
   result.ccr = compute_ccr(result.selections);
   result.seconds = timer.seconds();

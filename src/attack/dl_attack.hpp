@@ -5,6 +5,15 @@
 // designs; Adam with the paper's step-decay schedule. Attacking: for every
 // sink fragment of the victim design, pick the candidate with the highest
 // predicted score (Eq. 2).
+//
+// Parallel execution: with `batch_size` > 1 training accumulates the
+// gradients of a batch on fixed "lanes" — network replicas with identical
+// weights, one query per lane per step — and reduces lane gradients into
+// the Adam step in lane order. Lanes are scheduled on the pool but the
+// lane structure (and therefore every floating-point sum) depends only on
+// `batch_size`, so any thread count, including none, produces bit-identical
+// models. Inference partitions queries over per-worker replicas; each
+// query's scores land in its own slot, so parallel CCRs equal serial ones.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,7 @@
 #include "nn/attack_net.hpp"
 #include "nn/losses.hpp"
 #include "nn/optimizer.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace sma::attack {
 
@@ -25,6 +35,13 @@ struct TrainConfig {
   /// Cap on training queries drawn per design per epoch (subsampling keeps
   /// single-core training tractable; 0 = use all).
   int max_queries_per_design = 400;
+  /// Queries per optimizer step. 1 reproduces the paper's per-query SGD;
+  /// > 1 sums gradients over the batch via parallel lanes (the effective
+  /// step size grows with the batch, as with any summed minibatch, and a
+  /// trailing partial batch takes a proportionally smaller step). Changing
+  /// this changes the trained model — it is a training hyperparameter,
+  /// not a performance knob; thread count alone never changes results.
+  int batch_size = 1;
   std::uint64_t seed = 99;
   /// Report validation CCR every k epochs (0 = never).
   int validate_every = 0;
@@ -46,14 +63,20 @@ class DlAttack {
   nn::AttackNet& net() { return net_; }
 
   /// Train on `training` datasets; if `validation` is non-empty and
-  /// `config.validate_every` > 0, track validation CCR.
+  /// `config.validate_every` > 0, track validation CCR. `pool` only
+  /// changes wall-clock time, never the resulting model.
   TrainStats train(std::vector<QueryDataset>& training,
                    std::vector<QueryDataset>& validation,
-                   const TrainConfig& config);
+                   const TrainConfig& config,
+                   runtime::ThreadPool* pool = nullptr);
 
   /// Run inference over every query of `dataset` (runtime includes image
   /// rendering, which is part of feature extraction as in the paper).
-  AttackResult attack(QueryDataset& dataset);
+  /// With a pool the shared network is never used directly — workers run
+  /// replicas — so concurrent `attack` calls on one DlAttack are safe as
+  /// long as every call passes a pool.
+  AttackResult attack(QueryDataset& dataset,
+                      runtime::ThreadPool* pool = nullptr);
 
  private:
   nn::AttackNet net_;

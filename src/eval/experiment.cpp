@@ -1,7 +1,9 @@
 #include "eval/experiment.hpp"
 
 #include <cmath>
+#include <string>
 
+#include "runtime/parallel.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -34,6 +36,9 @@ ExperimentProfile ExperimentProfile::fast() {
   p.train.epochs = 12;
   p.train.decay_every = 8;
   p.train.max_queries_per_design = 250;
+  // Lane-parallel gradient accumulation; the lane count is part of the
+  // profile (not the thread count), so results are machine-independent.
+  p.train.batch_size = 8;
   p.flow_attack.timeout_seconds = 20.0;
   return p;
 }
@@ -47,6 +52,7 @@ ExperimentProfile ExperimentProfile::paper() {
   p.train.epochs = 60;
   p.train.decay_every = 20;
   p.train.max_queries_per_design = 0;  // all queries
+  p.train.batch_size = 1;  // the paper's per-query SGD
   p.flow_attack.timeout_seconds = 100000.0;
   return p;
 }
@@ -56,24 +62,46 @@ namespace {
 /// Build a dataset for one prepared design under `profile`.
 attack::QueryDataset make_dataset(const PreparedSplit& prepared,
                                   const ExperimentProfile& profile,
-                                  bool build_images) {
+                                  bool build_images,
+                                  runtime::ThreadPool* pool) {
   attack::DatasetConfig config = profile.dataset;
   config.build_images = build_images && profile.net.use_images;
+  config.pool = pool;
   return attack::QueryDataset(prepared.split.get(), config);
 }
 
 /// Train a DL attack over the standard training corpus at `split_layer`.
+/// Layout generation and feature extraction run per-design in parallel;
+/// training itself parallelizes over gradient lanes (see DlAttack).
 attack::DlAttack train_attack(int split_layer,
                               const ExperimentProfile& profile,
                               const layout::FlowConfig& flow,
-                              std::uint64_t seed, double* train_seconds) {
+                              std::uint64_t seed, double* train_seconds,
+                              runtime::ThreadPool* pool) {
   util::Timer timer;
+  const std::vector<netlist::DesignProfile>& profiles =
+      netlist::training_profiles();
+
+  // One task per training design covers layout generation and feature
+  // extraction; designs are independent, so no barrier between stages.
+  struct TrainingDesign {
+    PreparedSplit prepared;
+    std::unique_ptr<attack::QueryDataset> dataset;
+  };
+  std::vector<TrainingDesign> corpus = runtime::parallel_map(
+      pool, profiles.size(), /*grain=*/1, [&](std::size_t i) {
+        TrainingDesign design;
+        design.prepared =
+            prepare_split(profiles[i], split_layer, flow,
+                          seed ^ (profiles[i].num_gates * 31ull));
+        design.dataset = std::make_unique<attack::QueryDataset>(
+            make_dataset(design.prepared, profile, true, pool));
+        return design;
+      });
   std::vector<attack::QueryDataset> training;
-  std::vector<PreparedSplit> prepared_store;
-  for (const netlist::DesignProfile& p : netlist::training_profiles()) {
-    prepared_store.push_back(
-        prepare_split(p, split_layer, flow, seed ^ (p.num_gates * 31ull)));
-    training.push_back(make_dataset(prepared_store.back(), profile, true));
+  training.reserve(corpus.size());
+  for (TrainingDesign& design : corpus) {
+    training.push_back(std::move(*design.dataset));
   }
   std::vector<attack::QueryDataset> validation;  // optional; unused by default
 
@@ -82,7 +110,7 @@ attack::DlAttack train_attack(int split_layer,
       static_cast<int>(profile.dataset.images.pixel_sizes.size());
   net_config.seed ^= seed;
   attack::DlAttack dl(net_config);
-  dl.train(training, validation, profile.train);
+  dl.train(training, validation, profile.train, pool);
   if (train_seconds != nullptr) *train_seconds = timer.seconds();
   return dl;
 }
@@ -121,50 +149,67 @@ Table3Result run_table3(int split_layer, const ExperimentProfile& profile,
                         const layout::FlowConfig& flow,
                         const std::vector<netlist::DesignProfile>& designs,
                         std::uint64_t seed) {
+  std::unique_ptr<runtime::ThreadPool> owned_pool =
+      profile.runtime.make_pool();
+  runtime::ThreadPool* pool = owned_pool.get();
+
   Table3Result result;
-  attack::DlAttack dl =
-      train_attack(split_layer, profile, flow, seed, &result.train_seconds);
+  attack::DlAttack dl = train_attack(split_layer, profile, flow, seed,
+                                     &result.train_seconds, pool);
   util::log_info() << "M" << split_layer << " model trained in "
-                   << result.train_seconds << "s";
+                   << result.train_seconds << "s ("
+                   << profile.runtime.resolved() << " threads)";
 
-  for (const netlist::DesignProfile& design_profile : designs) {
-    PreparedSplit prepared =
-        prepare_split(design_profile, split_layer, flow,
-                      seed ^ 0x5151u ^ (design_profile.num_gates * 131ull));
+  // One task per victim design: layout generation, feature extraction,
+  // both attacks. Rows land in design order; every task that touches the
+  // network does so through a replica, so the rows match a serial run.
+  // Caveat: with threads > 1 the per-row *_seconds are wall-clock times
+  // of a contended run — use threads = 1 for paper-comparable runtimes.
+  result.rows = runtime::parallel_map(
+      pool, designs.size(), /*grain=*/1, [&](std::size_t d) {
+        const netlist::DesignProfile& design_profile = designs[d];
+        PreparedSplit prepared =
+            prepare_split(design_profile, split_layer, flow,
+                          seed ^ 0x5151u ^ (design_profile.num_gates * 131ull));
 
-    Table3Row row;
-    row.design = design_profile.name;
-    row.scaled_down = design_profile.scaled_down;
-    row.num_sink_fragments =
-        static_cast<int>(prepared.split->sink_fragments().size());
-    row.num_source_fragments =
-        static_cast<int>(prepared.split->source_fragments().size());
+        Table3Row row;
+        row.design = design_profile.name;
+        row.scaled_down = design_profile.scaled_down;
+        row.num_sink_fragments =
+            static_cast<int>(prepared.split->sink_fragments().size());
+        row.num_source_fragments =
+            static_cast<int>(prepared.split->source_fragments().size());
 
-    // DL attack: dataset construction is feature extraction, so its time
-    // counts toward the attack runtime (as in the paper).
-    util::Timer dl_timer;
-    attack::QueryDataset dataset = make_dataset(prepared, profile, true);
-    attack::AttackResult dl_result = dl.attack(dataset);
-    row.dl_ccr = dl_result.ccr;
-    row.dl_seconds = dl_timer.seconds();
-    row.hit_rate = dataset.candidate_hit_rate();
+        // DL attack: dataset construction is feature extraction, so its
+        // time counts toward the attack runtime (as in the paper).
+        util::Timer dl_timer;
+        attack::QueryDataset dataset =
+            make_dataset(prepared, profile, true, pool);
+        attack::AttackResult dl_result = dl.attack(dataset, pool);
+        row.dl_ccr = dl_result.ccr;
+        row.dl_seconds = dl_timer.seconds();
+        row.hit_rate = dataset.candidate_hit_rate();
 
-    attack::AttackResult flow_result =
-        attack::run_flow_attack(*prepared.split, profile.flow_attack);
-    row.flow_ccr = flow_result.ccr;
-    row.flow_seconds = flow_result.seconds;
-    row.flow_timed_out = flow_result.timed_out;
+        attack::AttackResult flow_result =
+            attack::run_flow_attack(*prepared.split, profile.flow_attack);
+        row.flow_ccr = flow_result.ccr;
+        row.flow_seconds = flow_result.seconds;
+        row.flow_timed_out = flow_result.timed_out;
 
-    util::log_info() << row.design << ": #Sk " << row.num_sink_fragments
-                     << ", #Sc " << row.num_source_fragments << ", DL "
-                     << row.dl_ccr * 100 << "% in " << row.dl_seconds
-                     << "s, flow "
-                     << (row.flow_timed_out
-                             ? std::string("timeout")
-                             : std::to_string(row.flow_ccr * 100) + "%")
-                     << " in " << row.flow_seconds << "s";
-    result.rows.push_back(row);
-  }
+        // Log as each design completes (interleaved under parallelism,
+        // but immediate — long runs need a liveness signal). Rows still
+        // land in design order.
+        util::log_info() << row.design << ": #Sk " << row.num_sink_fragments
+                         << ", #Sc " << row.num_source_fragments << ", DL "
+                         << row.dl_ccr * 100 << "% in " << row.dl_seconds
+                         << "s, flow "
+                         << (row.flow_timed_out
+                                 ? std::string("timeout")
+                                 : std::to_string(row.flow_ccr * 100) + "%")
+                         << " in " << row.flow_seconds << "s";
+        return row;
+      });
+
   finalize_averages(result);
   return result;
 }
@@ -173,6 +218,10 @@ std::vector<AblationRow> run_figure5(
     const ExperimentProfile& profile, const layout::FlowConfig& flow,
     const std::vector<netlist::DesignProfile>& designs, std::uint64_t seed) {
   constexpr int kSplitLayer = 3;  // the paper's Figure-5 baseline is M3
+
+  std::unique_ptr<runtime::ThreadPool> owned_pool =
+      profile.runtime.make_pool();
+  runtime::ThreadPool* pool = owned_pool.get();
 
   struct Setting {
     const char* name;
@@ -197,20 +246,30 @@ std::vector<AblationRow> run_figure5(
     variant.train.decay_every = 12;
 
     attack::DlAttack dl =
-        train_attack(kSplitLayer, variant, flow, seed, nullptr);
+        train_attack(kSplitLayer, variant, flow, seed, nullptr, pool);
 
+    struct PerDesign {
+      double ccr = 0.0;
+      double seconds = 0.0;
+    };
+    std::vector<PerDesign> per_design = runtime::parallel_map(
+        pool, designs.size(), /*grain=*/1, [&](std::size_t d) {
+          PreparedSplit prepared = prepare_split(
+              designs[d], kSplitLayer, flow,
+              seed ^ 0x5151u ^ (designs[d].num_gates * 131ull));
+          util::Timer timer;
+          attack::QueryDataset dataset =
+              make_dataset(prepared, variant, setting.use_images, pool);
+          attack::AttackResult result = dl.attack(dataset, pool);
+          return PerDesign{result.ccr, timer.seconds()};
+        });
+
+    // Deterministic reduction: sum in design order on this thread.
     double ccr_sum = 0.0;
     double secs_sum = 0.0;
-    for (const netlist::DesignProfile& design_profile : designs) {
-      PreparedSplit prepared =
-          prepare_split(design_profile, kSplitLayer, flow,
-                        seed ^ 0x5151u ^ (design_profile.num_gates * 131ull));
-      util::Timer timer;
-      attack::QueryDataset dataset =
-          make_dataset(prepared, variant, setting.use_images);
-      attack::AttackResult result = dl.attack(dataset);
-      ccr_sum += result.ccr;
-      secs_sum += timer.seconds();
+    for (const PerDesign& p : per_design) {
+      ccr_sum += p.ccr;
+      secs_sum += p.seconds;
     }
     AblationRow row;
     row.setting = setting.name;

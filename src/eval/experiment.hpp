@@ -18,6 +18,7 @@
 #include "attack/proximity_attack.hpp"
 #include "layout/design.hpp"
 #include "netlist/profiles.hpp"
+#include "runtime/thread_pool.hpp"
 #include "split/split_design.hpp"
 
 namespace sma::eval {
@@ -43,6 +44,12 @@ struct ExperimentProfile {
   nn::NetConfig net;
   attack::TrainConfig train;
   attack::FlowAttackConfig flow_attack;
+  /// Thread count for every stage (0 = hardware concurrency). Any value
+  /// yields bit-identical DL models and CCRs; only wall-clock time
+  /// changes. Sole exception: network-flow attack *timeouts* are
+  /// wall-clock budgets, so flow rows sitting near the timeout can flip
+  /// under contention.
+  runtime::Config runtime;
 
   static ExperimentProfile fast();
   static ExperimentProfile paper();

@@ -246,6 +246,17 @@ void AttackNet::save(std::ostream& out) {
   }
 }
 
+AttackNet AttackNet::clone() {
+  AttackNet copy(config_);
+  std::vector<Param> source = params();
+  std::vector<Param> target = copy.params();
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    std::memcpy(target[i].value->data(), source[i].value->data(),
+                source[i].value->size() * sizeof(float));
+  }
+  return copy;
+}
+
 AttackNet AttackNet::load(std::istream& in) {
   if (read_pod<std::uint32_t>(in) != kMagic) {
     throw std::runtime_error("not an AttackNet model file");

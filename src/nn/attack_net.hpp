@@ -70,6 +70,10 @@ class AttackNet {
   void save(std::ostream& out);
   static AttackNet load(std::istream& in);
 
+  /// A deep copy with identical weights and zeroed gradients — the
+  /// per-worker replica used for lane-parallel training and inference.
+  AttackNet clone();
+
  private:
   NetConfig config_;
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "nn/layers.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace sma::nn {
 
@@ -23,7 +24,9 @@ class Adam {
   Adam(std::vector<Param> params, const AdamConfig& config = {});
 
   /// Apply one update from the accumulated gradients, then zero them.
-  void step();
+  /// Parameters update independently, so a pool parallelizes over them
+  /// without changing the result.
+  void step(runtime::ThreadPool* pool = nullptr);
 
   /// Zero gradients without updating (e.g. after a skipped sample).
   void zero_grad();

@@ -1,0 +1,140 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace sma::runtime {
+
+int Config::resolved() const {
+  if (threads > 0) return threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::unique_ptr<ThreadPool> Config::make_pool() const {
+  const int n = resolved();
+  if (n <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(n - 1);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  num_threads_ =
+      threads > 0 ? threads
+                  : static_cast<int>(
+                        std::max(1u, std::thread::hardware_concurrency()));
+  workers_.reserve(static_cast<std::size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destruction swallows errors by necessity; the success path calls
+    // wait() itself and gets them rethrown there.
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (!state_->error) state_->error = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->jobs.push_back(std::move(fn));
+    ++state_->pending;
+  }
+  // The stub pulls from this group's queue; it becomes a no-op when a
+  // blocked joiner already executed the job. Sharing the state keeps a
+  // late no-op stub safe even after the group object is gone.
+  pool_->submit([state = state_] { state->execute_one(); });
+}
+
+bool TaskGroup::State::execute_one() {
+  std::function<void()> fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (jobs.empty()) return false;
+    fn = std::move(jobs.front());
+    jobs.pop_front();
+  }
+  try {
+    fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!error) error = std::current_exception();
+  }
+  // Notify while holding the mutex, so a woken joiner cannot finish and
+  // release its state reference while the cv is still being touched.
+  std::lock_guard<std::mutex> lock(mutex);
+  --pending;
+  cv.notify_all();
+  return true;
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->pending == 0) break;
+    }
+    // Help with our own queued jobs — never with unrelated pool work,
+    // which would drag foreign execution into the caller's stack and
+    // timed regions. Once the queue is dry the stragglers are running on
+    // other threads; sleep until a completion notifies us.
+    if (state_->execute_one()) continue;
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [this] { return state_->pending == 0; });
+  }
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->error) {
+    std::exception_ptr error = state_->error;
+    state_->error = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace sma::runtime

@@ -1,0 +1,110 @@
+// Deterministic parallel runtime.
+//
+// A fixed-size thread pool with a shared job queue, plus a `TaskGroup`
+// for heterogeneous fork/join work. Parallelism in this codebase follows
+// one contract: every parallel construct produces results bit-identical
+// to the serial execution of the same code (work is decomposed into
+// index-addressed tasks whose outputs land in pre-assigned slots, and
+// any floating-point reduction happens on the calling thread in a fixed
+// order). A null pool — or a pool of one thread — therefore degrades to
+// plain serial execution with no semantic difference.
+//
+// Nested parallelism is safe: `TaskGroup::wait` helps drain the pool's
+// queue while it blocks, so a pool task may itself fork and join on the
+// same pool without deadlocking.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sma::runtime {
+
+class ThreadPool;
+
+/// Thread-count knob carried by experiment profiles and bench flags.
+struct Config {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int threads = 0;
+
+  /// The effective thread count (>= 1).
+  int resolved() const;
+
+  /// A pool of `resolved() - 1` workers — the calling thread participates
+  /// in every parallel construct, so total compute threads == resolved().
+  /// Returns nullptr when resolved() is 1: callers pass the nullptr
+  /// straight through and run serially.
+  std::unique_ptr<ThreadPool> make_pool() const;
+};
+
+/// Fixed-size pool of workers over one shared FIFO queue.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueue a job. Jobs must not outlive the pool.
+  void submit(std::function<void()> job);
+
+ private:
+  void worker_loop();
+
+  int num_threads_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Fork/join scope for heterogeneous jobs. `run` either enqueues on the
+/// pool or — with a null pool — executes inline; `wait` blocks until all
+/// jobs finish and rethrows the first exception any of them raised.
+///
+/// Jobs live in the group's own queue; the pool only receives stubs that
+/// pull from it. A blocked `wait` therefore helps with *this group's*
+/// jobs only — it never pulls unrelated work into the caller's stack (or
+/// into a caller's timed region), and nested groups stay deadlock-free
+/// because every waiter can always run its own queued jobs.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  /// Waits for stragglers; exceptions still pending here are dropped, so
+  /// always `wait()` explicitly on the success path.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  /// Shared with the pool stubs, which may outlive the group (a stub
+  /// whose job a blocked joiner already ran becomes a late no-op).
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> jobs;
+    int pending = 0;
+    std::exception_ptr error;
+
+    /// Pop and run one queued job; false if none was queued.
+    bool execute_one();
+  };
+
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sma::runtime
