@@ -1,0 +1,432 @@
+// Kernel-core before/after benchmark (the tentpole measurement for the
+// blocked GEMM): naive reference kernels vs the blocked/packed kernels on
+// the GEMM shapes the fast-profile network actually runs, layer-level
+// conv/dense forward+backward timings, and an end-to-end training
+// throughput comparison (s/epoch) on one real design. Every timed pair is
+// also checked for bit-identical outputs — a speedup that changes results
+// would be a bug, not a win.
+//
+// Human-readable progress goes to stderr; stdout carries exactly one JSON
+// object (scripts/bench.sh redirects it to BENCH_kernels.json).
+//
+// Flags:
+//   --smoke        tiny shapes, no timing claims; exercises both backends
+//                  and verifies bit-identity (CI sanity mode)
+//   --design=c432  design used for the end-to-end training comparison
+//   --layer=1      split layer of the end-to-end comparison
+//   --epochs=2     training epochs per backend in the end-to-end pass
+//   --no-train     skip the end-to-end pass (micro benchmarks only)
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/dataset.hpp"
+#include "attack/dl_attack.hpp"
+#include "bench_util.hpp"
+#include "eval/experiment.hpp"
+#include "nn/gemm.hpp"
+#include "nn/layers.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using sma::nn::KernelBackend;
+using sma::nn::Tensor;
+
+bool g_all_identical = true;
+
+void check_identical(const float* a, const float* b, std::size_t n,
+                     const std::string& what) {
+  if (std::memcmp(a, b, n * sizeof(float)) != 0) {
+    g_all_identical = false;
+    std::cerr << "BIT-IDENTITY VIOLATION: " << what << "\n";
+  }
+}
+
+std::vector<float> random_vec(std::size_t n, sma::util::Pcg32& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.next_gaussian());
+  return v;
+}
+
+/// Seconds per call of `fn`, repeated until ~0.2 s of samples.
+template <typename Fn>
+double time_call(Fn&& fn, int min_reps = 3) {
+  fn();  // warmup
+  sma::util::Timer timer;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while ((timer.seconds() < 0.2 || reps < min_reps) && reps < 10000);
+  return timer.seconds() / reps;
+}
+
+struct GemmCase {
+  const char* form;  // "nn", "tn", "nt"
+  int m, n, k;
+  const char* role;
+};
+
+struct GemmResult {
+  GemmCase spec;
+  double naive_gflops = 0.0;
+  double blocked_gflops = 0.0;
+};
+
+GemmResult run_gemm_case(const GemmCase& spec, bool timed) {
+  sma::util::Pcg32 rng(0x9e3779b9u ^ spec.m ^ (spec.n << 8) ^ (spec.k << 16));
+  const std::size_t a_size =
+      static_cast<std::size_t>(spec.m) * spec.k;
+  const std::size_t b_size =
+      static_cast<std::size_t>(spec.k) * spec.n;
+  const std::size_t c_size =
+      static_cast<std::size_t>(spec.m) * spec.n;
+  std::vector<float> a = random_vec(a_size, rng);
+  std::vector<float> b = random_vec(b_size, rng);
+  std::vector<float> c_init = random_vec(c_size, rng);  // nonzero C: += forms
+
+  auto call = [&](float* c) {
+    if (std::strcmp(spec.form, "nn") == 0) {
+      sma::nn::gemm_nn(spec.m, spec.n, spec.k, a.data(), b.data(), c);
+    } else if (std::strcmp(spec.form, "tn") == 0) {
+      sma::nn::gemm_tn(spec.m, spec.n, spec.k, a.data(), b.data(), c);
+    } else {
+      sma::nn::gemm_nt(spec.m, spec.n, spec.k, a.data(), b.data(), c);
+    }
+  };
+
+  GemmResult result{spec, 0.0, 0.0};
+  const double flops = 2.0 * spec.m * spec.n * spec.k;
+
+  std::vector<float> c_naive = c_init;
+  sma::nn::set_kernel_backend(KernelBackend::kReference);
+  call(c_naive.data());
+  if (timed) {
+    std::vector<float> c_scratch = c_init;
+    result.naive_gflops =
+        flops / time_call([&] { call(c_scratch.data()); }) / 1e9;
+  }
+
+  std::vector<float> c_blocked = c_init;
+  sma::nn::set_kernel_backend(KernelBackend::kBlocked);
+  call(c_blocked.data());
+  if (timed) {
+    std::vector<float> c_scratch = c_init;
+    result.blocked_gflops =
+        flops / time_call([&] { call(c_scratch.data()); }) / 1e9;
+  }
+
+  std::ostringstream what;
+  what << "gemm_" << spec.form << " " << spec.m << "x" << spec.n << "x"
+       << spec.k;
+  check_identical(c_naive.data(), c_blocked.data(), c_size, what.str());
+  return result;
+}
+
+struct LayerResult {
+  std::string name;
+  double naive_fwd_us = 0.0;
+  double naive_bwd_us = 0.0;
+  double blocked_fwd_us = 0.0;
+  double blocked_bwd_us = 0.0;
+};
+
+/// Forward+backward timing of one conv layer under both backends, with
+/// bit-identity checks on output, input gradient and weight gradient.
+LayerResult run_conv_case(int in_ch, int out_ch, int stride, int imgs,
+                          int size, bool timed) {
+  std::ostringstream name;
+  name << "conv " << in_ch << "->" << out_ch << " s" << stride << " ["
+       << imgs << "x" << size << "x" << size << "]";
+  LayerResult result;
+  result.name = name.str();
+
+  sma::util::Pcg32 data_rng(1234);
+  Tensor x = Tensor::randn({imgs, in_ch, size, size}, data_rng, 1.0);
+
+  auto make_layer = [&] {
+    sma::util::Pcg32 rng(77);
+    return sma::nn::Conv2d(in_ch, out_ch, stride, rng, "bench",
+                           sma::nn::Act::kLeakyReLU);
+  };
+
+  Tensor y_ref;
+  Tensor dx_ref;
+  for (KernelBackend backend :
+       {KernelBackend::kReference, KernelBackend::kBlocked}) {
+    sma::nn::set_kernel_backend(backend);
+    sma::nn::Conv2d layer = make_layer();
+    Tensor y = layer.forward(x);
+    Tensor dy(y.shape());
+    sma::util::Pcg32 grad_rng(55);
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      dy[i] = static_cast<float>(grad_rng.next_gaussian());
+    }
+    Tensor dx = layer.backward(dy);
+    if (backend == KernelBackend::kReference) {
+      y_ref = y;
+      dx_ref = dx;
+      if (timed) {
+        result.naive_fwd_us = time_call([&] { layer.forward(x); }) * 1e6;
+        result.naive_bwd_us = time_call([&] { layer.backward(dy); }) * 1e6;
+      }
+    } else {
+      check_identical(y_ref.data(), y.data(), y.size(),
+                      result.name + " forward");
+      check_identical(dx_ref.data(), dx.data(), dx.size(),
+                      result.name + " backward");
+      if (timed) {
+        result.blocked_fwd_us = time_call([&] { layer.forward(x); }) * 1e6;
+        result.blocked_bwd_us = time_call([&] { layer.backward(dy); }) * 1e6;
+      }
+    }
+  }
+  return result;
+}
+
+LayerResult run_dense_case(int rows, int in, int out, bool timed) {
+  std::ostringstream name;
+  name << "dense " << rows << "x" << in << "->" << out;
+  LayerResult result;
+  result.name = name.str();
+
+  sma::util::Pcg32 data_rng(4321);
+  Tensor x = Tensor::randn({rows, in}, data_rng, 1.0);
+  Tensor dy = Tensor::randn({rows, out}, data_rng, 1.0);
+
+  Tensor y_ref;
+  Tensor dx_ref;
+  for (KernelBackend backend :
+       {KernelBackend::kReference, KernelBackend::kBlocked}) {
+    sma::nn::set_kernel_backend(backend);
+    sma::util::Pcg32 rng(88);
+    sma::nn::Linear layer(in, out, rng, "bench", sma::nn::Act::kLeakyReLU);
+    Tensor y = layer.forward(x);
+    Tensor dx = layer.backward(dy);
+    if (backend == KernelBackend::kReference) {
+      y_ref = y;
+      dx_ref = dx;
+      if (timed) {
+        result.naive_fwd_us = time_call([&] { layer.forward(x); }) * 1e6;
+        result.naive_bwd_us = time_call([&] { layer.backward(dy); }) * 1e6;
+      }
+    } else {
+      check_identical(y_ref.data(), y.data(), y.size(),
+                      result.name + " forward");
+      check_identical(dx_ref.data(), dx.data(), dx.size(),
+                      result.name + " backward");
+      if (timed) {
+        result.blocked_fwd_us = time_call([&] { layer.forward(x); }) * 1e6;
+        result.blocked_bwd_us = time_call([&] { layer.backward(dy); }) * 1e6;
+      }
+    }
+  }
+  return result;
+}
+
+struct TrainResult {
+  double naive_s_per_epoch = 0.0;
+  double blocked_s_per_epoch = 0.0;
+  double speedup = 0.0;
+  bool models_identical = false;
+};
+
+/// Train the fast-profile net on one real design under both backends.
+/// `only` restricts to a single backend (profiling aid; skips the
+/// model-identity check).
+TrainResult run_train_case(const std::string& design_name, int split_layer,
+                           int epochs, const std::string& only = "") {
+  sma::eval::ExperimentProfile profile = sma::eval::ExperimentProfile::fast();
+  profile.train.epochs = epochs;
+
+  std::cerr << "  preparing " << design_name << " (M" << split_layer
+            << ")...\n";
+  sma::eval::PreparedSplit prepared = sma::eval::prepare_split(
+      sma::netlist::find_profile(design_name), split_layer,
+      sma::layout::FlowConfig{}, /*seed=*/2019);
+  sma::attack::DatasetConfig dataset_config = profile.dataset;
+  dataset_config.build_images = true;
+
+  sma::nn::NetConfig net_config = profile.net;
+  net_config.image_channels =
+      static_cast<int>(profile.dataset.images.pixel_sizes.size());
+
+  TrainResult result;
+  std::string naive_model;
+  std::string blocked_model;
+  for (KernelBackend backend :
+       {KernelBackend::kReference, KernelBackend::kBlocked}) {
+    if (only == "naive" && backend != KernelBackend::kReference) continue;
+    if (only == "blocked" && backend != KernelBackend::kBlocked) continue;
+    sma::nn::set_kernel_backend(backend);
+    std::vector<sma::attack::QueryDataset> training;
+    training.emplace_back(prepared.split.get(), dataset_config);
+    // Feature extraction is dataset preparation, not training; render the
+    // image cache up front so s/epoch measures the kernels.
+    training.back().prebuild_images(nullptr);
+    std::vector<sma::attack::QueryDataset> validation;
+    sma::attack::DlAttack dl(net_config);
+    sma::attack::TrainStats stats =
+        dl.train(training, validation, profile.train, /*pool=*/nullptr);
+    const double s_per_epoch = stats.seconds / epochs;
+    std::stringstream bytes;
+    dl.net().save(bytes);
+    if (backend == KernelBackend::kReference) {
+      result.naive_s_per_epoch = s_per_epoch;
+      naive_model = bytes.str();
+      std::cerr << "  naive:   " << s_per_epoch << " s/epoch\n";
+    } else {
+      result.blocked_s_per_epoch = s_per_epoch;
+      blocked_model = bytes.str();
+      std::cerr << "  blocked: " << s_per_epoch << " s/epoch\n";
+    }
+  }
+  if (!only.empty()) return result;
+  result.speedup = result.naive_s_per_epoch / result.blocked_s_per_epoch;
+  result.models_identical = naive_model == blocked_model;
+  if (!result.models_identical) {
+    g_all_identical = false;
+    std::cerr << "BIT-IDENTITY VIOLATION: trained models differ between "
+                 "backends\n";
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sma::util::set_log_level(sma::util::LogLevel::kWarn);
+
+  bool smoke = false;
+  bool with_train = true;
+  std::string design = "c432";
+  std::string only_backend;
+  int layer = 1;
+  int epochs = 2;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--no-train") {
+      with_train = false;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      only_backend = arg.substr(10);  // profiling aid: naive | blocked
+    } else if (arg.rfind("--design=", 0) == 0) {
+      design = arg.substr(9);
+    } else if (arg.rfind("--layer=", 0) == 0) {
+      layer = sma::benchutil::parse_int(arg.substr(8), "--layer", 1);
+    } else if (arg.rfind("--epochs=", 0) == 0) {
+      epochs = sma::benchutil::parse_int(arg.substr(9), "--epochs", 1);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+  const bool timed = !smoke;
+
+  // GEMM shapes from the fast profile (15x15 three-scale images, 16-image
+  // queries, conv widths 8/16/32/64, hidden 128): forward im2col rows,
+  // backward dW / dX forms, and the FC trunk.
+  std::vector<GemmCase> gemm_cases;
+  if (smoke) {
+    gemm_cases = {
+        {"nn", 5, 9, 7, "smoke"},
+        {"tn", 9, 5, 11, "smoke"},
+        {"nt", 7, 13, 9, "smoke"},
+    };
+  } else {
+    gemm_cases = {
+        {"nt", 3600, 8, 27, "conv1_0 fwd"},
+        {"nt", 3600, 8, 72, "conv1_1 fwd"},
+        {"nt", 400, 16, 72, "conv2_0 fwd"},
+        {"nt", 64, 32, 144, "conv3_0 fwd"},
+        {"nt", 15, 128, 128, "resblock fwd"},
+        {"nn", 3600, 72, 8, "conv1 dX"},
+        {"nn", 15, 128, 128, "resblock dX"},
+        {"tn", 8, 72, 3600, "conv1 dW"},
+        {"tn", 128, 128, 15, "resblock dW"},
+    };
+  }
+
+  std::vector<GemmResult> gemm_results;
+  for (const GemmCase& spec : gemm_cases) {
+    GemmResult r = run_gemm_case(spec, timed);
+    if (timed) {
+      std::cerr << "gemm_" << spec.form << " " << spec.m << "x" << spec.n
+                << "x" << spec.k << " (" << spec.role << "): naive "
+                << r.naive_gflops << " GF/s, blocked " << r.blocked_gflops
+                << " GF/s (" << r.blocked_gflops / r.naive_gflops << "x)\n";
+    }
+    gemm_results.push_back(r);
+  }
+
+  std::vector<LayerResult> layer_results;
+  if (smoke) {
+    layer_results.push_back(run_conv_case(3, 5, 1, 2, 7, false));
+    layer_results.push_back(run_conv_case(2, 3, 3, 1, 11, false));
+    layer_results.push_back(run_dense_case(3, 17, 9, false));
+  } else {
+    layer_results.push_back(run_conv_case(3, 8, 1, 16, 15, true));
+    layer_results.push_back(run_conv_case(8, 16, 3, 16, 15, true));
+    layer_results.push_back(run_dense_case(15, 128, 128, true));
+    for (const LayerResult& r : layer_results) {
+      std::cerr << r.name << ": fwd " << r.naive_fwd_us << " -> "
+                << r.blocked_fwd_us << " us, bwd " << r.naive_bwd_us
+                << " -> " << r.blocked_bwd_us << " us\n";
+    }
+  }
+
+  TrainResult train;
+  if (timed && with_train) {
+    std::cerr << "end-to-end training (" << design << ", " << epochs
+              << " epochs per backend):\n";
+    train = run_train_case(design, layer, epochs, only_backend);
+    std::cerr << "  speedup " << train.speedup << "x, models "
+              << (train.models_identical ? "identical" : "DIFFER") << "\n";
+  }
+
+  sma::nn::set_kernel_backend(KernelBackend::kBlocked);
+
+  std::ostringstream json;
+  json << "{\"bench\": \"kernels\", \"smoke\": " << (smoke ? "true" : "false")
+       << ", \"gemm\": [";
+  for (std::size_t i = 0; i < gemm_results.size(); ++i) {
+    const GemmResult& r = gemm_results[i];
+    json << (i ? ", " : "") << "{\"form\": \"" << r.spec.form
+         << "\", \"m\": " << r.spec.m << ", \"n\": " << r.spec.n
+         << ", \"k\": " << r.spec.k << ", \"role\": \"" << r.spec.role
+         << "\", \"naive_gflops\": " << r.naive_gflops
+         << ", \"blocked_gflops\": " << r.blocked_gflops << "}";
+  }
+  json << "], \"layers\": [";
+  for (std::size_t i = 0; i < layer_results.size(); ++i) {
+    const LayerResult& r = layer_results[i];
+    json << (i ? ", " : "") << "{\"layer\": \"" << r.name
+         << "\", \"naive_fwd_us\": " << r.naive_fwd_us
+         << ", \"naive_bwd_us\": " << r.naive_bwd_us
+         << ", \"blocked_fwd_us\": " << r.blocked_fwd_us
+         << ", \"blocked_bwd_us\": " << r.blocked_bwd_us << "}";
+  }
+  json << "]";
+  if (timed && with_train) {
+    json << ", \"train\": {\"design\": \"" << design
+         << "\", \"layer\": " << layer << ", \"epochs\": " << epochs
+         << ", \"naive_s_per_epoch\": " << train.naive_s_per_epoch
+         << ", \"blocked_s_per_epoch\": " << train.blocked_s_per_epoch
+         << ", \"speedup\": " << train.speedup << ", \"models_identical\": "
+         << (train.models_identical ? "true" : "false") << "}";
+  }
+  json << ", \"bit_identical\": " << (g_all_identical ? "true" : "false")
+       << "}";
+  std::cout << json.str() << "\n";
+  std::cerr << (g_all_identical
+                    ? "bit-identity check: all outputs identical\n"
+                    : "bit-identity check FAILED\n");
+  return g_all_identical ? 0 : 1;
+}

@@ -94,6 +94,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Oversubscribing a host (threads > cores) cannot speed anything up and
+  // records misleading sub-1x "speedups" — on a 1-CPU machine the old
+  // default sweep reported 2 threads as 0.95x. Skip those counts instead
+  // of timing them; they remain listed in the JSON for transparency.
+  const int host_concurrency = sma::runtime::Config{}.resolved();
+  std::vector<int> skipped;
+  {
+    std::vector<int> runnable;
+    for (int t : threads) {
+      if (t <= host_concurrency) {
+        runnable.push_back(t);
+      } else {
+        skipped.push_back(t);
+      }
+    }
+    if (!skipped.empty()) {
+      std::cerr << "skipping thread counts >" << host_concurrency
+                << " (host concurrency):";
+      for (int t : skipped) std::cerr << " " << t;
+      std::cerr << "\n";
+    }
+    threads = std::move(runnable);
+  }
+  if (threads.empty()) {
+    // Every requested count oversubscribes; fall back to a serial run so
+    // the bench still produces a baseline measurement.
+    threads.push_back(1);
+    std::cerr << "all requested thread counts exceed host concurrency; "
+                 "measuring threads=1 only\n";
+  }
+
   std::vector<sma::netlist::DesignProfile> designs;
   for (const std::string& name : design_names) {
     try {
@@ -149,8 +180,12 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < design_names.size(); ++i) {
     json << (i ? ", " : "") << "\"" << json_escape(design_names[i]) << "\"";
   }
-  json << "], \"host_concurrency\": " << sma::runtime::Config{}.resolved()
-       << ", \"runs\": [";
+  json << "], \"host_concurrency\": " << host_concurrency
+       << ", \"skipped_threads\": [";
+  for (std::size_t i = 0; i < skipped.size(); ++i) {
+    json << (i ? ", " : "") << skipped[i];
+  }
+  json << "], \"runs\": [";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     json << (i ? ", " : "") << "{\"threads\": " << runs[i].threads
          << ", \"seconds\": " << runs[i].seconds

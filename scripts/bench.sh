@@ -1,23 +1,52 @@
 #!/usr/bin/env bash
-# Run the parallel-runtime speedup bench and emit BENCH_parallel.json.
+# Run a repo benchmark and emit its JSON result file.
 #
-# Usage: scripts/bench.sh [extra bench_parallel flags]
-#   e.g. scripts/bench.sh --threads=1,2,4,8 --layer=3
+# Usage: scripts/bench.sh [parallel|kernels|all] [extra bench flags]
+#   scripts/bench.sh                      # parallel bench (default)
+#   scripts/bench.sh parallel --threads=1,2,4 --layer=3
+#   scripts/bench.sh kernels --design=c880 --epochs=3
+#   scripts/bench.sh all                  # both, default flags only
 #
-# The bench prints human-readable progress on stderr and exactly one JSON
-# object on stdout; exit status is non-zero if the determinism check
-# (identical CCRs at every thread count) fails.
+# Each bench prints human-readable progress on stderr and exactly one
+# JSON object on stdout; exit status is non-zero if its self-check fails
+# (bench_parallel: determinism across thread counts; bench_kernels:
+# bit-identity between naive and blocked kernels).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+which="${1:-parallel}"
+case "$which" in
+  parallel|kernels|all) shift || true ;;
+  *) which=parallel ;;  # no subcommand: all args go to bench_parallel
+esac
+
 if [ ! -d build ]; then
   cmake -B build -S . >&2
 fi
-# Always (re)build — incremental and cheap, and it prevents silently
-# benchmarking a stale binary after source changes.
-cmake --build build -j --target bench_parallel >&2
 
-build/bench_parallel "$@" > BENCH_parallel.json
-echo "wrote BENCH_parallel.json:" >&2
-cat BENCH_parallel.json
+run_one() {
+  local name="$1"
+  shift
+  # Always (re)build — incremental and cheap, and it prevents silently
+  # benchmarking a stale binary after source changes.
+  cmake --build build -j --target "bench_${name}" >&2
+  "build/bench_${name}" "$@" > "BENCH_${name}.json"
+  echo "wrote BENCH_${name}.json:" >&2
+  cat "BENCH_${name}.json"
+}
+
+case "$which" in
+  parallel) run_one parallel "$@" ;;
+  kernels)  run_one kernels "$@" ;;
+  all)
+    # The two benches take different flags, so `all` runs both with
+    # defaults rather than forwarding one bench's flags to the other.
+    if [ "$#" -gt 0 ]; then
+      echo "bench.sh all takes no extra flags (run each bench separately)" >&2
+      exit 2
+    fi
+    run_one parallel
+    run_one kernels
+    ;;
+esac

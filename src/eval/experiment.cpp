@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "eval/split_cache.hpp"
 #include "runtime/parallel.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -16,12 +17,16 @@ PreparedSplit prepare_split(const netlist::DesignProfile& profile,
 
   PreparedSplit prepared;
   prepared.name = profile.name;
-  netlist::Netlist nl = netlist::build_profile(profile, &kLibrary, seed);
-
+  // Key on the *effective* flow config (seed overrides FlowConfig::seed),
+  // so configs differing only in the overridden field share one entry.
   layout::FlowConfig flow_config = flow;
   flow_config.seed = seed;
-  prepared.design = std::make_unique<layout::Design>(
-      layout::run_flow(std::move(nl), flow_config));
+  prepared.design = SplitCache::global().get_or_build(
+      design_cache_key(profile, flow_config, seed), [&] {
+        netlist::Netlist nl = netlist::build_profile(profile, &kLibrary, seed);
+        return std::make_shared<const layout::Design>(
+            layout::run_flow(std::move(nl), flow_config));
+      });
   prepared.split = std::make_unique<split::SplitDesign>(prepared.design.get(),
                                                         split_layer);
   return prepared;

@@ -24,14 +24,23 @@
 namespace sma::eval {
 
 /// A design taken through generation -> flow -> split, with stable
-/// addresses (everything heap-allocated).
+/// addresses (everything heap-allocated). The layout is shared and
+/// immutable: several PreparedSplits (e.g. the same design split at
+/// different layers, or the three Figure-5 settings) may reference one
+/// cached `Design`.
 struct PreparedSplit {
   std::string name;
-  std::unique_ptr<layout::Design> design;
+  std::shared_ptr<const layout::Design> design;
   std::unique_ptr<split::SplitDesign> split;
 };
 
 /// Generate `profile` with `seed`, run the implementation flow, split.
+/// The flow result is content-addressed through `SplitCache::global()`
+/// (see eval/split_cache.hpp): repeated calls with the same profile, flow
+/// config and seed reuse the stored layout instead of re-running
+/// placement and routing. Cached and fresh results are byte-identical, so
+/// every downstream number (Table 3, Figure 5, flow attack) is unchanged
+/// by the cache.
 PreparedSplit prepare_split(const netlist::DesignProfile& profile,
                             int split_layer, const layout::FlowConfig& flow,
                             std::uint64_t seed);

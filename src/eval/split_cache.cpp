@@ -1,0 +1,143 @@
+#include "eval/split_cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace sma::eval {
+
+std::uint64_t design_cache_key(const netlist::DesignProfile& profile,
+                               const layout::FlowConfig& flow,
+                               std::uint64_t seed) {
+  util::ContentHash h;
+  h.add("sma-design-v1");
+
+  h.add(profile.name)
+      .add(profile.num_inputs)
+      .add(profile.num_outputs)
+      .add(profile.num_gates)
+      .add(profile.seq_fraction)
+      .add(profile.scaled_down)
+      .add(profile.paper_gates);
+
+  h.add(flow.utilization).add(flow.seed).add(seed);
+
+  const place::GlobalPlacerConfig& gp = flow.global_placer;
+  h.add(gp.rounds)
+      .add(gp.iterations_per_round)
+      .add(gp.pull)
+      .add(gp.refine_iterations)
+      .add(gp.refine_pull)
+      .add(gp.seed);
+
+  const place::DetailedPlacerConfig& dp = flow.detailed_placer;
+  h.add(dp.passes)
+      .add(dp.candidates)
+      .add(dp.max_row_distance)
+      .add(dp.max_x_distance)
+      .add(dp.seed);
+
+  const route::RoutingGrid::Config& grid = flow.grid;
+  h.add(grid.gcell_size)
+      .add(grid.wrongway_capacity)
+      .add(grid.via_capacity)
+      .add(grid.m1_capacity)
+      .add(grid.m2_capacity)
+      .add(grid.track_utilization);
+
+  const route::RouterConfig& rt = flow.router;
+  h.add(rt.via_cost)
+      .add(rt.wrongway_mult)
+      .add(rt.m1_cost_mult)
+      .add(rt.present_weight)
+      .add(rt.history_weight)
+      .add(rt.overflow_penalty)
+      .add(rt.max_iterations)
+      .add(static_cast<std::uint64_t>(rt.max_expansions))
+      .add(rt.layer_height_cost)
+      .add(rt.promote_dist1)
+      .add(rt.promote_layer1)
+      .add(rt.promote_dist2)
+      .add(rt.promote_layer2)
+      .add(rt.promotion_penalty)
+      .add(rt.promote_access_region);
+
+  return h.digest();
+}
+
+SplitCache& SplitCache::global() {
+  static SplitCache instance;
+  return instance;
+}
+
+std::shared_ptr<const layout::Design> SplitCache::get_or_build(
+    std::uint64_t key,
+    const std::function<std::shared_ptr<const layout::Design>()>& build) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (enabled_) {
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return it->second.design;
+      }
+    }
+    ++stats_.misses;
+  }
+
+  // Build outside the lock: flows are expensive and independent builds may
+  // proceed concurrently. If two threads race on the same key, both build
+  // identical designs (the flow is deterministic) and the second insert is
+  // a no-op — results never depend on the race.
+  std::shared_ptr<const layout::Design> design = build();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return design;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second.design;
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{design, lru_.begin()});
+  evict_to_capacity_locked();
+  return design;
+}
+
+void SplitCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool SplitCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void SplitCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  evict_to_capacity_locked();
+}
+
+void SplitCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  stats_ = Stats{};
+}
+
+SplitCache::Stats SplitCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SplitCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SplitCache::evict_to_capacity_locked() {
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace sma::eval

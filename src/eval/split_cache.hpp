@@ -1,0 +1,82 @@
+// Content-addressed cache of implemented layouts.
+//
+// `prepare_split` runs the full generate -> place -> route flow, which
+// dominates Table-3/Figure-5 wall time outside of training. The flow is a
+// pure function of (design profile, flow config, seed), so its output can
+// be content-addressed: the cache key is a digest of every field that
+// feeds the generator and the flow, and a hit returns the previously
+// built `layout::Design` — byte-identical to a fresh run, because the
+// whole pipeline is deterministic. Splitting a cached design at a new
+// layer is cheap (purely geometric), so the split layer is *not* part of
+// the key: one cached layout serves M1..M5 experiments and all three
+// Figure-5 settings.
+//
+// Designs are handed out as shared_ptr<const Design>: consumers
+// (`SplitDesign`, feature extraction, the attacks) only read, so one
+// cached layout may back many concurrent experiments. An LRU bound keeps
+// memory in check; eviction order depends only on the call sequence, so
+// cached and uncached runs stay deterministic either way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "layout/design.hpp"
+#include "netlist/profiles.hpp"
+
+namespace sma::eval {
+
+/// Digest of everything that determines a flow's output layout.
+std::uint64_t design_cache_key(const netlist::DesignProfile& profile,
+                               const layout::FlowConfig& flow,
+                               std::uint64_t seed);
+
+class SplitCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Process-wide instance used by `prepare_split`.
+  static SplitCache& global();
+
+  explicit SplitCache(std::size_t capacity = 32) : capacity_(capacity) {}
+
+  /// Look up `key`, building (and storing) via `build` on a miss. When the
+  /// cache is disabled every call builds and nothing is stored.
+  std::shared_ptr<const layout::Design> get_or_build(
+      std::uint64_t key,
+      const std::function<std::shared_ptr<const layout::Design>()>& build);
+
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Max resident designs; shrinking evicts immediately (LRU order).
+  void set_capacity(std::size_t capacity);
+
+  void clear();
+  Stats stats() const;
+  std::size_t size() const;
+
+ private:
+  void evict_to_capacity_locked();
+
+  mutable std::mutex mutex_;
+  bool enabled_ = true;
+  std::size_t capacity_;
+  Stats stats_;
+  /// MRU-first key list; entries carry an iterator into it for O(1) touch.
+  std::list<std::uint64_t> lru_;
+  struct Entry {
+    std::shared_ptr<const layout::Design> design;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace sma::eval

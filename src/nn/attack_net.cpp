@@ -19,7 +19,7 @@ AttackNet::AttackNet(const NetConfig& config) : config_(config) {
   util::Pcg32 rng(config_.seed, 0xa77ac);
 
   fc1_ = std::make_unique<Linear>(config_.vector_dim, config_.hidden, rng,
-                                  "fc1");
+                                  "fc1", Act::kLeakyReLU);
   for (int i = 0; i < config_.vector_res_blocks; ++i) {
     vec_blocks_.emplace_back(config_.hidden, rng,
                              "vec_res" + std::to_string(i));
@@ -35,29 +35,33 @@ AttackNet::AttackNet(const NetConfig& config) : config_(config) {
         const int stride = (group > 0 && layer == 0) ? 3 : 1;
         convs_.emplace_back(in_ch, out_ch, stride, rng,
                             "conv" + std::to_string(group + 1) + "_" +
-                                std::to_string(layer));
-        conv_acts_.emplace_back();
+                                std::to_string(layer),
+                            Act::kLeakyReLU);
         in_ch = out_ch;
       }
     }
+    // Nothing consumes the gradient w.r.t. the input images; the first
+    // conv can skip its dX (dcols + col2im) entirely.
+    convs_.front().set_compute_input_grad(false);
     fc3_ = std::make_unique<Linear>(config_.conv_channels[3],
-                                    config_.image_fc, rng, "fc3");
+                                    config_.image_fc, rng, "fc3",
+                                    Act::kLeakyReLU);
     fc4_ = std::make_unique<Linear>(config_.image_fc, config_.hidden, rng,
-                                    "fc4");
+                                    "fc4", Act::kLeakyReLU);
     fc5_img_ = std::make_unique<Linear>(2 * config_.hidden, config_.hidden,
-                                        rng, "fc5_img");
+                                        rng, "fc5_img", Act::kLeakyReLU);
   }
 
   const int merged_in =
       config_.use_images ? 2 * config_.hidden : config_.hidden;
-  fc5_merged_ =
-      std::make_unique<Linear>(merged_in, config_.hidden, rng, "fc5_merged");
+  fc5_merged_ = std::make_unique<Linear>(merged_in, config_.hidden, rng,
+                                         "fc5_merged", Act::kLeakyReLU);
   for (int i = 0; i < config_.merged_res_blocks; ++i) {
     merged_blocks_.emplace_back(config_.hidden, rng,
                                 "merged_res" + std::to_string(i));
   }
   fc6_ = std::make_unique<Linear>(config_.hidden, config_.fc6_width, rng,
-                                  "fc6");
+                                  "fc6", Act::kLeakyReLU);
   fc7_ = std::make_unique<Linear>(config_.fc6_width,
                                   config_.two_class ? 2 : 1, rng, "fc7");
 }
@@ -72,7 +76,7 @@ Tensor AttackNet::forward(const QueryInput& input) {
   const int h = config_.hidden;
 
   // --- vector branch
-  Tensor v = act1_.forward(fc1_->forward(input.vec));
+  Tensor v = fc1_->forward(input.vec);
   for (ResBlock& block : vec_blocks_) v = block.forward(v);
 
   Tensor merged_in;
@@ -85,12 +89,10 @@ Tensor AttackNet::forward(const QueryInput& input) {
     }
     // --- shared conv trunk over the n source images + 1 sink image
     Tensor x = input.images;
-    for (std::size_t i = 0; i < convs_.size(); ++i) {
-      x = conv_acts_[i].forward(convs_[i].forward(x));
-    }
+    for (Conv2d& conv : convs_) x = conv.forward(x);
     x = pool_.forward(x);
-    x = act3_.forward(fc3_->forward(x));
-    x = act4_.forward(fc4_->forward(x));  // [n+1, h]
+    x = fc3_->forward(x);
+    x = fc4_->forward(x);  // [n+1, h]
 
     // --- fuse each source embedding with the (shared) sink embedding
     Tensor fused({n_, 2 * h});
@@ -102,7 +104,7 @@ Tensor AttackNet::forward(const QueryInput& input) {
       std::memcpy(fused.data() + static_cast<std::size_t>(j) * 2 * h + h,
                   sink_row, sizeof(float) * h);
     }
-    Tensor img_out = act5_img_.forward(fc5_img_->forward(fused));  // [n, h]
+    Tensor img_out = fc5_img_->forward(fused);  // [n, h]
 
     // --- concat vector and image embeddings
     merged_in = Tensor({n_, 2 * h});
@@ -118,9 +120,9 @@ Tensor AttackNet::forward(const QueryInput& input) {
     merged_in = v;
   }
 
-  Tensor m = act5_merged_.forward(fc5_merged_->forward(merged_in));
+  Tensor m = fc5_merged_->forward(merged_in);
   for (ResBlock& block : merged_blocks_) m = block.forward(m);
-  m = act6_.forward(fc6_->forward(m));
+  m = fc6_->forward(m);
   Tensor scores = fc7_->forward(m);  // [n, 1] or [n, 2]
   if (!config_.two_class) {
     scores.reshape({n_});
@@ -133,11 +135,11 @@ void AttackNet::backward(const Tensor& dscores) {
   Tensor d = dscores;
   d.reshape({n_, config_.two_class ? 2 : 1});
 
-  d = fc6_->backward(act6_.backward(fc7_->backward(d)));
+  d = fc6_->backward(fc7_->backward(d));
   for (auto it = merged_blocks_.rbegin(); it != merged_blocks_.rend(); ++it) {
     d = it->backward(d);
   }
-  Tensor dmerged_in = fc5_merged_->backward(act5_merged_.backward(d));
+  Tensor dmerged_in = fc5_merged_->backward(d);
 
   Tensor dv;
   if (config_.use_images) {
@@ -153,7 +155,7 @@ void AttackNet::backward(const Tensor& dscores) {
                   sizeof(float) * h);
     }
 
-    Tensor dfused = fc5_img_->backward(act5_img_.backward(dimg));  // [n, 2h]
+    Tensor dfused = fc5_img_->backward(dimg);  // [n, 2h]
     // Reassemble per-image embedding gradients; the sink row accumulates
     // the second half of every fused row.
     Tensor demb({n_ + 1, h});
@@ -167,11 +169,11 @@ void AttackNet::backward(const Tensor& dscores) {
       for (int k = 0; k < h; ++k) sink_grad[k] += second[k];
     }
 
-    Tensor dx = fc4_->backward(act4_.backward(demb));
-    dx = fc3_->backward(act3_.backward(dx));
+    Tensor dx = fc4_->backward(demb);
+    dx = fc3_->backward(dx);
     dx = pool_.backward(dx);
     for (std::size_t i = convs_.size(); i-- > 0;) {
-      dx = convs_[i].backward(conv_acts_[i].backward(dx));
+      dx = convs_[i].backward(dx);
     }
   } else {
     dv = dmerged_in;
@@ -180,7 +182,7 @@ void AttackNet::backward(const Tensor& dscores) {
   for (auto it = vec_blocks_.rbegin(); it != vec_blocks_.rend(); ++it) {
     dv = it->backward(dv);
   }
-  fc1_->backward(act1_.backward(dv));
+  fc1_->backward(dv);
 }
 
 std::vector<Param> AttackNet::params() {

@@ -77,28 +77,22 @@ class AttackNet {
  private:
   NetConfig config_;
 
-  // Vector branch.
+  // Vector branch. All hidden layers fuse their LeakyReLU into the GEMM
+  // epilogue (Act::kLeakyReLU); only fc7 emits raw scores.
   std::unique_ptr<Linear> fc1_;
-  LeakyReLU act1_;
   std::vector<ResBlock> vec_blocks_;
 
   // Image branch (shared trunk).
   std::vector<Conv2d> convs_;
-  std::vector<LeakyReLU> conv_acts_;
   GlobalAvgPool pool_;
   std::unique_ptr<Linear> fc3_;
-  LeakyReLU act3_;
   std::unique_ptr<Linear> fc4_;
-  LeakyReLU act4_;
   std::unique_ptr<Linear> fc5_img_;
-  LeakyReLU act5_img_;
 
   // Merged trunk.
   std::unique_ptr<Linear> fc5_merged_;
-  LeakyReLU act5_merged_;
   std::vector<ResBlock> merged_blocks_;
   std::unique_ptr<Linear> fc6_;
-  LeakyReLU act6_;
   std::unique_ptr<Linear> fc7_;
 
   // Cached batch size for backward.

@@ -1,0 +1,120 @@
+// Shared GEMM kernel core for the attack network.
+//
+// All conv/dense layers lower onto three row-major GEMM forms (nn, tn,
+// nt) plus a fused forward form with a bias + LeakyReLU epilogue. The
+// optimized kernels are cache-blocked and register-tiled: B is packed
+// once per call into K x kNr column panels, A into kMr x K row panels,
+// and a kMr x kNr micro-kernel keeps the accumulators in registers.
+//
+// Bit-identity contract: for every output element C[i][j], the optimized
+// kernels perform exactly the same sequence of float operations as the
+// retained reference kernels — products are added one at a time in
+// ascending-k order onto a single accumulator chain (no split partial
+// sums, no reassociation). Packing and register tiling only change
+// *where* operands live, never the arithmetic order, so optimized and
+// reference results are identical to the last bit and the parallel
+// runtime's serial == parallel determinism contract is untouched.
+// `tests/test_kernels.cpp` enforces this on randomized shapes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sma::nn {
+
+/// Reusable packing buffers. Purely transient within one GEMM call, so
+/// callers normally share one instance per thread via `thread_scratch()`
+/// — a private scratch per layer (times 8 lane replicas) would balloon
+/// the training working set and thrash the cache.
+struct GemmScratch {
+  std::vector<float> a_panel;
+  std::vector<float> b_panel;
+};
+
+/// The calling thread's shared scratch (grown on demand, never shrunk).
+GemmScratch& thread_scratch();
+
+/// Kernel dispatch: kBlocked is the optimized path, kReference the
+/// retained naive kernels. The toggle exists for before/after
+/// benchmarking (`bench_kernels`) and for the bit-identity tests; it is
+/// not meant to be flipped while other threads are inside a kernel.
+enum class KernelBackend { kBlocked, kReference };
+
+void set_kernel_backend(KernelBackend backend);
+KernelBackend kernel_backend();
+
+/// Optional epilogue of the fused forward form.
+enum class Epilogue { kBias, kBiasLeakyReLU };
+
+// --- accumulate forms (legacy signatures, used by tests) ----------------
+// Semantics match the seed kernels exactly:
+//   gemm_nn: C[M,N] += A[M,K]   * B[K,N]
+//   gemm_tn: C[M,N] += A^T      * B[K,N]   (a stored [K, M])
+//   gemm_nt: C[M,N] += A[M,K]   * B^T      (b stored [N, K])
+void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c);
+void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c);
+void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c);
+
+// --- scratch-taking variants (the layers' hot path) ---------------------
+
+/// C[M,N] += A^T[K,M] * B[K,N] — the dW accumulation form of backward.
+void gemm_acc_tn(int m, int n, int k, const float* a, const float* b,
+                 float* c, GemmScratch& scratch);
+
+/// C[M,N] = A[M,K] * B[K,N] — overwrite form (dX / dCols of backward).
+/// Bit-identical to accumulating into a zeroed C; the destination's prior
+/// contents are ignored, so scratch buffers need no clearing.
+void gemm_ovr_nn(int m, int n, int k, const float* a, const float* b,
+                 float* c, GemmScratch& scratch);
+
+/// Fused forward: C[M,N] = A[M,K] * B^T[N,K] + bias[N], optionally
+/// followed by LeakyReLU. When `mask` is non-null it receives one byte
+/// per output element: 1 where the pre-activation value was negative
+/// (the backward mask), 0 otherwise. Bit-identical to the seed's
+/// gemm_nt-into-zeroed-C followed by separate bias and activation loops.
+void gemm_forward_nt(int m, int n, int k, const float* a, const float* b,
+                     const float* bias, float* c, Epilogue epilogue,
+                     float slope, std::uint8_t* mask, GemmScratch& scratch);
+
+// --- transposed-activation forms (Conv2d's blocked pipeline) ------------
+// Conv2d stores its im2col matrix transposed ([patch, rows]) and its
+// output channel-major ([out, rows]): the GEMMs then stream huge-n full
+// register panels and the NCHW reorders collapse to contiguous copies.
+// These entries are blocked-only: the layer's reference path runs the
+// seed pipeline on seed layouts instead, so a reference fallback here
+// would never execute.
+
+/// C[M,N] = A[M,K] * B[K,N] + bias[M] (per-ROW bias), optional LeakyReLU,
+/// optional mask (layout [M, N]). Conv forward: A = weights [out, patch],
+/// B = im2col^T [patch, rows], C = output [out, rows].
+void gemm_forward_nn_rowbias(int m, int n, int k, const float* a,
+                             const float* b, const float* bias, float* c,
+                             Epilogue epilogue, float slope,
+                             std::uint8_t* mask, GemmScratch& scratch);
+
+/// C[M,N] += A[M,K] * B[K,N] — conv dW^T with transposed layouts:
+/// A = im2col^T [patch, rows], B = dy row-major [rows, out],
+/// C = dW^T staging [patch, out]. Both operands stream in place.
+void gemm_acc_nn(int m, int n, int k, const float* a, const float* b,
+                 float* c, GemmScratch& scratch);
+
+/// C[M,N] += A[M,K] * B^T[N,K] — conv dW with transposed layouts:
+/// A = dy^T [out, rows], B = im2col^T [patch, rows].
+void gemm_acc_nt(int m, int n, int k, const float* a, const float* b,
+                 float* c, GemmScratch& scratch);
+
+/// C[M,N] = A^T[K,M] * B[K,N] — conv dX with transposed layouts:
+/// A = weights [out, patch], B = dy^T [out, rows], C = dcols^T.
+void gemm_ovr_tn(int m, int n, int k, const float* a, const float* b,
+                 float* c, GemmScratch& scratch);
+
+// --- retained reference kernels (seed implementations) ------------------
+// The naive loops the optimized kernels are validated against; also the
+// "before" side of bench_kernels.
+namespace reference {
+void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c);
+void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c);
+void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c);
+}  // namespace reference
+
+}  // namespace sma::nn

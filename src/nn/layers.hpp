@@ -5,11 +5,23 @@
 // (zeroed by the optimizer step). One layer instance handles one position
 // in the network; weight sharing (the conv trunk applied to n+1 images) is
 // expressed by batching, not by layer reuse.
+//
+// Linear and Conv2d lower onto the blocked GEMM core (`nn/gemm.hpp`) with
+// a fused bias + LeakyReLU epilogue: constructing a layer with
+// `Act::kLeakyReLU` folds the activation into the kernel's writeback (the
+// backward mask is captured from the pre-activation sign), which removes
+// one full tensor copy per layer while producing bit-identical values to
+// a separate activation layer. Scratch buffers (im2col matrix, packing
+// panels, gradient staging) live on the layer and are reused across
+// calls — the training hot path does no per-call allocation after the
+// first batch.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "nn/gemm.hpp"
 #include "nn/tensor.hpp"
 #include "util/rng.hpp"
 
@@ -22,10 +34,15 @@ struct Param {
   Tensor* grad = nullptr;
 };
 
-/// y = x W^T + b over the last dimension; x: [N, in] -> y: [N, out].
+/// Optional activation fused into a layer's epilogue.
+enum class Act { kNone, kLeakyReLU };
+
+/// y = x W^T + b over the last dimension (optionally + LeakyReLU);
+/// x: [N, in] -> y: [N, out].
 class Linear {
  public:
-  Linear(int in, int out, util::Pcg32& rng, std::string name);
+  Linear(int in, int out, util::Pcg32& rng, std::string name,
+         Act act = Act::kNone, float slope = 0.01f);
 
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& dy);
@@ -38,14 +55,20 @@ class Linear {
   int in_;
   int out_;
   std::string name_;
+  Act act_;
+  float slope_;
   Tensor w_;   ///< [out, in]
   Tensor b_;   ///< [out]
   Tensor dw_;
   Tensor db_;
   Tensor x_;   ///< cached input
+  std::vector<std::uint8_t> mask_;  ///< pre-activation < 0, when fused
 };
 
 /// y = max(0.01 x, x) elementwise (the paper's LReLU activation).
+/// Layers fuse this via `Act::kLeakyReLU`; the standalone class remains
+/// for ad-hoc use and as the reference the fused epilogue is tested
+/// against.
 class LeakyReLU {
  public:
   explicit LeakyReLU(float slope = 0.01f) : slope_(slope) {}
@@ -59,11 +82,24 @@ class LeakyReLU {
 
 /// 3x3 convolution with padding 1 and configurable stride (1 or 3 in the
 /// paper's network). x: [N, C, H, W] -> y: [N, out, H', W'] with
-/// H' = floor((H + 2 - 3) / stride) + 1. Implemented with im2col + GEMM.
+/// H' = floor((H + 2 - 3) / stride) + 1. Lowered through im2col onto the
+/// blocked GEMM, with bias (+ optional LeakyReLU) fused into the kernel
+/// epilogue.
+///
+/// Two internal pipelines, selected by the kernel backend:
+///  - blocked: the im2col matrix is stored transposed ([patch, rows]) and
+///    the GEMM output channel-major ([out, rows]). Every GEMM then has a
+///    huge contiguous n dimension (full register panels), im2col rows
+///    become memcpy runs, and the NCHW reorder collapses to per-channel
+///    contiguous copies.
+///  - reference: the seed pipeline on seed layouts (row-major im2col,
+///    naive kernels, separate bias/activation passes) — the before side
+///    of bench_kernels and the ground truth for the bit-identity tests.
+/// Both produce bit-identical outputs and gradients.
 class Conv2d {
  public:
   Conv2d(int in_channels, int out_channels, int stride, util::Pcg32& rng,
-         std::string name);
+         std::string name, Act act = Act::kNone, float slope = 0.01f);
 
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& dy);
@@ -71,17 +107,38 @@ class Conv2d {
 
   int out_size(int in_size) const { return (in_size + 2 - 3) / stride_ + 1; }
 
+  /// When disabled, `backward` accumulates dW/db but skips the input
+  /// gradient (dCols + col2im) and returns an empty tensor — the right
+  /// setting for a network's first layer, whose input gradient nobody
+  /// consumes.
+  void set_compute_input_grad(bool enabled) { compute_input_grad_ = enabled; }
+
  private:
+  Tensor forward_blocked(const Tensor& x);
+  Tensor forward_reference(const Tensor& x);
+  Tensor backward_blocked(const Tensor& dy);
+  Tensor backward_reference(const Tensor& dy);
+
   int in_channels_;
   int out_channels_;
   int stride_;
   std::string name_;
+  Act act_;
+  float slope_;
+  bool compute_input_grad_ = true;
   Tensor w_;   ///< [out, in * 9]
   Tensor b_;   ///< [out]
   Tensor dw_;
   Tensor db_;
-  Tensor cols_;  ///< cached im2col matrix [N * H' * W', in * 9]
   std::vector<int> x_shape_;
+  bool used_blocked_path_ = true;  ///< pipeline of the last forward
+  // Reusable per-layer scratch: the im2col matrix and activation mask
+  // persist from forward to backward; purely transient staging (y^T,
+  // dy^T, dcols^T) lives in shared thread-local buffers instead (see
+  // layers.cpp) to keep lane replicas' working set small.
+  std::vector<float> cols_;     ///< im2col, [rows, patch] (reference) or
+                                ///< [patch, rows] (blocked)
+  std::vector<std::uint8_t> mask_;  ///< pre-activation < 0, when fused
 };
 
 /// [N, C, H, W] -> [N, C] channel means.
@@ -95,7 +152,8 @@ class GlobalAvgPool {
 };
 
 /// The paper's FC ResNet block: y = x + f3(f2(f1(x))) with
-/// f_i = LReLU(Linear_i(.)); all widths equal.
+/// f_i = LReLU(Linear_i(.)); all widths equal. The activations are fused
+/// into the Linears.
 class ResBlock {
  public:
   ResBlock(int width, util::Pcg32& rng, const std::string& name);
@@ -108,18 +166,6 @@ class ResBlock {
   Linear fc1_;
   Linear fc2_;
   Linear fc3_;
-  LeakyReLU act1_;
-  LeakyReLU act2_;
-  LeakyReLU act3_;
 };
-
-// --- low-level GEMM helpers (row-major), exposed for unit testing -------
-
-/// C[M,N] += A[M,K] * B[K,N]
-void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c);
-/// C[M,N] += A^T[K,M] * B[K,N]   (a is stored [K, M])
-void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c);
-/// C[M,N] += A[M,K] * B^T[N,K]   (b is stored [N, K])
-void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c);
 
 }  // namespace sma::nn

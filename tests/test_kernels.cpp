@@ -1,0 +1,272 @@
+// Bit-identity of the blocked GEMM core against the retained reference
+// kernels — the contract that lets the optimized kernels replace the
+// naive ones without perturbing a single downstream number (trained
+// models, CCRs, the parallel runtime's serial == parallel checks).
+//
+// Every comparison here is exact to the bit (memcmp, not EXPECT_NEAR):
+// the optimized kernels keep each output element's accumulation a single
+// ascending-k chain, so any reassociation bug shows up as a hard failure
+// on the randomized shapes below, which include sizes well off the 4x8
+// register tile.
+#include "nn/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace sma::nn {
+namespace {
+
+/// Restores the process-wide backend after each test.
+class KernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_kernel_backend(KernelBackend::kBlocked); }
+};
+
+std::vector<float> random_vec(std::size_t n, util::Pcg32& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.next_gaussian());
+  return v;
+}
+
+bool bit_equal(const float* a, const float* b, std::size_t n) {
+  return std::memcmp(a, b, n * sizeof(float)) == 0;
+}
+
+// Shapes straddling the register tile (kMr = 4, kNr = 8): exact
+// multiples, off-by-one tails, single rows/columns, k = 1.
+struct Shape {
+  int m, n, k;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 8, 4},    {4, 8, 16},  {5, 9, 7},    {3, 17, 1},
+    {8, 16, 32}, {13, 31, 29}, {17, 5, 64}, {33, 40, 13}, {6, 128, 130},
+    {40, 33, 57},
+};
+
+using GemmFn = void (*)(int, int, int, const float*, const float*, float*);
+
+void expect_form_bit_identical(GemmFn fn, bool a_is_km, bool b_is_nk) {
+  for (const Shape& s : kShapes) {
+    util::Pcg32 rng(1000u + s.m * 131 + s.n * 17 + s.k);
+    const std::size_t a_size =
+        a_is_km ? static_cast<std::size_t>(s.k) * s.m
+                : static_cast<std::size_t>(s.m) * s.k;
+    const std::size_t b_size =
+        b_is_nk ? static_cast<std::size_t>(s.n) * s.k
+                : static_cast<std::size_t>(s.k) * s.n;
+    std::vector<float> a = random_vec(a_size, rng);
+    std::vector<float> b = random_vec(b_size, rng);
+    // Nonzero initial C exercises the += semantics (the dW accumulation
+    // path) where association with prior contents matters.
+    std::vector<float> c0 =
+        random_vec(static_cast<std::size_t>(s.m) * s.n, rng);
+
+    std::vector<float> c_ref = c0;
+    set_kernel_backend(KernelBackend::kReference);
+    fn(s.m, s.n, s.k, a.data(), b.data(), c_ref.data());
+
+    std::vector<float> c_blk = c0;
+    set_kernel_backend(KernelBackend::kBlocked);
+    fn(s.m, s.n, s.k, a.data(), b.data(), c_blk.data());
+
+    EXPECT_TRUE(bit_equal(c_ref.data(), c_blk.data(), c_ref.size()))
+        << "shape " << s.m << "x" << s.n << "x" << s.k;
+  }
+}
+
+TEST_F(KernelTest, GemmNnBitIdentical) {
+  expect_form_bit_identical(&gemm_nn, false, false);
+}
+
+TEST_F(KernelTest, GemmTnBitIdentical) {
+  expect_form_bit_identical(&gemm_tn, true, false);
+}
+
+TEST_F(KernelTest, GemmNtBitIdentical) {
+  expect_form_bit_identical(&gemm_nt, false, true);
+}
+
+TEST_F(KernelTest, GemmNnHandlesExactZerosInA) {
+  // The reference nn/tn kernels skip zero A elements entirely; the
+  // blocked kernels multiply through. Structural zeros (im2col padding)
+  // must not change a single bit.
+  for (const Shape& s : {Shape{9, 21, 18}, Shape{4, 8, 8}}) {
+    util::Pcg32 rng(7u + s.m);
+    std::vector<float> a =
+        random_vec(static_cast<std::size_t>(s.m) * s.k, rng);
+    for (std::size_t i = 0; i < a.size(); i += 3) a[i] = 0.0f;
+    std::vector<float> b =
+        random_vec(static_cast<std::size_t>(s.k) * s.n, rng);
+    std::vector<float> c0 =
+        random_vec(static_cast<std::size_t>(s.m) * s.n, rng);
+
+    std::vector<float> c_ref = c0;
+    set_kernel_backend(KernelBackend::kReference);
+    gemm_nn(s.m, s.n, s.k, a.data(), b.data(), c_ref.data());
+    std::vector<float> c_blk = c0;
+    set_kernel_backend(KernelBackend::kBlocked);
+    gemm_nn(s.m, s.n, s.k, a.data(), b.data(), c_blk.data());
+    EXPECT_TRUE(bit_equal(c_ref.data(), c_blk.data(), c_ref.size()));
+  }
+}
+
+TEST_F(KernelTest, ForwardNtEpilogueBitIdentical) {
+  for (const Shape& s : kShapes) {
+    util::Pcg32 rng(400u + s.m * 7 + s.n * 3 + s.k);
+    std::vector<float> a =
+        random_vec(static_cast<std::size_t>(s.m) * s.k, rng);
+    std::vector<float> b =
+        random_vec(static_cast<std::size_t>(s.n) * s.k, rng);
+    std::vector<float> bias = random_vec(s.n, rng);
+    const std::size_t c_size = static_cast<std::size_t>(s.m) * s.n;
+
+    for (Epilogue epilogue : {Epilogue::kBias, Epilogue::kBiasLeakyReLU}) {
+      GemmScratch ws;
+      // Stale garbage in the destination: the overwrite form must ignore
+      // prior contents (layers reuse these buffers without clearing).
+      std::vector<float> c_ref(c_size, 123.0f);
+      std::vector<std::uint8_t> mask_ref(c_size, 2);
+      set_kernel_backend(KernelBackend::kReference);
+      gemm_forward_nt(s.m, s.n, s.k, a.data(), b.data(), bias.data(),
+                      c_ref.data(), epilogue, 0.01f, mask_ref.data(), ws);
+
+      std::vector<float> c_blk(c_size, -77.0f);
+      std::vector<std::uint8_t> mask_blk(c_size, 3);
+      set_kernel_backend(KernelBackend::kBlocked);
+      gemm_forward_nt(s.m, s.n, s.k, a.data(), b.data(), bias.data(),
+                      c_blk.data(), epilogue, 0.01f, mask_blk.data(), ws);
+
+      EXPECT_TRUE(bit_equal(c_ref.data(), c_blk.data(), c_size))
+          << "shape " << s.m << "x" << s.n << "x" << s.k;
+      EXPECT_EQ(mask_ref, mask_blk);
+    }
+  }
+}
+
+// ---- layer-level identity ----------------------------------------------
+
+template <typename MakeLayer>
+void expect_layer_bit_identical(MakeLayer make_layer, const Tensor& x,
+                                util::Pcg32& grad_rng) {
+  set_kernel_backend(KernelBackend::kReference);
+  auto ref = make_layer();
+  Tensor y_ref = ref.forward(x);
+  Tensor dy(y_ref.shape());
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    dy[i] = static_cast<float>(grad_rng.next_gaussian());
+  }
+  Tensor dx_ref = ref.backward(dy);
+  std::vector<Param> ref_params;
+  ref.collect_params(ref_params);
+
+  set_kernel_backend(KernelBackend::kBlocked);
+  auto blk = make_layer();
+  Tensor y_blk = blk.forward(x);
+  Tensor dx_blk = blk.backward(dy);
+  std::vector<Param> blk_params;
+  blk.collect_params(blk_params);
+
+  ASSERT_EQ(y_ref.size(), y_blk.size());
+  EXPECT_TRUE(bit_equal(y_ref.data(), y_blk.data(), y_ref.size()));
+  ASSERT_EQ(dx_ref.size(), dx_blk.size());
+  EXPECT_TRUE(bit_equal(dx_ref.data(), dx_blk.data(), dx_ref.size()));
+  ASSERT_EQ(ref_params.size(), blk_params.size());
+  for (std::size_t p = 0; p < ref_params.size(); ++p) {
+    EXPECT_TRUE(bit_equal(ref_params[p].grad->data(),
+                          blk_params[p].grad->data(),
+                          ref_params[p].grad->size()))
+        << "grad " << ref_params[p].name;
+  }
+}
+
+TEST_F(KernelTest, LinearBitIdenticalAcrossBackends) {
+  for (Act act : {Act::kNone, Act::kLeakyReLU}) {
+    for (const auto& [rows, in, out] :
+         {std::tuple{1, 1, 1}, std::tuple{5, 9, 13}, std::tuple{16, 128, 32},
+          std::tuple{3, 27, 128}}) {
+      util::Pcg32 data_rng(17u + rows + in + out);
+      Tensor x = Tensor::randn({rows, in}, data_rng, 1.0);
+      util::Pcg32 grad_rng(91);
+      expect_layer_bit_identical(
+          [&, in = in, out = out] {
+            util::Pcg32 rng(55);
+            return Linear(in, out, rng, "t", act);
+          },
+          x, grad_rng);
+    }
+  }
+}
+
+TEST_F(KernelTest, Conv2dBitIdenticalAcrossBackends) {
+  for (Act act : {Act::kNone, Act::kLeakyReLU}) {
+    struct Case {
+      int n, in_ch, out_ch, stride, size;
+    };
+    // Non-multiple-of-tile channel counts and odd image sizes included.
+    for (const Case& c :
+         {Case{1, 1, 1, 1, 3}, Case{2, 3, 5, 1, 7}, Case{2, 3, 8, 3, 15},
+          Case{1, 5, 13, 3, 11}}) {
+      util::Pcg32 data_rng(29u + c.in_ch * c.out_ch);
+      Tensor x = Tensor::randn({c.n, c.in_ch, c.size, c.size}, data_rng, 1.0);
+      util::Pcg32 grad_rng(37);
+      expect_layer_bit_identical(
+          [&] {
+            util::Pcg32 rng(66);
+            return Conv2d(c.in_ch, c.out_ch, c.stride, rng, "t", act);
+          },
+          x, grad_rng);
+    }
+  }
+}
+
+TEST_F(KernelTest, FusedActivationMatchesSeparateLayer) {
+  // Linear(Act::kLeakyReLU) must equal Linear(no act) + LeakyReLU exactly,
+  // forward and backward — the epilogue fusion is pure plumbing.
+  util::Pcg32 data_rng(3);
+  Tensor x = Tensor::randn({7, 19}, data_rng, 1.0);
+  Tensor dy = Tensor::randn({7, 11}, data_rng, 1.0);
+
+  util::Pcg32 rng_a(9);
+  Linear fused(19, 11, rng_a, "t", Act::kLeakyReLU);
+  Tensor y_fused = fused.forward(x);
+  Tensor dx_fused = fused.backward(dy);
+
+  util::Pcg32 rng_b(9);
+  Linear plain(19, 11, rng_b, "t");
+  LeakyReLU act;
+  Tensor y_plain = act.forward(plain.forward(x));
+  Tensor dx_plain = plain.backward(act.backward(dy));
+
+  EXPECT_TRUE(bit_equal(y_fused.data(), y_plain.data(), y_fused.size()));
+  EXPECT_TRUE(bit_equal(dx_fused.data(), dx_plain.data(), dx_fused.size()));
+}
+
+TEST_F(KernelTest, ScratchSurvivesShapeChanges) {
+  // One layer instance driven through growing and shrinking batches: the
+  // reusable scratch must resize correctly and stale contents must never
+  // leak into results (compare against a fresh layer per shape).
+  util::Pcg32 rng_a(111);
+  Linear reused(23, 31, rng_a, "reused", Act::kLeakyReLU);
+  for (int rows : {16, 3, 40, 1, 7}) {
+    util::Pcg32 data_rng(rows);
+    Tensor x = Tensor::randn({rows, 23}, data_rng, 1.0);
+
+    Tensor y_reused = reused.forward(x);
+
+    util::Pcg32 rng_b(111);
+    Linear fresh(23, 31, rng_b, "fresh", Act::kLeakyReLU);
+    Tensor y_fresh = fresh.forward(x);
+
+    EXPECT_TRUE(bit_equal(y_reused.data(), y_fresh.data(), y_fresh.size()))
+        << "rows " << rows;
+  }
+}
+
+}  // namespace
+}  // namespace sma::nn
