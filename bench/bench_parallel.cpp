@@ -7,11 +7,19 @@
 // Human-readable progress goes to stderr; stdout carries exactly one JSON
 // object (scripts/bench.sh redirects it to BENCH_parallel.json).
 //
+// Every run contributes a datapoint: the 1-thread baseline is always
+// measured (prepended if the sweep omits it), and the JSON carries a
+// top-level "summary" with the baseline wall-times and best speedup —
+// previously a 1-core host skipped every requested count > 1 and the
+// bench trajectory stayed empty despite the JSON existing.
+//
 // Flags:
-//   --threads=1,2,4    thread counts to sweep (first one is the baseline)
+//   --threads=1,2,4    thread counts to sweep (1 is always the baseline
+//                      and is prepended when missing)
 //   --designs=c432,... victim subset (default: four small/mid designs)
 //   --layer=1          split layer
 //   --paper            full-fidelity profile (very slow; default --fast)
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <sstream>
@@ -93,6 +101,13 @@ int main(int argc, char** argv) {
     std::cerr << "need at least one thread count\n";
     return 2;
   }
+  // The serial run is the speedup denominator and the one configuration
+  // every host can measure — always include it, and always FIRST (the
+  // baseline is runs.front(), so `--threads=4,1` must not leave the
+  // 4-thread run as the denominator).
+  threads.erase(std::remove(threads.begin(), threads.end(), 1),
+                threads.end());
+  threads.insert(threads.begin(), 1);
 
   // Oversubscribing a host (threads > cores) cannot speed anything up and
   // records misleading sub-1x "speedups" — on a 1-CPU machine the old
@@ -192,7 +207,26 @@ int main(int argc, char** argv) {
          << ", \"train_seconds\": " << runs[i].train_seconds
          << ", \"speedup\": " << baseline_seconds / runs[i].seconds << "}";
   }
-  json << "], \"deterministic\": " << (deterministic ? "true" : "false")
+  // Top-level summary: the datapoint every run contributes, even when the
+  // host can only measure the serial baseline.
+  double best_speedup = 0.0;
+  int best_threads = runs.empty() ? 0 : runs.front().threads;
+  for (const Run& run : runs) {
+    const double speedup = baseline_seconds / run.seconds;
+    if (speedup > best_speedup) {
+      best_speedup = speedup;
+      best_threads = run.threads;
+    }
+  }
+  json << "], \"summary\": {\"baseline_threads\": "
+       << (runs.empty() ? 0 : runs.front().threads)
+       << ", \"baseline_seconds\": " << baseline_seconds
+       << ", \"baseline_train_seconds\": "
+       << (runs.empty() ? 0.0 : runs.front().train_seconds)
+       << ", \"best_speedup\": " << best_speedup
+       << ", \"best_speedup_threads\": " << best_threads
+       << ", \"measured_counts\": " << runs.size() << "}"
+       << ", \"deterministic\": " << (deterministic ? "true" : "false")
        << "}";
   std::cout << json.str() << "\n";
   std::cerr << (deterministic

@@ -1,0 +1,163 @@
+// Before/after benchmark for the fused training-step engine (the
+// tentpole measurement of the TrainStep PR): train the fast-profile
+// network on one real design twice — once on the reference three-pass
+// update path (per-step lane reduce, Adam pass, weight broadcast onto
+// full lane clones; the PR-2 baseline) and once on the fused engine
+// (shared-weight pinned lanes, one reduce+Adam pass, no broadcast) — and
+// compare s/epoch. The two trained models are also compared byte for
+// byte: the fused engine is a performance toggle, never a semantic one.
+//
+// Human-readable progress goes to stderr; stdout carries exactly one
+// JSON object (scripts/bench.sh redirects it to BENCH_train.json).
+//
+// Flags:
+//   --smoke        tiny synthetic design, 1 epoch, no timing claims;
+//                  exercises both paths and verifies bit-identity (CI)
+//   --design=c432  design used for the comparison
+//   --layer=1      split layer
+//   --epochs=3     training epochs per path
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/dataset.hpp"
+#include "attack/dl_attack.hpp"
+#include "bench_util.hpp"
+#include "eval/experiment.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+struct PathResult {
+  double s_per_epoch = 0.0;
+  long queries_seen = 0;
+  std::string model_bytes;
+};
+
+PathResult run_path(const sma::eval::PreparedSplit& prepared,
+                    const sma::eval::ExperimentProfile& profile,
+                    bool fused, int epochs) {
+  sma::attack::DatasetConfig dataset_config = profile.dataset;
+  dataset_config.build_images = profile.net.use_images;
+
+  sma::nn::NetConfig net_config = profile.net;
+  if (net_config.use_images) {
+    net_config.image_channels =
+        static_cast<int>(profile.dataset.images.pixel_sizes.size());
+  }
+
+  sma::attack::TrainConfig train_config = profile.train;
+  train_config.epochs = epochs;
+  train_config.fused_step = fused;
+
+  std::vector<sma::attack::QueryDataset> training;
+  training.emplace_back(prepared.split.get(), dataset_config);
+  // Feature extraction is dataset preparation, not training; render the
+  // image cache up front so s/epoch measures the training loop.
+  training.back().prebuild_images(nullptr);
+  std::vector<sma::attack::QueryDataset> validation;
+
+  sma::attack::DlAttack dl(net_config);
+  sma::attack::TrainStats stats =
+      dl.train(training, validation, train_config, /*pool=*/nullptr);
+
+  PathResult result;
+  result.s_per_epoch = stats.seconds / epochs;
+  result.queries_seen = stats.queries_seen;
+  std::stringstream bytes;
+  dl.net().save(bytes);
+  result.model_bytes = bytes.str();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sma::util::set_log_level(sma::util::LogLevel::kWarn);
+
+  bool smoke = false;
+  std::string design = "c432";
+  int layer = 1;
+  int epochs = 3;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--design=", 0) == 0) {
+      design = arg.substr(9);
+    } else if (arg.rfind("--layer=", 0) == 0) {
+      layer = sma::benchutil::parse_int(arg.substr(8), "--layer", 1);
+    } else if (arg.rfind("--epochs=", 0) == 0) {
+      epochs = sma::benchutil::parse_int(arg.substr(9), "--epochs", 1);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  sma::eval::ExperimentProfile profile = sma::eval::ExperimentProfile::fast();
+  sma::eval::PreparedSplit prepared;
+  if (smoke) {
+    // Tiny synthetic design and a tiny vector-only net: exercises both
+    // update paths end-to-end in well under a second.
+    epochs = 1;
+    sma::netlist::DesignProfile tiny;
+    tiny.name = "smoke_train";
+    tiny.num_inputs = 8;
+    tiny.num_outputs = 4;
+    tiny.num_gates = 280;
+    prepared = sma::eval::prepare_split(tiny, 3, sma::layout::FlowConfig{},
+                                        /*seed=*/2019);
+    profile.net.use_images = false;
+    profile.net.hidden = 16;
+    profile.net.vector_res_blocks = 1;
+    profile.net.merged_res_blocks = 1;
+    profile.dataset.candidates.max_candidates = 6;
+  } else {
+    std::cerr << "bench_train: preparing " << design << " (M" << layer
+              << ")...\n";
+    try {
+      prepared = sma::eval::prepare_split(sma::netlist::find_profile(design),
+                                          layer, sma::layout::FlowConfig{},
+                                          /*seed=*/2019);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  std::cerr << "bench_train: " << epochs << " epochs per path, batch "
+            << profile.train.batch_size << " lanes\n";
+  PathResult unfused = run_path(prepared, profile, /*fused=*/false, epochs);
+  std::cerr << "  three-pass (PR-2 baseline): " << unfused.s_per_epoch
+            << " s/epoch (" << unfused.queries_seen << " queries)\n";
+  PathResult fused = run_path(prepared, profile, /*fused=*/true, epochs);
+  std::cerr << "  fused engine:               " << fused.s_per_epoch
+            << " s/epoch (" << fused.queries_seen << " queries)\n";
+
+  const double speedup =
+      fused.s_per_epoch > 0.0 ? unfused.s_per_epoch / fused.s_per_epoch : 0.0;
+  const bool identical = unfused.model_bytes == fused.model_bytes &&
+                         !unfused.model_bytes.empty() &&
+                         unfused.queries_seen > 0;
+  std::cerr << "  speedup " << speedup << "x, models "
+            << (identical ? "identical" : "DIFFER") << "\n";
+
+  std::ostringstream json;
+  json << "{\"bench\": \"train\", \"smoke\": " << (smoke ? "true" : "false")
+       << ", \"design\": \"" << (smoke ? "smoke_train" : design)
+       << "\", \"layer\": " << (smoke ? 3 : layer)
+       << ", \"epochs\": " << epochs
+       << ", \"lanes\": " << profile.train.batch_size
+       << ", \"queries_per_epoch\": " << unfused.queries_seen / epochs
+       << ", \"unfused_s_per_epoch\": " << unfused.s_per_epoch
+       << ", \"fused_s_per_epoch\": " << fused.s_per_epoch
+       << ", \"speedup\": " << speedup
+       << ", \"models_identical\": " << (identical ? "true" : "false")
+       << "}";
+  std::cout << json.str() << "\n";
+  std::cerr << (identical ? "bit-identity check: trained models identical\n"
+                          : "bit-identity check FAILED\n");
+  return identical ? 0 : 1;
+}

@@ -1,23 +1,25 @@
 #!/usr/bin/env bash
 # Run a repo benchmark and emit its JSON result file.
 #
-# Usage: scripts/bench.sh [parallel|kernels|all] [extra bench flags]
+# Usage: scripts/bench.sh [parallel|kernels|train|all] [extra bench flags]
 #   scripts/bench.sh                      # parallel bench (default)
 #   scripts/bench.sh parallel --threads=1,2,4 --layer=3
 #   scripts/bench.sh kernels --design=c880 --epochs=3
-#   scripts/bench.sh all                  # both, default flags only
+#   scripts/bench.sh train --design=c432 --epochs=3
+#   scripts/bench.sh all                  # all three, default flags only
 #
 # Each bench prints human-readable progress on stderr and exactly one
 # JSON object on stdout; exit status is non-zero if its self-check fails
 # (bench_parallel: determinism across thread counts; bench_kernels:
-# bit-identity between naive and blocked kernels).
+# bit-identity between naive and blocked kernels; bench_train:
+# bit-identity between the fused and three-pass training paths).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 which="${1:-parallel}"
 case "$which" in
-  parallel|kernels|all) shift || true ;;
+  parallel|kernels|train|all) shift || true ;;
   *) which=parallel ;;  # no subcommand: all args go to bench_parallel
 esac
 
@@ -39,14 +41,16 @@ run_one() {
 case "$which" in
   parallel) run_one parallel "$@" ;;
   kernels)  run_one kernels "$@" ;;
+  train)    run_one train "$@" ;;
   all)
-    # The two benches take different flags, so `all` runs both with
-    # defaults rather than forwarding one bench's flags to the other.
+    # The benches take different flags, so `all` runs each with defaults
+    # rather than forwarding one bench's flags to the others.
     if [ "$#" -gt 0 ]; then
       echo "bench.sh all takes no extra flags (run each bench separately)" >&2
       exit 2
     fi
     run_one parallel
     run_one kernels
+    run_one train
     ;;
 esac

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "nn/train_step.hpp"
 #include "runtime/parallel.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -35,9 +36,11 @@ void select_one(nn::AttackNet& net, QueryDataset& dataset, std::size_t i,
 
 }  // namespace
 
-DlAttack::DlAttack(const nn::NetConfig& net_config) : net_(net_config) {}
+DlAttack::DlAttack(const nn::NetConfig& net_config)
+    : net_(net_config), replicas_(std::make_unique<ReplicaSet>()) {}
 
-DlAttack::DlAttack(nn::AttackNet net) : net_(std::move(net)) {}
+DlAttack::DlAttack(nn::AttackNet net)
+    : net_(std::move(net)), replicas_(std::make_unique<ReplicaSet>()) {}
 
 TrainStats DlAttack::train(std::vector<QueryDataset>& training,
                            std::vector<QueryDataset>& validation,
@@ -47,7 +50,7 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
   TrainStats stats;
   util::Pcg32 rng(config.seed, 0x7a13);
 
-  nn::Adam optimizer(net_.params(), config.adam);
+  nn::TrainStep engine(net_.params(), config.adam);
   const bool two_class = net_.config().two_class;
   const int lanes = std::max(1, config.batch_size);
 
@@ -59,15 +62,36 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
   // serial and parallel models bit-identical. The lane count is fixed by
   // the config — never by the pool — so the reduction order below is
   // thread-count-invariant.
+  //
+  // Fused mode pins *shared-weight* lanes: each lane reads the master's
+  // weight tensors (one weight copy total — Adam updates are visible to
+  // every lane with no broadcast) and owns only its gradients and
+  // activation caches. Unfused mode keeps the reference three-pass path
+  // on full clones; both produce byte-identical models.
   const bool use_lanes = lanes > 1;
+  const bool fused = config.fused_step;
+  // Without a pool the lanes of a batch run in sequence anyway, so the
+  // fused engine pins ONE shared-weight replica to serve every lane:
+  // after each query its (still cache-hot) gradients accumulate onto the
+  // master in query order — the same ascending-order adds the multi-lane
+  // reduce performs, so the model stays byte-identical while the per-step
+  // working set shrinks from `lanes` replicas' gradients, im2col buffers
+  // and masks to one replica's worth.
+  const bool serial_lanes = use_lanes && fused && pool == nullptr;
   std::vector<nn::AttackNet> lane_nets;
   std::vector<std::vector<nn::Param>> lane_params;
   std::vector<nn::Param> master_params;
   if (use_lanes) {
-    lane_nets.reserve(lanes);
-    for (int l = 0; l < lanes; ++l) lane_nets.push_back(net_.clone());
+    const int replicas = serial_lanes ? 1 : lanes;
+    lane_nets.reserve(replicas);
+    for (int l = 0; l < replicas; ++l) {
+      lane_nets.push_back(fused ? net_.clone_shared() : net_.clone());
+    }
     for (nn::AttackNet& lane : lane_nets) lane_params.push_back(lane.params());
     master_params = net_.params();
+    if (fused && !serial_lanes) {
+      engine.attach_lanes(lane_params, /*broadcast=*/false);
+    }
     // Concurrent lanes read the datasets' image caches; freeze them now.
     if (pool != nullptr) {
       for (QueryDataset& dataset : training) dataset.prebuild_images(pool);
@@ -89,7 +113,7 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     if (epoch > 0 && config.decay_every > 0 &&
         epoch % config.decay_every == 0) {
-      optimizer.decay_lr();
+      engine.decay_lr();
     }
 
     // Per-epoch sample: subsample each design's queries, then shuffle the
@@ -121,9 +145,34 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
                       : nn::softmax_regression_loss(
                             scores, dataset.target(ref.query));
         net_.backward(loss.grad);
-        optimizer.step(nullptr);
+        engine.optimizer().step(nullptr);
         epoch_loss += loss.loss;
         ++stats.queries_seen;
+      }
+    } else if (serial_lanes) {
+      // One pinned replica serves the whole batch; gradients accumulate
+      // onto the master after every query, in query order.
+      nn::AttackNet& worker = lane_nets[0];
+      const std::vector<nn::Param>& worker_params = lane_params[0];
+      for (std::size_t base = 0; base < order.size();
+           base += static_cast<std::size_t>(lanes)) {
+        const int active = static_cast<int>(
+            std::min<std::size_t>(lanes, order.size() - base));
+        for (int l = 0; l < active; ++l) {
+          const Ref& ref = order[base + static_cast<std::size_t>(l)];
+          QueryDataset& dataset = training[ref.design];
+          nn::QueryInput input = dataset.input(ref.query);
+          nn::Tensor scores = worker.forward(input);
+          nn::LossResult loss =
+              two_class ? nn::two_class_loss(scores, dataset.target(ref.query))
+                        : nn::softmax_regression_loss(
+                              scores, dataset.target(ref.query));
+          worker.backward(loss.grad);
+          engine.accumulate(worker_params);
+          epoch_loss += loss.loss;
+        }
+        engine.optimizer().step(nullptr);
+        stats.queries_seen += active;
       }
     } else {
       std::vector<double> lane_loss(static_cast<std::size_t>(lanes), 0.0);
@@ -153,32 +202,40 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
         }
         group.wait();
 
-        // Reduce: per parameter, add lane gradients in lane order — the
-        // order (hence the float sum) is independent of scheduling.
-        runtime::parallel_for(
-            pool, 0, master_params.size(), /*grain=*/4, [&](std::size_t k) {
-              float* master = master_params[k].grad->data();
-              const std::size_t size = master_params[k].grad->size();
-              for (int l = 0; l < active; ++l) {
-                float* lane = lane_params[l][k].grad->data();
-                for (std::size_t j = 0; j < size; ++j) {
-                  master[j] += lane[j];
-                  lane[j] = 0.0f;
+        if (fused) {
+          // One fused reduce+Adam pass; no broadcast — lanes read the
+          // master's weight tensors directly.
+          engine.step(active, pool);
+        } else {
+          // Reference three-pass path (the PR-2 baseline bench_train
+          // measures against). Reduce: per parameter, add lane gradients
+          // in lane order — the order (hence the float sum) is
+          // independent of scheduling.
+          runtime::parallel_for(
+              pool, 0, master_params.size(), /*grain=*/4, [&](std::size_t k) {
+                float* master = master_params[k].grad->data();
+                const std::size_t size = master_params[k].grad->size();
+                for (int l = 0; l < active; ++l) {
+                  float* lane = lane_params[l][k].grad->data();
+                  for (std::size_t j = 0; j < size; ++j) {
+                    master[j] += lane[j];
+                    lane[j] = 0.0f;
+                  }
                 }
-              }
-            });
-        optimizer.step(pool);
+              });
+          engine.optimizer().step(pool);
 
-        // Broadcast the updated weights back to every lane.
-        runtime::parallel_for(
-            pool, 0, static_cast<std::size_t>(lanes) * master_params.size(),
-            /*grain=*/8, [&](std::size_t t) {
-              const std::size_t l = t / master_params.size();
-              const std::size_t k = t % master_params.size();
-              std::memcpy(lane_params[l][k].value->data(),
-                          master_params[k].value->data(),
-                          master_params[k].value->size() * sizeof(float));
-            });
+          // Broadcast the updated weights back to every lane.
+          runtime::parallel_for(
+              pool, 0, static_cast<std::size_t>(lanes) * master_params.size(),
+              /*grain=*/8, [&](std::size_t t) {
+                const std::size_t l = t / master_params.size();
+                const std::size_t k = t % master_params.size();
+                std::memcpy(lane_params[l][k].value->data(),
+                            master_params[k].value->data(),
+                            master_params[k].value->size() * sizeof(float));
+              });
+        }
 
         for (int l = 0; l < active; ++l) epoch_loss += lane_loss[l];
         stats.queries_seen += active;
@@ -225,24 +282,22 @@ AttackResult DlAttack::attack(QueryDataset& dataset,
       select_one(net_, dataset, i, result.selections[i]);
     }
   } else {
-    // The shared net is only a clone source here, so concurrent attack()
-    // calls (e.g. parallel per-design evaluation) stay race-free.
+    // Workers run pinned shared-weight replicas leased from the
+    // ReplicaSet — no per-call clone, no weight copies — and concurrent
+    // attack() calls (e.g. parallel per-design evaluation) lease disjoint
+    // replicas, so they stay race-free.
     dataset.prebuild_images(pool);
     const std::size_t num_chunks = std::min<std::size_t>(
         n, static_cast<std::size_t>(pool->num_threads()) + 1);
     const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
-    std::vector<nn::AttackNet> replicas;
-    replicas.reserve(num_chunks);
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      replicas.push_back(net_.clone());
-    }
+    ReplicaLease lease = replicas_->lease(num_chunks, net_);
     runtime::TaskGroup group(pool);
     for (std::size_t c = 0; c < num_chunks; ++c) {
-      group.run([c, chunk, n, &replicas, &dataset, &result] {
+      group.run([c, chunk, n, &lease, &dataset, &result] {
         const std::size_t lo = c * chunk;
         const std::size_t hi = std::min(n, lo + chunk);
         for (std::size_t i = lo; i < hi; ++i) {
-          select_one(replicas[c], dataset, i, result.selections[i]);
+          select_one(*lease.nets()[c], dataset, i, result.selections[i]);
         }
       });
     }

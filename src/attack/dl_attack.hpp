@@ -12,15 +12,20 @@
 // the Adam step in lane order. Lanes are scheduled on the pool but the
 // lane structure (and therefore every floating-point sum) depends only on
 // `batch_size`, so any thread count, including none, produces bit-identical
-// models. Inference partitions queries over per-worker replicas; each
-// query's scores land in its own slot, so parallel CCRs equal serial ones.
+// models. By default (TrainConfig::fused_step) lanes share the master's
+// weight tensors and each step runs the fused TrainStep engine — one
+// reduce+Adam pass, no broadcast. Inference partitions queries over
+// pinned shared-weight replicas (ReplicaSet); each query's scores land in
+// its own slot, so parallel CCRs equal serial ones.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "attack/attack_result.hpp"
 #include "attack/dataset.hpp"
+#include "attack/replica_set.hpp"
 #include "nn/attack_net.hpp"
 #include "nn/losses.hpp"
 #include "nn/optimizer.hpp"
@@ -45,6 +50,14 @@ struct TrainConfig {
   std::uint64_t seed = 99;
   /// Report validation CCR every k epochs (0 = never).
   int validate_every = 0;
+  /// Use the fused training-step engine (nn/train_step.hpp): gradient
+  /// lanes share the master's weight tensors, and each optimizer step is
+  /// one fused reduce+Adam pass over the parameters instead of three
+  /// passes (reduce, Adam, weight broadcast). Purely a performance
+  /// toggle — fused and unfused training produce byte-identical models
+  /// (tests/test_train_step.cpp and bench_train assert this); `false`
+  /// selects the reference three-pass path for before/after measurement.
+  bool fused_step = true;
 };
 
 struct TrainStats {
@@ -73,13 +86,24 @@ class DlAttack {
   /// Run inference over every query of `dataset` (runtime includes image
   /// rendering, which is part of feature extraction as in the paper).
   /// With a pool the shared network is never used directly — workers run
-  /// replicas — so concurrent `attack` calls on one DlAttack are safe as
-  /// long as every call passes a pool.
+  /// *pinned* replicas leased from the ReplicaSet (shared read-only
+  /// weights, private activation caches; no per-call clone) — so
+  /// concurrent `attack` calls on one DlAttack are safe as long as every
+  /// call passes a pool, and repeated calls reuse the same replicas.
   AttackResult attack(QueryDataset& dataset,
                       runtime::ThreadPool* pool = nullptr);
 
+  /// Replicas created by pooled attack() calls so far. Pinning means this
+  /// stops growing once the set covers the worker count — the test hook
+  /// for the replica-reuse contract.
+  long inference_clones() const { return replicas_->clones_created(); }
+
  private:
   nn::AttackNet net_;
+  /// Pinned inference replicas (heap-allocated so DlAttack stays movable;
+  /// replicas reference net_'s layer objects, which have stable
+  /// addresses even when the DlAttack moves).
+  std::unique_ptr<ReplicaSet> replicas_;
 };
 
 }  // namespace sma::attack

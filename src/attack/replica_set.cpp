@@ -1,0 +1,44 @@
+#include "attack/replica_set.hpp"
+
+namespace sma::attack {
+
+ReplicaLease::ReplicaLease(ReplicaSet* set, std::vector<nn::AttackNet*> nets,
+                           std::vector<std::size_t> indices)
+    : set_(set), nets_(std::move(nets)), indices_(std::move(indices)) {}
+
+ReplicaLease::~ReplicaLease() { set_->release(indices_); }
+
+ReplicaLease ReplicaSet::lease(std::size_t n, nn::AttackNet& master) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<nn::AttackNet*> nets;
+  std::vector<std::size_t> indices;
+  nets.reserve(n);
+  indices.reserve(n);
+  for (std::size_t i = 0; i < replicas_.size() && nets.size() < n; ++i) {
+    if (!on_loan_[i]) {
+      on_loan_[i] = true;
+      nets.push_back(&replicas_[i]);
+      indices.push_back(i);
+    }
+  }
+  while (nets.size() < n) {
+    replicas_.push_back(master.clone_shared());
+    on_loan_.push_back(true);
+    ++clones_created_;
+    nets.push_back(&replicas_.back());
+    indices.push_back(replicas_.size() - 1);
+  }
+  return ReplicaLease(this, std::move(nets), std::move(indices));
+}
+
+void ReplicaSet::release(const std::vector<std::size_t>& indices) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i : indices) on_loan_[i] = false;
+}
+
+long ReplicaSet::clones_created() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clones_created_;
+}
+
+}  // namespace sma::attack

@@ -1,0 +1,73 @@
+// Pinned inference replicas (ROADMAP "batched inference serving").
+//
+// Before this existed, every pooled `DlAttack::attack()` call cloned a
+// fresh network replica per worker — a full weight copy plus a full
+// random re-initialization, repeated for every validation pass and every
+// victim design. A `ReplicaSet` instead pins replicas for the lifetime of
+// the attack object: each replica is an `AttackNet::clone_shared()` that
+// *reads the master's weight tensors* (one weight copy total, zero
+// synchronization — a master weight update is immediately visible to all
+// replicas) while keeping private activation caches, so concurrent
+// workers never race.
+//
+// Concurrency model: replicas are handed out through exclusive leases.
+// Sequential `attack()` calls reuse the same pinned replicas; concurrent
+// calls (e.g. parallel per-design evaluation) lease disjoint ones, and
+// the set only grows when every pinned replica is already on loan.
+// Determinism is untouched: shared weights make all replicas numerically
+// identical, and outputs land in index-addressed slots, so *which*
+// replica serves a chunk never matters.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "nn/attack_net.hpp"
+
+namespace sma::attack {
+
+class ReplicaSet;
+
+/// Exclusive use of `nets` until destruction (returns them to the set).
+class ReplicaLease {
+ public:
+  ReplicaLease(ReplicaSet* set, std::vector<nn::AttackNet*> nets,
+               std::vector<std::size_t> indices);
+  ~ReplicaLease();
+  ReplicaLease(const ReplicaLease&) = delete;
+  ReplicaLease& operator=(const ReplicaLease&) = delete;
+
+  const std::vector<nn::AttackNet*>& nets() const { return nets_; }
+
+ private:
+  ReplicaSet* set_;
+  std::vector<nn::AttackNet*> nets_;
+  std::vector<std::size_t> indices_;
+};
+
+class ReplicaSet {
+ public:
+  /// Lease `n` replicas of `master` for exclusive use. Grows the set (via
+  /// `master.clone_shared()`) only when fewer than `n` replicas are free;
+  /// the master is passed per call rather than stored so the owning
+  /// object stays movable (pinned replicas reference the master's layer
+  /// objects, which live behind stable heap storage).
+  ReplicaLease lease(std::size_t n, nn::AttackNet& master);
+
+  /// Replicas ever created — a monotone counter tests use to prove that
+  /// repeated attack() calls reuse pinned replicas instead of cloning.
+  long clones_created() const;
+
+ private:
+  friend class ReplicaLease;
+  void release(const std::vector<std::size_t>& indices);
+
+  mutable std::mutex mutex_;
+  std::deque<nn::AttackNet> replicas_;  ///< deque: growth keeps addresses
+  std::vector<bool> on_loan_;
+  long clones_created_ = 0;
+};
+
+}  // namespace sma::attack

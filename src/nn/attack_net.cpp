@@ -240,11 +240,20 @@ void AttackNet::save(std::ostream& out) {
   write_pod(out, config_.fc6_width);
   write_pod(out, static_cast<int>(config_.two_class));
   write_pod(out, config_.seed);
+  if (!out) {
+    throw std::runtime_error("AttackNet::save: writing model header failed");
+  }
 
   for (const Param& p : params()) {
     write_pod(out, static_cast<std::uint64_t>(p.value->size()));
     out.write(reinterpret_cast<const char*>(p.value->data()),
               static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+    // A full disk or closed stream would otherwise return silently here,
+    // leaving a truncated file that only load() can diagnose — much later.
+    if (!out) {
+      throw std::runtime_error("AttackNet::save: writing " + p.name +
+                               " failed (stream error or disk full)");
+    }
   }
 }
 
@@ -256,6 +265,35 @@ AttackNet AttackNet::clone() {
     std::memcpy(target[i].value->data(), source[i].value->data(),
                 source[i].value->size() * sizeof(float));
   }
+  return copy;
+}
+
+AttackNet AttackNet::clone_shared() {
+  // The plain constructor random-initializes weights that
+  // share_weights_from immediately frees — wasted work, but it keeps one
+  // construction path for every layer (no uninitialized-weight ctor
+  // variants to drift), and it runs once per pinned replica, not per
+  // step or per attack() call. Revisit if replica churn ever shows up in
+  // a profile.
+  AttackNet copy(config_);
+  copy.fc1_->share_weights_from(*fc1_);
+  for (std::size_t i = 0; i < vec_blocks_.size(); ++i) {
+    copy.vec_blocks_[i].share_weights_from(vec_blocks_[i]);
+  }
+  if (config_.use_images) {
+    for (std::size_t i = 0; i < convs_.size(); ++i) {
+      copy.convs_[i].share_weights_from(convs_[i]);
+    }
+    copy.fc3_->share_weights_from(*fc3_);
+    copy.fc4_->share_weights_from(*fc4_);
+    copy.fc5_img_->share_weights_from(*fc5_img_);
+  }
+  copy.fc5_merged_->share_weights_from(*fc5_merged_);
+  for (std::size_t i = 0; i < merged_blocks_.size(); ++i) {
+    copy.merged_blocks_[i].share_weights_from(merged_blocks_[i]);
+  }
+  copy.fc6_->share_weights_from(*fc6_);
+  copy.fc7_->share_weights_from(*fc7_);
   return copy;
 }
 

@@ -66,13 +66,29 @@ class AttackNet {
   std::vector<Param> params();
   std::size_t num_parameters();
 
-  /// Binary serialization (config + weights).
+  /// Binary serialization (config + weights). `save` verifies stream
+  /// health after writing and throws std::runtime_error on any failure —
+  /// a silent partial write would leave a truncated model file that only
+  /// fails (confusingly) at load time.
   void save(std::ostream& out);
   static AttackNet load(std::istream& in);
 
   /// A deep copy with identical weights and zeroed gradients — the
   /// per-worker replica used for lane-parallel training and inference.
   AttackNet clone();
+
+  /// A replica whose layers *read this net's weight tensors* instead of
+  /// owning copies (gradients and activation caches stay private, private
+  /// weight storage is freed). A fleet of shared replicas carries one
+  /// weight copy total: gradient lanes see Adam updates without any
+  /// broadcast, and pinned inference replicas (attack/replica_set.hpp)
+  /// track the master with zero synchronization. Constraints: this master
+  /// must outlive the replica (moving the master is safe — layer objects
+  /// live behind stable heap storage), its weights must not be mutated
+  /// while a replica is mid-forward/backward, and a shared replica's
+  /// `params()`/`save()` see empty value tensors — it is never the
+  /// optimizer's target and never serialized.
+  AttackNet clone_shared();
 
  private:
   NetConfig config_;

@@ -57,7 +57,7 @@ Tensor Linear::forward(const Tensor& x) {
     // Seed behavior, reproduced faithfully as the bench baseline: naive
     // GEMM + bias, then a separate LeakyReLU layer (one copy to cache
     // the pre-activation, one copy for the output, an in-place pass).
-    gemm_forward_nt(rows, out_, in_, x.data(), w_.data(), b_.data(),
+    gemm_forward_nt(rows, out_, in_, x.data(), weight().data(), bias().data(),
                     y.data(), Epilogue::kBias, slope_, mask_.data(),
                     thread_scratch());
     Tensor preact_cache = y;
@@ -69,7 +69,7 @@ Tensor Linear::forward(const Tensor& x) {
     return activated;
   }
   // y = x * w^T + b (+ LeakyReLU), all in one kernel pass.
-  gemm_forward_nt(rows, out_, in_, x.data(), w_.data(), b_.data(), y.data(),
+  gemm_forward_nt(rows, out_, in_, x.data(), weight().data(), bias().data(), y.data(),
                   fused ? Epilogue::kBiasLeakyReLU : Epilogue::kBias, slope_,
                   fused ? mask_.data() : nullptr, thread_scratch());
   return y;
@@ -94,13 +94,23 @@ Tensor Linear::backward(const Tensor& dy) {
   }
   Tensor dx({rows, in_});
   // dx = dy * w
-  gemm_ovr_nn(rows, in_, out_, dsrc->data(), w_.data(), dx.data(), thread_scratch());
+  gemm_ovr_nn(rows, in_, out_, dsrc->data(), weight().data(), dx.data(), thread_scratch());
   return dx;
 }
 
 void Linear::collect_params(std::vector<Param>& out) {
   out.push_back({name_ + ".w", &w_, &dw_});
   out.push_back({name_ + ".b", &b_, &db_});
+}
+
+void Linear::share_weights_from(const Linear& master) {
+  // Resolve chains so a replica of a replica still reads the root master.
+  shared_w_ = &master.weight();
+  shared_b_ = &master.bias();
+  // The private storage is dormant from here on; free it so a lane/
+  // replica fleet carries one weight copy total instead of one per net.
+  w_ = Tensor();
+  b_ = Tensor();
 }
 
 // --------------------------------------------------------------------
@@ -188,9 +198,13 @@ Tensor Conv2d::forward_blocked(const Tensor& x) {
             }
             const float* src_row = plane + static_cast<std::size_t>(iy) * w;
             // ix = ox * stride - 1 + kx is in [0, w) exactly for ox in
-            // [ox_lo, ox_hi); edges are padding zeros.
+            // [ox_lo, ox_hi); edges are padding zeros. The w < kx guard
+            // matters: for a 1-wide row and kx = 2 the naive formula
+            // (w - kx) / stride + 1 truncates -1/stride toward zero and
+            // admitted ox = 0, reading one float past the row (heap
+            // garbage on the last plane — nondeterministic models).
             const int ox_lo = kx == 0 ? 1 : 0;
-            const int ox_hi_raw = (w - kx) / stride_ + 1;
+            const int ox_hi_raw = w < kx ? 0 : (w - kx) / stride_ + 1;
             const int ox_hi = wo < ox_hi_raw ? wo : ox_hi_raw;
             for (int ox = 0; ox < ox_lo; ++ox) out_row[ox] = 0.0f;
             if (stride_ == 1) {
@@ -213,8 +227,8 @@ Tensor Conv2d::forward_blocked(const Tensor& x) {
   y_rows.resize(static_cast<std::size_t>(out_channels_) * rows);
   if (fused) mask_.resize(static_cast<std::size_t>(out_channels_) * rows);
   // y^T[out, rows] = W[out, patch] * cols^T[patch, rows] + bias (+ act).
-  gemm_forward_nn_rowbias(out_channels_, rows, patch, w_.data(), cols_.data(),
-                          b_.data(), y_rows.data(),
+  gemm_forward_nn_rowbias(out_channels_, rows, patch, weight().data(), cols_.data(),
+                          bias().data(), y_rows.data(),
                           fused ? Epilogue::kBiasLeakyReLU : Epilogue::kBias,
                           slope_, fused ? mask_.data() : nullptr, thread_scratch());
 
@@ -293,7 +307,7 @@ Tensor Conv2d::backward_blocked(const Tensor& dy) {
   // dcols^T[patch, rows] = W^T * dy^T.
   std::vector<float>& dcols = tl_dcols();
   dcols.resize(static_cast<std::size_t>(patch) * rows);
-  gemm_ovr_tn(patch, rows, out_channels_, w_.data(), dy_rows.data(),
+  gemm_ovr_tn(patch, rows, out_channels_, weight().data(), dy_rows.data(),
               dcols.data(), thread_scratch());
 
   // col2im from the transposed layout. Loop order (c asc, ky desc,
@@ -318,8 +332,10 @@ Tensor Conv2d::backward_blocked(const Tensor& dy) {
             const float* srow =
                 src + (static_cast<std::size_t>(img) * ho + oy) * wo;
             float* drow = plane + static_cast<std::size_t>(iy) * w;
+            // Same w < kx guard as im2col: without it this loop WROTE one
+            // float past a 1-wide row (silent dx corruption).
             const int ox_lo = kx == 0 ? 1 : 0;
-            const int ox_hi_raw = (w - kx) / stride_ + 1;
+            const int ox_hi_raw = w < kx ? 0 : (w - kx) / stride_ + 1;
             const int ox_hi = wo < ox_hi_raw ? wo : ox_hi_raw;
             if (stride_ == 1) {
               float* base = drow + kx - 1;
@@ -379,8 +395,8 @@ Tensor Conv2d::forward_reference(const Tensor& x) {
   const bool fused = act_ == Act::kLeakyReLU;
   std::vector<float> y_rows(static_cast<std::size_t>(rows) * out_channels_);
   if (fused) mask_.resize(static_cast<std::size_t>(rows) * out_channels_);
-  gemm_forward_nt(rows, out_channels_, patch, cols_.data(), w_.data(),
-                  b_.data(), y_rows.data(), Epilogue::kBias, slope_,
+  gemm_forward_nt(rows, out_channels_, patch, cols_.data(), weight().data(),
+                  bias().data(), y_rows.data(), Epilogue::kBias, slope_,
                   fused ? mask_.data() : nullptr, thread_scratch());
 
   // Reorder [n*ho*wo, out] -> [n, out, ho, wo].
@@ -472,7 +488,7 @@ Tensor Conv2d::backward_reference(const Tensor& dy) {
   // dcols = dy_rows * w  (the seed always computed the input gradient,
   // even for a network's first layer).
   std::vector<float> dcols(static_cast<std::size_t>(rows) * patch);
-  gemm_ovr_nn(rows, patch, out_channels_, dy_rows.data(), w_.data(),
+  gemm_ovr_nn(rows, patch, out_channels_, dy_rows.data(), weight().data(),
               dcols.data(), thread_scratch());
 
   // col2im.
@@ -505,6 +521,13 @@ Tensor Conv2d::backward_reference(const Tensor& dy) {
 void Conv2d::collect_params(std::vector<Param>& out) {
   out.push_back({name_ + ".w", &w_, &dw_});
   out.push_back({name_ + ".b", &b_, &db_});
+}
+
+void Conv2d::share_weights_from(const Conv2d& master) {
+  shared_w_ = &master.weight();
+  shared_b_ = &master.bias();
+  w_ = Tensor();
+  b_ = Tensor();
 }
 
 // --------------------------------------------------------------------
@@ -571,6 +594,12 @@ void ResBlock::collect_params(std::vector<Param>& out) {
   fc1_.collect_params(out);
   fc2_.collect_params(out);
   fc3_.collect_params(out);
+}
+
+void ResBlock::share_weights_from(const ResBlock& master) {
+  fc1_.share_weights_from(master.fc1_);
+  fc2_.share_weights_from(master.fc2_);
+  fc3_.share_weights_from(master.fc3_);
 }
 
 }  // namespace sma::nn

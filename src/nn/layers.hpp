@@ -51,6 +51,20 @@ class Linear {
   int in_features() const { return in_; }
   int out_features() const { return out_; }
 
+  /// Weight sharing for replicas (see AttackNet::clone_shared): after
+  /// this call the layer reads `master`'s weight/bias tensors and frees
+  /// its own weight storage. Gradients and activation caches stay
+  /// private, so shared-weight replicas may run forward/backward
+  /// concurrently as long as nobody mutates the master's weights
+  /// meanwhile. `collect_params` keeps reporting the (now empty) private
+  /// storage — a shared replica is never the optimizer's target.
+  void share_weights_from(const Linear& master);
+
+  /// The tensors forward/backward read: the master's after
+  /// `share_weights_from`, this layer's own otherwise.
+  const Tensor& weight() const { return shared_w_ ? *shared_w_ : w_; }
+  const Tensor& bias() const { return shared_b_ ? *shared_b_ : b_; }
+
  private:
   int in_;
   int out_;
@@ -59,6 +73,8 @@ class Linear {
   float slope_;
   Tensor w_;   ///< [out, in]
   Tensor b_;   ///< [out]
+  const Tensor* shared_w_ = nullptr;  ///< master's weights, when sharing
+  const Tensor* shared_b_ = nullptr;
   Tensor dw_;
   Tensor db_;
   Tensor x_;   ///< cached input
@@ -113,6 +129,12 @@ class Conv2d {
   /// consumes.
   void set_compute_input_grad(bool enabled) { compute_input_grad_ = enabled; }
 
+  /// Weight sharing for replicas; same contract as
+  /// Linear::share_weights_from.
+  void share_weights_from(const Conv2d& master);
+  const Tensor& weight() const { return shared_w_ ? *shared_w_ : w_; }
+  const Tensor& bias() const { return shared_b_ ? *shared_b_ : b_; }
+
  private:
   Tensor forward_blocked(const Tensor& x);
   Tensor forward_reference(const Tensor& x);
@@ -128,6 +150,8 @@ class Conv2d {
   bool compute_input_grad_ = true;
   Tensor w_;   ///< [out, in * 9]
   Tensor b_;   ///< [out]
+  const Tensor* shared_w_ = nullptr;  ///< master's weights, when sharing
+  const Tensor* shared_b_ = nullptr;
   Tensor dw_;
   Tensor db_;
   std::vector<int> x_shape_;
@@ -161,6 +185,10 @@ class ResBlock {
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& dy);
   void collect_params(std::vector<Param>& out);
+
+  /// Weight sharing for replicas; same contract as
+  /// Linear::share_weights_from.
+  void share_weights_from(const ResBlock& master);
 
  private:
   Linear fc1_;

@@ -16,29 +16,35 @@ Adam::Adam(std::vector<Param> params, const AdamConfig& config)
   }
 }
 
-void Adam::step(runtime::ThreadPool* pool) {
+Adam::StepScales Adam::begin_step() {
   ++t_;
-  const double bc1 = 1.0 - std::pow(config_.beta1, t_);
-  const double bc2 = 1.0 - std::pow(config_.beta2, t_);
-  runtime::parallel_for(
-      pool, 0, params_.size(), /*grain=*/4, [&](std::size_t i) {
-        Tensor& value = *params_[i].value;
-        Tensor& grad = *params_[i].grad;
-        std::vector<float>& m = m_[i];
-        std::vector<float>& v = v_[i];
-        for (std::size_t j = 0; j < value.size(); ++j) {
-          const float g = grad[j];
-          m[j] = static_cast<float>(config_.beta1 * m[j] +
-                                    (1.0 - config_.beta1) * g);
-          v[j] = static_cast<float>(config_.beta2 * v[j] +
-                                    (1.0 - config_.beta2) * g * g);
-          const double mh = m[j] / bc1;
-          const double vh = v[j] / bc2;
-          value[j] -=
-              static_cast<float>(lr_ * mh / (std::sqrt(vh) + config_.eps));
-          grad[j] = 0.0f;
-        }
-      });
+  return StepScales{1.0 - std::pow(config_.beta1, t_),
+                    1.0 - std::pow(config_.beta2, t_)};
+}
+
+void Adam::update_param(std::size_t i, const StepScales& scales) {
+  Tensor& value = *params_[i].value;
+  Tensor& grad = *params_[i].grad;
+  std::vector<float>& m = m_[i];
+  std::vector<float>& v = v_[i];
+  for (std::size_t j = 0; j < value.size(); ++j) {
+    const float g = grad[j];
+    m[j] = static_cast<float>(config_.beta1 * m[j] +
+                              (1.0 - config_.beta1) * g);
+    v[j] = static_cast<float>(config_.beta2 * v[j] +
+                              (1.0 - config_.beta2) * g * g);
+    const double mh = m[j] / scales.bc1;
+    const double vh = v[j] / scales.bc2;
+    value[j] -=
+        static_cast<float>(lr_ * mh / (std::sqrt(vh) + config_.eps));
+    grad[j] = 0.0f;
+  }
+}
+
+void Adam::step(runtime::ThreadPool* pool) {
+  const StepScales scales = begin_step();
+  runtime::parallel_for(pool, 0, params_.size(), /*grain=*/4,
+                        [&](std::size_t i) { update_param(i, scales); });
 }
 
 void Adam::zero_grad() {

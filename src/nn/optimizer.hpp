@@ -26,9 +26,31 @@ class Adam {
   /// Apply one update from the accumulated gradients, then zero them.
   /// Parameters update independently, so a pool parallelizes over them
   /// without changing the result.
+  ///
+  /// Gradient lifecycle contract: `step` both consumes and zeroes every
+  /// gradient — training loops must NOT follow it with `zero_grad()` (a
+  /// redundant full-tensor fill per parameter). `zero_grad` exists solely
+  /// to discard the gradients of a sample that is skipped *without* an
+  /// update.
   void step(runtime::ThreadPool* pool = nullptr);
 
+  /// Per-step bias-correction factors; see `begin_step`.
+  struct StepScales {
+    double bc1 = 1.0;
+    double bc2 = 1.0;
+  };
+
+  /// Building blocks for fused training-step engines (nn/train_step.hpp):
+  /// `begin_step` advances the step counter and returns this step's bias
+  /// corrections; `update_param` applies the update to parameter `i` and
+  /// zeroes its gradient — exactly the arithmetic `step` performs, so a
+  /// caller that invokes `update_param` once per parameter per
+  /// `begin_step` produces bit-identical weights to `step`.
+  StepScales begin_step();
+  void update_param(std::size_t i, const StepScales& scales);
+
   /// Zero gradients without updating (e.g. after a skipped sample).
+  /// Never needed after `step`, which zeroes as it consumes.
   void zero_grad();
 
   /// Multiply the learning rate by the configured decay factor.

@@ -1,0 +1,81 @@
+#include "nn/train_step.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "runtime/parallel.hpp"
+
+namespace sma::nn {
+
+TrainStep::TrainStep(std::vector<Param> master, const AdamConfig& config)
+    : master_(std::move(master)), adam_(master_, config) {}
+
+void TrainStep::attach_lanes(std::vector<std::vector<Param>> lanes,
+                             bool broadcast) {
+  for (const std::vector<Param>& lane : lanes) {
+    if (lane.size() != master_.size()) {
+      throw std::invalid_argument(
+          "TrainStep: lane params not aligned with master params");
+    }
+  }
+  lanes_ = std::move(lanes);
+  broadcast_ = broadcast;
+}
+
+void TrainStep::accumulate(const std::vector<Param>& lane) {
+  if (lane.size() != master_.size()) {
+    throw std::invalid_argument(
+        "TrainStep: lane params not aligned with master params");
+  }
+  for (std::size_t k = 0; k < master_.size(); ++k) {
+    float* master_grad = master_[k].grad->data();
+    float* lane_grad = lane[k].grad->data();
+    const std::size_t size = master_[k].grad->size();
+    for (std::size_t j = 0; j < size; ++j) {
+      master_grad[j] += lane_grad[j];
+      lane_grad[j] = 0.0f;
+    }
+  }
+}
+
+void TrainStep::step(int active_lanes, runtime::ThreadPool* pool) {
+  if (lanes_.empty()) {
+    adam_.step(pool);
+    return;
+  }
+  const std::size_t active = static_cast<std::size_t>(
+      active_lanes < 0 ? 0
+                       : (static_cast<std::size_t>(active_lanes) <
+                                  lanes_.size()
+                              ? static_cast<std::size_t>(active_lanes)
+                              : lanes_.size()));
+  const Adam::StepScales scales = adam_.begin_step();
+  runtime::parallel_for(
+      pool, 0, master_.size(), /*grain=*/4, [&](std::size_t k) {
+        // (1) Reduce: add lane gradients in lane order — the order (hence
+        // the float sum) depends only on the lane count, never on
+        // scheduling.
+        float* master_grad = master_[k].grad->data();
+        const std::size_t size = master_[k].grad->size();
+        for (std::size_t l = 0; l < active; ++l) {
+          float* lane = lanes_[l][k].grad->data();
+          for (std::size_t j = 0; j < size; ++j) {
+            master_grad[j] += lane[j];
+            lane[j] = 0.0f;
+          }
+        }
+        // (2) Adam update for this parameter, while its state is hot.
+        adam_.update_param(k, scales);
+        // (3) Broadcast to lanes owning private weights (no-op for
+        // shared-weight lanes, whose reads alias the master's storage).
+        if (broadcast_) {
+          const float* master_value = master_[k].value->data();
+          const std::size_t bytes = master_[k].value->size() * sizeof(float);
+          for (std::size_t l = 0; l < lanes_.size(); ++l) {
+            std::memcpy(lanes_[l][k].value->data(), master_value, bytes);
+          }
+        }
+      });
+}
+
+}  // namespace sma::nn

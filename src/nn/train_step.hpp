@@ -1,0 +1,82 @@
+// Fused training-step engine.
+//
+// PR 2 made the kernels fast enough that the fast-profile epoch is
+// dominated by the *unfused tail* of every optimizer step: three separate
+// passes over all parameters (lane-gradient reduce, Adam update, weight
+// broadcast), each streaming megabytes of parameter state through the
+// cache again. `TrainStep` fuses the three into ONE `parallel_for` pass:
+// for each parameter it (1) adds the active lanes' gradients onto the
+// master gradient in ascending lane order, zeroing each lane gradient,
+// (2) applies the Adam update via `Adam::update_param`, and (3) — only
+// for lanes that own private weight storage — copies the fresh weights
+// back to every lane. Each parameter's state is touched exactly once per
+// step while it is hot in cache.
+//
+// Determinism: parameters are independent, and within one parameter the
+// fused pass performs the identical float operations in the identical
+// order (fixed lane order, ascending j, the unmodified Adam arithmetic)
+// as the unfused reduce / `Adam::step` / broadcast sequence. Fused and
+// unfused training therefore produce byte-identical models at any lane
+// count and any thread count — the PR-1 determinism contract, which
+// tests/test_train_step.cpp asserts.
+//
+// Lanes that *share* the master's weight tensors (AttackNet::
+// clone_shared) attach with `broadcast = false`: the Adam update lands
+// directly in the storage every lane reads, so the broadcast disappears
+// entirely and the per-lane working set shrinks by one full weight copy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/optimizer.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace sma::nn {
+
+class TrainStep {
+ public:
+  /// `master` holds the authoritative weights and the reduction target
+  /// gradients; `config` the Adam schedule.
+  TrainStep(std::vector<Param> master, const AdamConfig& config);
+
+  /// Attach per-lane parameter views; `lanes[l]` must be index-aligned
+  /// with the master params. `broadcast` selects whether `step` copies
+  /// updated master weights into each lane's value tensors — required
+  /// when lanes own private weight storage, pointless (and skipped) when
+  /// lanes share the master's weight tensors.
+  void attach_lanes(std::vector<std::vector<Param>> lanes, bool broadcast);
+
+  /// One fused reduce + Adam + broadcast pass over all parameters, using
+  /// the gradients of the first `active_lanes` lanes (a trailing partial
+  /// batch activates fewer lanes than are attached). With no lanes
+  /// attached this degrades to a plain `Adam::step`.
+  void step(int active_lanes, runtime::ThreadPool* pool);
+
+  /// Serial-lane mode: add `lane`'s gradients onto the master gradients
+  /// (ascending parameter and element order) and zero them. A pool-less
+  /// training loop pins ONE shared-weight replica and calls this after
+  /// every query of the batch, then steps the optimizer — the adds reach
+  /// each master element in the same batch order as the multi-lane
+  /// reduce, so the sum (hence the model) is byte-identical while the
+  /// per-step working set shrinks from `lanes` replicas to one. The
+  /// gradients are still hot from the backward pass that produced them,
+  /// making this far cheaper than a deferred reduce.
+  void accumulate(const std::vector<Param>& lane);
+
+  void decay_lr() { adam_.decay_lr(); }
+  double learning_rate() const { return adam_.learning_rate(); }
+
+  /// The underlying optimizer — the per-query (batch_size = 1) training
+  /// path steps it directly, bypassing the lane machinery.
+  Adam& optimizer() { return adam_; }
+
+ private:
+  std::vector<Param> master_;
+  Adam adam_;
+  std::vector<std::vector<Param>> lanes_;
+  bool broadcast_ = false;
+};
+
+}  // namespace sma::nn

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <ostream>
 #include <sstream>
+#include <streambuf>
 
 #include "nn/losses.hpp"
 #include "nn/optimizer.hpp"
@@ -188,6 +190,79 @@ TEST(AttackNet, LoadRejectsGarbage) {
   std::stringstream buffer;
   buffer << "not a model";
   EXPECT_THROW(AttackNet::load(buffer), std::runtime_error);
+}
+
+TEST(AttackNet, LoadRejectsTruncatedBuffer) {
+  // The failure mode a silent partial save used to produce: a file cut
+  // off at an arbitrary byte. load() must throw at every cut point, never
+  // return a half-initialized network.
+  AttackNet net(tiny_config(true));
+  std::stringstream buffer;
+  net.save(buffer);
+  const std::string full = buffer.str();
+  ASSERT_GT(full.size(), 64u);
+
+  for (std::size_t cut :
+       {full.size() / 7, full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(AttackNet::load(truncated), std::runtime_error)
+        << "cut at byte " << cut << " of " << full.size();
+  }
+}
+
+namespace {
+
+/// An output buffer that accepts only `capacity` bytes — a stand-in for a
+/// full disk or closed pipe mid-save.
+class CappedBuf : public std::streambuf {
+ public:
+  explicit CappedBuf(std::size_t capacity) : capacity_(capacity) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (written_ >= capacity_) return traits_type::eof();
+    ++written_;
+    return ch;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t written_ = 0;
+};
+
+}  // namespace
+
+TEST(AttackNet, SaveThrowsWhenStreamFailsMidWrite) {
+  AttackNet net(tiny_config(false));
+
+  // Already-failed stream: the header write must be detected.
+  std::stringstream dead;
+  dead.setstate(std::ios::badbit);
+  EXPECT_THROW(net.save(dead), std::runtime_error);
+
+  // Stream that fails partway through the weights: previously save()
+  // returned silently, leaving a truncated model file.
+  CappedBuf capped(256);
+  std::ostream out(&capped);
+  EXPECT_THROW(net.save(out), std::runtime_error);
+}
+
+TEST(AttackNet, SaveLoadRoundTripAfterFailedAttempt) {
+  // A failed save must not corrupt the net: a subsequent save to a good
+  // stream round-trips.
+  AttackNet net(tiny_config(false));
+  CappedBuf capped(64);
+  std::ostream bad(&capped);
+  EXPECT_THROW(net.save(bad), std::runtime_error);
+
+  std::stringstream good;
+  net.save(good);
+  AttackNet restored = AttackNet::load(good);
+  QueryInput input = tiny_input(3, false, 21);
+  Tensor a = net.forward(input);
+  Tensor b = restored.forward(input);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
 }
 
 TEST(AttackNet, ParameterCountPaperConfigIsLarge) {

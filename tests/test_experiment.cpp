@@ -94,6 +94,36 @@ TEST(Experiment, Table3EndToEndTiny) {
   EXPECT_FALSE(flow_result.timed_out);
 }
 
+TEST(Experiment, Figure5ConcurrentSettingsMatchSerial) {
+  // run_figure5 trains its three settings as one TaskGroup when the
+  // profile resolves > 1 thread; the rows must match a 1-thread run
+  // bitwise (settings are independent and slot-addressed).
+  layout::FlowConfig flow;
+  std::vector<netlist::DesignProfile> victims = {tiny_designs()[0]};
+
+  ExperimentProfile serial_profile = tiny_profile();
+  serial_profile.runtime.threads = 1;
+  std::vector<AblationRow> serial =
+      run_figure5(serial_profile, flow, victims, 2019);
+
+  ExperimentProfile parallel_profile = tiny_profile();
+  parallel_profile.runtime.threads = 4;
+  std::vector<AblationRow> parallel =
+      run_figure5(parallel_profile, flow, victims, 2019);
+
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(parallel.size(), 3u);
+  EXPECT_EQ(serial[0].setting, "two-class");
+  EXPECT_EQ(serial[1].setting, "vec");
+  EXPECT_EQ(serial[2].setting, "vec+img");
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].setting, parallel[i].setting);
+    // Bit-identical CCRs: the determinism contract across thread counts.
+    EXPECT_EQ(serial[i].avg_ccr, parallel[i].avg_ccr)
+        << "setting " << serial[i].setting;
+  }
+}
+
 TEST(Experiment, FinalizeAveragesSkipsTimeouts) {
   Table3Result result;
   Table3Row a;

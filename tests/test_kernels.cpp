@@ -225,6 +225,66 @@ TEST_F(KernelTest, Conv2dBitIdenticalAcrossBackends) {
   }
 }
 
+TEST_F(KernelTest, Conv2dStridedOnOnePixelInputIsDeterministic) {
+  // Regression: for a 1-wide feature map and kernel column kx = 2 the
+  // blocked pipeline's edge formula (w - kx) / stride + 1 truncated
+  // -1/stride toward zero, admitting an out-of-bounds tap: im2col read
+  // one float past the row (heap garbage on the last plane — trained
+  // models became nondeterministic) and col2im WROTE one float past it.
+  // Only stride-3 convs see it (stride 1 divides -1 exactly), and only
+  // once the trunk shrinks to 1x1 maps — tiny test nets, not the paper
+  // profiles, which is how it survived PR 2.
+  struct Case {
+    int n, in_ch, out_ch, size;
+  };
+  for (const Case& c : {Case{7, 8, 10, 1}, Case{3, 2, 5, 1}, Case{1, 1, 1, 1}}) {
+    // Pollute the allocator's free lists so stale-memory taps cannot
+    // masquerade as zeros.
+    {
+      std::vector<float> junk(1 << 18, 1e9f);
+      volatile float sink = junk[0];
+      (void)sink;
+    }
+    util::Pcg32 data_rng(11u + c.n);
+    Tensor x = Tensor::randn({c.n, c.in_ch, c.size, c.size}, data_rng, 1.0);
+    util::Pcg32 grad_rng(13);
+    expect_layer_bit_identical(
+        [&] {
+          util::Pcg32 rng(44);
+          return Conv2d(c.in_ch, c.out_ch, /*stride=*/3, rng, "t",
+                        Act::kLeakyReLU);
+        },
+        x, grad_rng);
+
+    // And the blocked path must be repeatable against itself under a
+    // dirtied heap (the original failure mode).
+    set_kernel_backend(KernelBackend::kBlocked);
+    Tensor y_first;
+    Tensor dx_first;
+    for (int round = 0; round < 2; ++round) {
+      std::vector<float> junk(1 << 16, -1e9f);
+      volatile float sink = junk[0];
+      (void)sink;
+      util::Pcg32 rng(44);
+      Conv2d conv(c.in_ch, c.out_ch, 3, rng, "t", Act::kLeakyReLU);
+      Tensor y = conv.forward(x);
+      Tensor dy(y.shape());
+      util::Pcg32 grng(13);
+      for (std::size_t i = 0; i < dy.size(); ++i) {
+        dy[i] = static_cast<float>(grng.next_gaussian());
+      }
+      Tensor dx = conv.backward(dy);
+      if (round == 0) {
+        y_first = y;
+        dx_first = dx;
+      } else {
+        EXPECT_TRUE(bit_equal(y_first.data(), y.data(), y.size()));
+        EXPECT_TRUE(bit_equal(dx_first.data(), dx.data(), dx.size()));
+      }
+    }
+  }
+}
+
 TEST_F(KernelTest, FusedActivationMatchesSeparateLayer) {
   // Linear(Act::kLeakyReLU) must equal Linear(no act) + LeakyReLU exactly,
   // forward and backward — the epilogue fusion is pure plumbing.

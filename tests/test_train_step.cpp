@@ -1,0 +1,325 @@
+// The fused training-step engine's contract: one fused
+// reduce + Adam + broadcast pass is byte-identical to the reference
+// three-pass sequence at every lane count and every thread count, and
+// pinned inference replicas are reused across attack() calls without
+// changing any result.
+#include "nn/train_step.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "attack/dl_attack.hpp"
+#include "eval/experiment.hpp"
+#include "nn/attack_net.hpp"
+#include "nn/optimizer.hpp"
+#include "runtime/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace sma::nn {
+namespace {
+
+/// A bank of parameter tensors with private gradients.
+struct ParamBank {
+  std::vector<Tensor> values;
+  std::vector<Tensor> grads;
+
+  explicit ParamBank(const std::vector<std::vector<int>>& shapes,
+                     util::Pcg32& rng) {
+    values.reserve(shapes.size());
+    grads.reserve(shapes.size());
+    for (const auto& shape : shapes) {
+      values.push_back(Tensor::randn(shape, rng, 0.5));
+      grads.emplace_back(shape);
+    }
+  }
+
+  std::vector<Param> params() {
+    std::vector<Param> out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out.push_back({"p" + std::to_string(i), &values[i], &grads[i]});
+    }
+    return out;
+  }
+};
+
+bool same_bytes(const Tensor& a, const Tensor& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Deterministic pseudo-gradients, identical for both banks.
+void fill_grads(std::vector<Tensor>& lane_grads, util::Pcg32& rng) {
+  for (Tensor& g : lane_grads) {
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      g[j] = static_cast<float>(rng.next_gaussian());
+    }
+  }
+}
+
+/// Fused vs reference three-pass on raw tensors: `lanes` gradient lanes,
+/// several steps (the last one with a partial batch), run serially or on
+/// a pool. Master weights and every lane's weight copy must match byte
+/// for byte afterwards.
+void check_fused_matches_three_pass(int lanes, runtime::ThreadPool* pool) {
+  // Odd sizes on purpose: no tile or grain boundary alignment.
+  const std::vector<std::vector<int>> shapes = {{7, 13}, {13}, {31, 3}, {5}};
+  util::Pcg32 init(2024);
+  ParamBank master_a(shapes, init);
+  util::Pcg32 init_b(2024);  // identical initial weights
+  ParamBank master_b(shapes, init_b);
+
+  auto make_lanes = [&](int count) {
+    std::vector<ParamBank> banks;
+    util::Pcg32 lane_rng(7);
+    for (int l = 0; l < count; ++l) banks.emplace_back(shapes, lane_rng);
+    return banks;
+  };
+  std::vector<ParamBank> lanes_a = make_lanes(lanes);
+  std::vector<ParamBank> lanes_b = make_lanes(lanes);
+
+  AdamConfig config;
+  config.lr = 0.01;
+  Adam adam_a(master_a.params(), config);
+
+  TrainStep engine(master_b.params(), config);
+  std::vector<std::vector<Param>> lane_params_b;
+  for (ParamBank& lane : lanes_b) lane_params_b.push_back(lane.params());
+  engine.attach_lanes(lane_params_b, /*broadcast=*/true);
+
+  std::vector<Param> master_params_a = master_a.params();
+  std::vector<std::vector<Param>> lane_params_a;
+  for (ParamBank& lane : lanes_a) lane_params_a.push_back(lane.params());
+
+  util::Pcg32 grad_rng_a(99);
+  util::Pcg32 grad_rng_b(99);
+  for (int step = 0; step < 5; ++step) {
+    const int active = step == 4 && lanes > 1 ? lanes - 1 : lanes;
+    for (int l = 0; l < active; ++l) {
+      fill_grads(lanes_a[l].grads, grad_rng_a);
+      fill_grads(lanes_b[l].grads, grad_rng_b);
+    }
+
+    // Reference: the PR-2 three-pass sequence (reduce in ascending lane
+    // order, Adam step, broadcast to every lane).
+    runtime::parallel_for(
+        pool, 0, master_params_a.size(), /*grain=*/4, [&](std::size_t k) {
+          float* master = master_params_a[k].grad->data();
+          const std::size_t size = master_params_a[k].grad->size();
+          for (int l = 0; l < active; ++l) {
+            float* lane = lane_params_a[l][k].grad->data();
+            for (std::size_t j = 0; j < size; ++j) {
+              master[j] += lane[j];
+              lane[j] = 0.0f;
+            }
+          }
+        });
+    adam_a.step(pool);
+    for (int l = 0; l < lanes; ++l) {
+      for (std::size_t k = 0; k < master_params_a.size(); ++k) {
+        std::memcpy(lane_params_a[l][k].value->data(),
+                    master_params_a[k].value->data(),
+                    master_params_a[k].value->size() * sizeof(float));
+      }
+    }
+
+    // Fused: one pass.
+    engine.step(active, pool);
+  }
+
+  for (std::size_t k = 0; k < shapes.size(); ++k) {
+    EXPECT_TRUE(same_bytes(master_a.values[k], master_b.values[k]))
+        << "master param " << k << " diverged (lanes " << lanes << ")";
+    EXPECT_TRUE(same_bytes(master_a.grads[k], master_b.grads[k]))
+        << "master grad " << k << " not zeroed identically";
+    for (int l = 0; l < lanes; ++l) {
+      EXPECT_TRUE(same_bytes(lanes_a[l].values[k], lanes_b[l].values[k]))
+          << "lane " << l << " param " << k << " diverged";
+    }
+  }
+}
+
+TEST(TrainStep, FusedMatchesThreePassAcrossLanesAndThreads) {
+  for (int lanes : {1, 2, 8}) {
+    check_fused_matches_three_pass(lanes, nullptr);
+    runtime::ThreadPool pool(4);
+    check_fused_matches_three_pass(lanes, &pool);
+  }
+}
+
+TEST(TrainStep, NoLanesDegradesToAdamStep) {
+  const std::vector<std::vector<int>> shapes = {{4, 4}, {9}};
+  util::Pcg32 init(5);
+  ParamBank a(shapes, init);
+  util::Pcg32 init_b(5);
+  ParamBank b(shapes, init_b);
+
+  Adam adam(a.params(), {});
+  TrainStep engine(b.params(), {});
+  util::Pcg32 ga(1), gb(1);
+  for (int step = 0; step < 3; ++step) {
+    fill_grads(a.grads, ga);
+    fill_grads(b.grads, gb);
+    adam.step(nullptr);
+    engine.step(/*active_lanes=*/0, nullptr);
+  }
+  for (std::size_t k = 0; k < shapes.size(); ++k) {
+    EXPECT_TRUE(same_bytes(a.values[k], b.values[k]));
+  }
+}
+
+TEST(AttackNetSharing, SharedCloneTracksMasterWeights) {
+  NetConfig config;
+  config.hidden = 16;
+  config.vector_res_blocks = 1;
+  config.merged_res_blocks = 1;
+  config.use_images = false;
+  AttackNet master(config);
+  AttackNet replica = master.clone_shared();
+
+  util::Pcg32 rng(3);
+  QueryInput input;
+  input.vec = Tensor::randn({5, 27}, rng, 1.0);
+
+  Tensor a = master.forward(input);
+  Tensor b = replica.forward(input);
+  EXPECT_TRUE(same_bytes(a, b));
+
+  // Mutate the master's weights; the replica must see the change with no
+  // synchronization (it reads the same tensors).
+  for (Param& p : master.params()) {
+    for (std::size_t j = 0; j < p.value->size(); ++j) (*p.value)[j] += 0.25f;
+  }
+  Tensor a2 = master.forward(input);
+  Tensor b2 = replica.forward(input);
+  EXPECT_TRUE(same_bytes(a2, b2));
+  EXPECT_FALSE(same_bytes(a, a2));
+
+  // The replica's private weight storage is freed, not duplicated.
+  for (Param& p : replica.params()) {
+    EXPECT_EQ(p.value->size(), 0u) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace sma::nn
+
+namespace sma::attack {
+namespace {
+
+/// Tiny end-to-end corpus (the determinism-test pattern): one generated
+/// design, vector-only features.
+eval::PreparedSplit tiny_prepared() {
+  netlist::DesignProfile profile;
+  profile.name = "tiny_fused";
+  profile.num_inputs = 8;
+  profile.num_outputs = 4;
+  profile.num_gates = 280;
+  return eval::prepare_split(profile, 3, layout::FlowConfig{}, 77);
+}
+
+nn::NetConfig tiny_net_config() {
+  nn::NetConfig config;
+  config.hidden = 16;
+  config.vector_res_blocks = 1;
+  config.merged_res_blocks = 1;
+  config.use_images = false;
+  return config;
+}
+
+std::string train_model_bytes(const eval::PreparedSplit& prepared,
+                              int batch_size, bool fused,
+                              runtime::ThreadPool* pool) {
+  DatasetConfig dataset_config;
+  dataset_config.candidates.max_candidates = 6;
+  dataset_config.build_images = false;
+
+  TrainConfig train_config;
+  train_config.epochs = 3;
+  train_config.batch_size = batch_size;
+  train_config.fused_step = fused;
+
+  std::vector<QueryDataset> training;
+  training.emplace_back(prepared.split.get(), dataset_config);
+  std::vector<QueryDataset> validation;
+  DlAttack dl(tiny_net_config());
+  TrainStats stats = dl.train(training, validation, train_config, pool);
+  // Guard against a vacuous pass: the tiny corpus must actually contain
+  // trainable queries, or the bit-identity comparison proves nothing.
+  EXPECT_GT(stats.queries_seen, 0);
+  std::stringstream bytes;
+  dl.net().save(bytes);
+  return bytes.str();
+}
+
+TEST(FusedTraining, ModelBytesMatchThreePassAcrossLanesAndThreads) {
+  eval::PreparedSplit prepared = tiny_prepared();
+  for (int lanes : {1, 2, 8}) {
+    const std::string unfused =
+        train_model_bytes(prepared, lanes, /*fused=*/false, nullptr);
+    // Fused, serial.
+    EXPECT_EQ(unfused,
+              train_model_bytes(prepared, lanes, /*fused=*/true, nullptr))
+        << "fused != three-pass at lanes " << lanes << " (serial)";
+    // Fused, pooled.
+    runtime::ThreadPool pool(4);
+    EXPECT_EQ(unfused,
+              train_model_bytes(prepared, lanes, /*fused=*/true, &pool))
+        << "fused != three-pass at lanes " << lanes << " (4 threads)";
+  }
+}
+
+TEST(PinnedReplicas, AttackReusesReplicasAndStaysByteIdentical) {
+  eval::PreparedSplit prepared = tiny_prepared();
+  DatasetConfig dataset_config;
+  dataset_config.candidates.max_candidates = 6;
+  dataset_config.build_images = false;
+
+  TrainConfig train_config;
+  train_config.epochs = 2;
+  train_config.batch_size = 4;
+
+  std::vector<QueryDataset> training;
+  training.emplace_back(prepared.split.get(), dataset_config);
+  std::vector<QueryDataset> validation;
+  DlAttack dl(tiny_net_config());
+  runtime::ThreadPool pool(4);
+  dl.train(training, validation, train_config, &pool);
+
+  std::stringstream model_before;
+  dl.net().save(model_before);
+
+  QueryDataset victim(prepared.split.get(), dataset_config);
+  AttackResult first = dl.attack(victim, &pool);
+  const long clones_after_first = dl.inference_clones();
+  EXPECT_GT(clones_after_first, 0);
+
+  for (int round = 0; round < 3; ++round) {
+    AttackResult again = dl.attack(victim, &pool);
+    // Pinned: repeated calls lease the same replicas instead of cloning.
+    EXPECT_EQ(dl.inference_clones(), clones_after_first);
+    // And results are byte-identical call over call.
+    EXPECT_EQ(again.ccr, first.ccr);
+    ASSERT_EQ(again.selections.size(), first.selections.size());
+    for (std::size_t i = 0; i < first.selections.size(); ++i) {
+      EXPECT_EQ(again.selections[i].chosen_source,
+                first.selections[i].chosen_source);
+      EXPECT_EQ(again.selections[i].correct, first.selections[i].correct);
+    }
+  }
+
+  // Inference must leave the trained model untouched.
+  std::stringstream model_after;
+  dl.net().save(model_after);
+  EXPECT_EQ(model_before.str(), model_after.str());
+
+  // Serial attack (no pool) must agree with the replica-served one — the
+  // determinism contract across execution modes.
+  AttackResult serial = dl.attack(victim, nullptr);
+  EXPECT_EQ(serial.ccr, first.ccr);
+}
+
+}  // namespace
+}  // namespace sma::attack
