@@ -7,12 +7,21 @@
 // compare s/epoch. The two trained models are also compared byte for
 // byte: the fused engine is a performance toggle, never a semantic one.
 //
+// Since the activation-arena PR this bench also reports steady-state
+// allocation behavior: the first epoch warms each net's arena up to the
+// largest query shape, and every later epoch must add ZERO arena heap
+// allocations. The JSON carries the last-epoch alloc count (total and
+// per query) and the pinned arena bytes for both paths; in --smoke mode
+// a nonzero steady-state alloc count fails the run (the CI gate).
+//
 // Human-readable progress goes to stderr; stdout carries exactly one
 // JSON object (scripts/bench.sh redirects it to BENCH_train.json).
 //
 // Flags:
-//   --smoke        tiny synthetic design, 1 epoch, no timing claims;
-//                  exercises both paths and verifies bit-identity (CI)
+//   --smoke        tiny synthetic design, 2 epochs (warm-up + steady
+//                  state), no timing claims; exercises both paths,
+//                  verifies bit-identity and zero steady-state arena
+//                  allocations (CI)
 //   --design=c432  design used for the comparison
 //   --layer=1      split layer
 //   --epochs=3     training epochs per path
@@ -32,12 +41,15 @@ namespace {
 struct PathResult {
   double s_per_epoch = 0.0;
   long queries_seen = 0;
+  long warmup_allocs = 0;  ///< arena heap growths in epoch 1
+  long steady_allocs = 0;  ///< arena heap growths in the last epoch
+  std::size_t arena_bytes = 0;
   std::string model_bytes;
 };
 
 PathResult run_path(const sma::eval::PreparedSplit& prepared,
                     const sma::eval::ExperimentProfile& profile,
-                    bool fused, int epochs) {
+                    bool fused, int epochs, bool use_all_queries) {
   sma::attack::DatasetConfig dataset_config = profile.dataset;
   dataset_config.build_images = profile.net.use_images;
 
@@ -50,6 +62,9 @@ PathResult run_path(const sma::eval::PreparedSplit& prepared,
   sma::attack::TrainConfig train_config = profile.train;
   train_config.epochs = epochs;
   train_config.fused_step = fused;
+  // The steady-state gate needs every query shape seen during warm-up;
+  // per-epoch subsampling could defer a large query past epoch 1.
+  if (use_all_queries) train_config.max_queries_per_design = 0;
 
   std::vector<sma::attack::QueryDataset> training;
   training.emplace_back(prepared.split.get(), dataset_config);
@@ -65,6 +80,11 @@ PathResult run_path(const sma::eval::PreparedSplit& prepared,
   PathResult result;
   result.s_per_epoch = stats.seconds / epochs;
   result.queries_seen = stats.queries_seen;
+  if (!stats.arena_allocs_per_epoch.empty()) {
+    result.warmup_allocs = stats.arena_allocs_per_epoch.front();
+    result.steady_allocs = stats.arena_allocs_per_epoch.back();
+  }
+  result.arena_bytes = stats.arena_bytes_pinned;
   std::stringstream bytes;
   dl.net().save(bytes);
   result.model_bytes = bytes.str();
@@ -100,8 +120,9 @@ int main(int argc, char** argv) {
   sma::eval::PreparedSplit prepared;
   if (smoke) {
     // Tiny synthetic design and a tiny vector-only net: exercises both
-    // update paths end-to-end in well under a second.
-    epochs = 1;
+    // update paths end-to-end in well under a second. Two epochs so the
+    // second exercises (and gates) the alloc-free steady state.
+    epochs = 2;
     sma::netlist::DesignProfile tiny;
     tiny.name = "smoke_train";
     tiny.num_inputs = 8;
@@ -129,12 +150,18 @@ int main(int argc, char** argv) {
 
   std::cerr << "bench_train: " << epochs << " epochs per path, batch "
             << profile.train.batch_size << " lanes\n";
-  PathResult unfused = run_path(prepared, profile, /*fused=*/false, epochs);
+  // The smoke gate requires a deterministic query set per epoch (no
+  // subsampling), so steady-state epochs only revisit warmed-up shapes.
+  PathResult unfused =
+      run_path(prepared, profile, /*fused=*/false, epochs, smoke);
   std::cerr << "  three-pass (PR-2 baseline): " << unfused.s_per_epoch
-            << " s/epoch (" << unfused.queries_seen << " queries)\n";
-  PathResult fused = run_path(prepared, profile, /*fused=*/true, epochs);
+            << " s/epoch (" << unfused.queries_seen << " queries, "
+            << unfused.steady_allocs << " steady-state arena allocs)\n";
+  PathResult fused = run_path(prepared, profile, /*fused=*/true, epochs, smoke);
   std::cerr << "  fused engine:               " << fused.s_per_epoch
-            << " s/epoch (" << fused.queries_seen << " queries)\n";
+            << " s/epoch (" << fused.queries_seen << " queries, "
+            << fused.steady_allocs << " steady-state arena allocs, "
+            << fused.arena_bytes << " arena bytes)\n";
 
   const double speedup =
       fused.s_per_epoch > 0.0 ? unfused.s_per_epoch / fused.s_per_epoch : 0.0;
@@ -143,21 +170,44 @@ int main(int argc, char** argv) {
                          unfused.queries_seen > 0;
   std::cerr << "  speedup " << speedup << "x, models "
             << (identical ? "identical" : "DIFFER") << "\n";
+  // Post-warm-up epochs must add zero arena heap allocations. Gated in
+  // smoke mode (full runs subsample per epoch, so a late-arriving larger
+  // query can legitimately grow an arena; the counts are still reported).
+  const bool alloc_free =
+      unfused.steady_allocs == 0 && fused.steady_allocs == 0 && epochs > 1;
+  if (smoke) {
+    std::cerr << (alloc_free
+                      ? "steady-state check: zero arena allocs after warm-up\n"
+                      : "steady-state check FAILED: arena still allocating "
+                        "after warm-up\n");
+  }
 
+  const long queries_per_epoch = unfused.queries_seen / epochs;
+  const double fused_allocs_per_query =
+      queries_per_epoch > 0
+          ? static_cast<double>(fused.steady_allocs) / queries_per_epoch
+          : 0.0;
   std::ostringstream json;
   json << "{\"bench\": \"train\", \"smoke\": " << (smoke ? "true" : "false")
        << ", \"design\": \"" << (smoke ? "smoke_train" : design)
        << "\", \"layer\": " << (smoke ? 3 : layer)
        << ", \"epochs\": " << epochs
        << ", \"lanes\": " << profile.train.batch_size
-       << ", \"queries_per_epoch\": " << unfused.queries_seen / epochs
+       << ", \"queries_per_epoch\": " << queries_per_epoch
        << ", \"unfused_s_per_epoch\": " << unfused.s_per_epoch
        << ", \"fused_s_per_epoch\": " << fused.s_per_epoch
        << ", \"speedup\": " << speedup
+       << ", \"unfused_steady_allocs\": " << unfused.steady_allocs
+       << ", \"fused_warmup_allocs\": " << fused.warmup_allocs
+       << ", \"fused_steady_allocs\": " << fused.steady_allocs
+       << ", \"fused_steady_allocs_per_query\": " << fused_allocs_per_query
+       << ", \"fused_arena_bytes\": " << fused.arena_bytes
        << ", \"models_identical\": " << (identical ? "true" : "false")
        << "}";
   std::cout << json.str() << "\n";
   std::cerr << (identical ? "bit-identity check: trained models identical\n"
                           : "bit-identity check FAILED\n");
-  return identical ? 0 : 1;
+  if (!identical) return 1;
+  if (smoke && !alloc_free) return 1;
+  return 0;
 }

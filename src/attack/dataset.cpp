@@ -70,13 +70,21 @@ const std::vector<float>& QueryDataset::image_of(int virtual_pin) {
 }
 
 nn::QueryInput QueryDataset::input(std::size_t i) {
+  nn::QueryInput input;
+  input_into(i, input);
+  return input;
+}
+
+void QueryDataset::input_into(std::size_t i, nn::QueryInput& out) {
   const split::SinkQuery& query = queries_.at(i);
   const int n = static_cast<int>(query.candidates.size());
 
-  nn::QueryInput input;
-  input.vec = nn::Tensor({n, features::kNumVectorFeatures});
+  // Both tensors are fully overwritten below (one memcpy per row/plane
+  // covers every element), so plain resize_reuse needs no zeroing and a
+  // reused QueryInput assembles without touching the heap once warm.
+  out.vec.resize_reuse({n, features::kNumVectorFeatures});
   for (int j = 0; j < n; ++j) {
-    std::memcpy(input.vec.data() +
+    std::memcpy(out.vec.data() +
                     static_cast<std::size_t>(j) * features::kNumVectorFeatures,
                 vector_features_[i][j].data(),
                 sizeof(float) * features::kNumVectorFeatures);
@@ -85,20 +93,20 @@ nn::QueryInput QueryDataset::input(std::size_t i) {
   if (config_.build_images && renderer_ != nullptr && n > 0) {
     const features::ImageConfig& img = renderer_->config();
     const std::size_t per_image = img.pixels_per_image();
-    input.images =
-        nn::Tensor({n + 1, img.channels(), img.size, img.size});
+    out.images.resize_reuse({n + 1, img.channels(), img.size, img.size});
     for (int j = 0; j < n; ++j) {
       const auto& source_image = image_of(query.candidates[j].source_vp);
-      std::memcpy(input.images.data() + static_cast<std::size_t>(j) * per_image,
+      std::memcpy(out.images.data() + static_cast<std::size_t>(j) * per_image,
                   source_image.data(), sizeof(float) * per_image);
     }
     // Sink image: the sink fragment's first virtual pin represents it.
     const split::Fragment& sink = split_->fragment(query.sink_fragment);
     const auto& sink_image = image_of(sink.virtual_pins.front());
-    std::memcpy(input.images.data() + static_cast<std::size_t>(n) * per_image,
+    std::memcpy(out.images.data() + static_cast<std::size_t>(n) * per_image,
                 sink_image.data(), sizeof(float) * per_image);
+  } else {
+    out.images = nn::Tensor();
   }
-  return input;
 }
 
 }  // namespace sma::attack

@@ -50,6 +50,13 @@ class QueryDataset {
   /// `prebuild_images()` (or construction with a pool, which prebuilds).
   nn::QueryInput input(std::size_t i);
 
+  /// Like `input`, but reuses `out`'s tensors in place
+  /// (`Tensor::resize_reuse`: grow-only capacity, every element fully
+  /// overwritten) — a training loop or inference worker that holds one
+  /// QueryInput across queries assembles inputs without any per-query
+  /// heap allocation once its buffers have seen the largest query.
+  void input_into(std::size_t i, nn::QueryInput& out);
+
   /// Render every image any query references into the cache, in parallel
   /// over `pool` (falling back to the config's pool, then serial).
   /// Idempotent; a no-op for vector-only datasets.

@@ -20,15 +20,18 @@ struct Ref {
 };
 
 /// Score one query on `net` and fill `out` (no-op choice for empty
-/// candidate lists, as in the serial reference implementation).
+/// candidate lists, as in the serial reference implementation). `input`
+/// is the caller's reusable assembly buffer — one per worker, reused
+/// across its queries so steady-state serving never touches the heap.
 void select_one(nn::AttackNet& net, QueryDataset& dataset, std::size_t i,
-                Selection& out) {
+                nn::QueryInput& input, Selection& out) {
   const split::SinkQuery& query = dataset.query(i);
   out.sink_fragment = query.sink_fragment;
   out.num_sinks = query.num_sinks;
   if (query.candidates.empty()) return;
-  nn::QueryInput input = dataset.input(i);
-  nn::Tensor scores = net.forward(input);
+  dataset.input_into(i, input);
+  // Scores live in the replica's activation arena — read in place.
+  const nn::Tensor& scores = net.forward(input);
   int predicted = nn::predict(scores);
   out.chosen_source = query.candidates[predicted].source_fragment;
   out.correct = query.candidates[predicted].positive;
@@ -98,6 +101,14 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
     }
   }
 
+  // Reusable input-assembly buffers: one per training net (the master in
+  // per-query SGD mode, otherwise one per lane replica). input_into
+  // resizes them in place, so steady-state epochs assemble every query
+  // without heap traffic. Each buffer is only ever touched by its own
+  // lane's task — race-free under the pool.
+  std::vector<nn::QueryInput> lane_inputs(
+      lane_nets.empty() ? 1 : lane_nets.size());
+
   // Index all trainable queries (those whose candidate list contains the
   // positive VPP — Eq. 6 needs a labelled target).
   std::vector<std::vector<Ref>> per_design(training.size());
@@ -106,6 +117,64 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
       if (training[d].target(q) >= 0 &&
           !training[d].query(q).candidates.empty()) {
         per_design[d].push_back({static_cast<int>(d), static_cast<int>(q)});
+      }
+    }
+  }
+
+  // Activation-arena accounting: every net owns one arena for its
+  // lifetime (master + each lane replica). Epoch deltas expose the
+  // warm-up/steady-state split: the explicit warm-up below lands in the
+  // first epoch's delta, and every later delta must be 0 — bench_train
+  // and CI gate on it. (Validation replicas have their own arenas; see
+  // inference_arena_stats().)
+  const auto arena_allocs = [&]() {
+    long total = net_.arena().stats().allocs;
+    for (const nn::AttackNet& lane : lane_nets) {
+      total += lane.arena().stats().allocs;
+    }
+    return total;
+  };
+  long prev_allocs = arena_allocs();
+
+  // Arena warm-up: run every training net once over the globally largest
+  // trainable query (forward + a zero-gradient backward), then discard
+  // the still-zero gradients. Every activation/staging buffer is thereby
+  // grown to its high-water size up front, so ALL epochs run alloc-free —
+  // without this, a pooled lane would only warm to the shapes its own
+  // shuffle slots happen to draw, and every reshuffle (or a subsampled
+  // epoch introducing a larger query late) could grow an arena mid-run.
+  // Model bytes are untouched: forward mutates no weights, backward with
+  // a zero upstream gradient adds exact zeros to zero gradients, and the
+  // explicit re-zeroing pins the bytes regardless.
+  {
+    const Ref* largest = nullptr;
+    std::size_t most_candidates = 0;
+    for (const auto& refs : per_design) {
+      for (const Ref& ref : refs) {
+        const std::size_t n =
+            training[ref.design].query(ref.query).candidates.size();
+        if (n > most_candidates) {
+          most_candidates = n;
+          largest = &ref;
+        }
+      }
+    }
+    if (largest != nullptr) {
+      const auto warm_net = [&](nn::AttackNet& net, nn::QueryInput& input,
+                                const std::vector<nn::Param>& params) {
+        training[largest->design].input_into(largest->query, input);
+        const nn::Tensor& scores = net.forward(input);
+        nn::Tensor zero_grad(scores.shape());
+        net.backward(zero_grad);
+        for (const nn::Param& p : params) p.grad->fill(0.0f);
+      };
+      if (use_lanes) {
+        // Warm each lane's input-assembly buffer along with its net.
+        for (std::size_t l = 0; l < lane_nets.size(); ++l) {
+          warm_net(lane_nets[l], lane_inputs[l], lane_params[l]);
+        }
+      } else {
+        warm_net(net_, lane_inputs[0], net_.params());
       }
     }
   }
@@ -136,10 +205,11 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
       // The paper's per-query SGD, unchanged. Adam runs serially here —
       // a per-query fork/join over small tensors costs more than it
       // saves.
+      nn::QueryInput& input = lane_inputs[0];
       for (const Ref& ref : order) {
         QueryDataset& dataset = training[ref.design];
-        nn::QueryInput input = dataset.input(ref.query);
-        nn::Tensor scores = net_.forward(input);
+        dataset.input_into(ref.query, input);
+        const nn::Tensor& scores = net_.forward(input);
         nn::LossResult loss =
             two_class ? nn::two_class_loss(scores, dataset.target(ref.query))
                       : nn::softmax_regression_loss(
@@ -154,6 +224,7 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
       // onto the master after every query, in query order.
       nn::AttackNet& worker = lane_nets[0];
       const std::vector<nn::Param>& worker_params = lane_params[0];
+      nn::QueryInput& input = lane_inputs[0];
       for (std::size_t base = 0; base < order.size();
            base += static_cast<std::size_t>(lanes)) {
         const int active = static_cast<int>(
@@ -161,8 +232,8 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
         for (int l = 0; l < active; ++l) {
           const Ref& ref = order[base + static_cast<std::size_t>(l)];
           QueryDataset& dataset = training[ref.design];
-          nn::QueryInput input = dataset.input(ref.query);
-          nn::Tensor scores = worker.forward(input);
+          dataset.input_into(ref.query, input);
+          const nn::Tensor& scores = worker.forward(input);
           nn::LossResult loss =
               two_class ? nn::two_class_loss(scores, dataset.target(ref.query))
                         : nn::softmax_regression_loss(
@@ -185,12 +256,13 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
         runtime::TaskGroup group(pool);
         for (int l = 0; l < active; ++l) {
           group.run([l, base, two_class, &order, &training, &lane_nets,
-                     &lane_loss] {
+                     &lane_inputs, &lane_loss] {
             const Ref& ref = order[base + static_cast<std::size_t>(l)];
             QueryDataset& dataset = training[ref.design];
-            nn::QueryInput input = dataset.input(ref.query);
+            nn::QueryInput& input = lane_inputs[l];
+            dataset.input_into(ref.query, input);
             nn::AttackNet& net = lane_nets[l];
-            nn::Tensor scores = net.forward(input);
+            const nn::Tensor& scores = net.forward(input);
             nn::LossResult loss =
                 two_class
                     ? nn::two_class_loss(scores, dataset.target(ref.query))
@@ -243,6 +315,9 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
     }
     stats.epoch_loss.push_back(
         order.empty() ? 0.0 : epoch_loss / static_cast<double>(order.size()));
+    const long allocs_now = arena_allocs();
+    stats.arena_allocs_per_epoch.push_back(allocs_now - prev_allocs);
+    prev_allocs = allocs_now;
 
     if (config.validate_every > 0 && !validation.empty() &&
         (epoch + 1) % config.validate_every == 0) {
@@ -265,6 +340,10 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
                         << stats.epoch_loss.back();
     }
   }
+  stats.arena_bytes_pinned = net_.arena().stats().bytes_pinned;
+  for (const nn::AttackNet& lane : lane_nets) {
+    stats.arena_bytes_pinned += lane.arena().stats().bytes_pinned;
+  }
   stats.seconds = timer.seconds();
   return stats;
 }
@@ -278,8 +357,9 @@ AttackResult DlAttack::attack(QueryDataset& dataset,
   result.selections.assign(n, Selection{});
 
   if (pool == nullptr || n == 0) {
+    nn::QueryInput input;  // reused across the whole pass
     for (std::size_t i = 0; i < n; ++i) {
-      select_one(net_, dataset, i, result.selections[i]);
+      select_one(net_, dataset, i, input, result.selections[i]);
     }
   } else {
     // Workers run pinned shared-weight replicas leased from the
@@ -296,8 +376,10 @@ AttackResult DlAttack::attack(QueryDataset& dataset,
       group.run([c, chunk, n, &lease, &dataset, &result] {
         const std::size_t lo = c * chunk;
         const std::size_t hi = std::min(n, lo + chunk);
+        nn::QueryInput input;  // reused across this worker's chunk
         for (std::size_t i = lo; i < hi; ++i) {
-          select_one(*lease.nets()[c], dataset, i, result.selections[i]);
+          select_one(*lease.nets()[c], dataset, i, input,
+                     result.selections[i]);
         }
       });
     }

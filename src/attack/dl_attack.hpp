@@ -65,6 +65,14 @@ struct TrainStats {
   std::vector<double> validation_ccr;  ///< filled when validate_every > 0
   double seconds = 0.0;
   long queries_seen = 0;
+  /// Activation-arena heap-growth events per epoch, summed over the
+  /// master net and every gradient-lane replica. The first epoch warms
+  /// the arenas up to the largest query shape; once every query shape of
+  /// an epoch has been seen before, its entry is 0 — the alloc-free
+  /// steady state bench_train and CI assert.
+  std::vector<long> arena_allocs_per_epoch;
+  /// Arena backing bytes pinned at the end of training (master + lanes).
+  std::size_t arena_bytes_pinned = 0;
 };
 
 class DlAttack {
@@ -97,6 +105,13 @@ class DlAttack {
   /// stops growing once the set covers the worker count — the test hook
   /// for the replica-reuse contract.
   long inference_clones() const { return replicas_->clones_created(); }
+
+  /// Aggregate activation-arena stats over the pinned inference replicas
+  /// (each replica owns one arena for its lifetime; repeated attack()
+  /// calls over already-seen query shapes add zero allocations).
+  nn::ArenaStats inference_arena_stats() const {
+    return replicas_->arena_stats();
+  }
 
  private:
   nn::AttackNet net_;

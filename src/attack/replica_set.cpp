@@ -41,4 +41,17 @@ long ReplicaSet::clones_created() const {
   return clones_created_;
 }
 
+nn::ArenaStats ReplicaSet::arena_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nn::ArenaStats total;
+  for (const nn::AttackNet& replica : replicas_) {
+    const nn::ArenaStats s = replica.arena().stats();
+    total.bytes_pinned += s.bytes_pinned;
+    total.slots += s.slots;
+    total.allocs += s.allocs;
+    total.requests += s.requests;
+  }
+  return total;
+}
+
 }  // namespace sma::attack

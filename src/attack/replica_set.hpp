@@ -24,6 +24,7 @@
 #include <mutex>
 #include <vector>
 
+#include "nn/arena.hpp"
 #include "nn/attack_net.hpp"
 
 namespace sma::attack {
@@ -59,6 +60,14 @@ class ReplicaSet {
   /// Replicas ever created — a monotone counter tests use to prove that
   /// repeated attack() calls reuse pinned replicas instead of cloning.
   long clones_created() const;
+
+  /// Aggregate activation-arena stats over every pinned replica. Each
+  /// replica owns one arena for its lifetime, so repeated attack() calls
+  /// over already-seen query shapes leave `allocs` unchanged — the
+  /// serving-side half of the alloc-free steady-state contract. Arenas
+  /// are single-owner: call this between attack() calls, not while a
+  /// lease is live (a working replica mutates its arena unsynchronized).
+  nn::ArenaStats arena_stats() const;
 
  private:
   friend class ReplicaLease;

@@ -64,9 +64,34 @@ AttackNet::AttackNet(const NetConfig& config) : config_(config) {
                                   "fc6", Act::kLeakyReLU);
   fc7_ = std::make_unique<Linear>(config_.fc6_width,
                                   config_.two_class ? 2 : 1, rng, "fc7");
+
+  // Bind every layer to this network's activation arena — strictly after
+  // all layer containers are fully built, since binding caches layer
+  // addresses into the arena-backed hot path and vector growth would
+  // relocate them. The arena lives behind a unique_ptr, so moving the
+  // AttackNet moves the pointer and invalidates nothing.
+  arena_ = std::make_unique<Arena>();
+  fc1_->bind_arena(*arena_);
+  for (ResBlock& block : vec_blocks_) block.bind_arena(*arena_);
+  if (config_.use_images) {
+    for (Conv2d& conv : convs_) conv.bind_arena(*arena_);
+    pool_.bind_arena(*arena_);
+    fc3_->bind_arena(*arena_);
+    fc4_->bind_arena(*arena_);
+    fc5_img_->bind_arena(*arena_);
+  }
+  fc5_merged_->bind_arena(*arena_);
+  for (ResBlock& block : merged_blocks_) block.bind_arena(*arena_);
+  fc6_->bind_arena(*arena_);
+  fc7_->bind_arena(*arena_);
+  fused_slot_ = arena_->add_tensor();
+  merged_slot_ = arena_->add_tensor();
+  dv_slot_ = arena_->add_tensor();
+  dimg_slot_ = arena_->add_tensor();
+  demb_slot_ = arena_->add_tensor();
 }
 
-Tensor AttackNet::forward(const QueryInput& input) {
+const Tensor& AttackNet::forward(const QueryInput& input) {
   if (input.vec.shape().size() != 2 ||
       input.vec.dim(1) != config_.vector_dim) {
     throw std::invalid_argument("bad vector input " +
@@ -75,11 +100,15 @@ Tensor AttackNet::forward(const QueryInput& input) {
   n_ = input.vec.dim(0);
   const int h = config_.hidden;
 
-  // --- vector branch
-  Tensor v = fc1_->forward(input.vec);
-  for (ResBlock& block : vec_blocks_) v = block.forward(v);
+  // Layer outputs are arena slots: the chains below thread references
+  // through them without copying (each layer's slot stays valid until
+  // that layer's next call).
 
-  Tensor merged_in;
+  // --- vector branch
+  const Tensor* v = &fc1_->forward(input.vec);
+  for (ResBlock& block : vec_blocks_) v = &block.forward(*v);
+
+  const Tensor* merged_in = nullptr;
   if (config_.use_images) {
     if (input.images.shape().size() != 4 ||
         input.images.dim(0) != n_ + 1 ||
@@ -88,42 +117,46 @@ Tensor AttackNet::forward(const QueryInput& input) {
                                   input.images.shape_string());
     }
     // --- shared conv trunk over the n source images + 1 sink image
-    Tensor x = input.images;
-    for (Conv2d& conv : convs_) x = conv.forward(x);
-    x = pool_.forward(x);
-    x = fc3_->forward(x);
-    x = fc4_->forward(x);  // [n+1, h]
+    const Tensor* x = &input.images;
+    for (Conv2d& conv : convs_) x = &conv.forward(*x);
+    x = &pool_.forward(*x);
+    x = &fc3_->forward(*x);
+    x = &fc4_->forward(*x);  // [n+1, h]
 
     // --- fuse each source embedding with the (shared) sink embedding
-    Tensor fused({n_, 2 * h});
-    const float* sink_row = x.data() + static_cast<std::size_t>(n_) * h;
+    // (full overwrite: two memcpys cover each row)
+    Tensor& fused =
+        arena_->tensor(fused_slot_, {n_, 2 * h}, Arena::Fill::kNone);
+    const float* sink_row = x->data() + static_cast<std::size_t>(n_) * h;
     for (int j = 0; j < n_; ++j) {
       std::memcpy(fused.data() + static_cast<std::size_t>(j) * 2 * h,
-                  x.data() + static_cast<std::size_t>(j) * h,
+                  x->data() + static_cast<std::size_t>(j) * h,
                   sizeof(float) * h);
       std::memcpy(fused.data() + static_cast<std::size_t>(j) * 2 * h + h,
                   sink_row, sizeof(float) * h);
     }
-    Tensor img_out = fc5_img_->forward(fused);  // [n, h]
+    const Tensor& img_out = fc5_img_->forward(fused);  // [n, h]
 
-    // --- concat vector and image embeddings
-    merged_in = Tensor({n_, 2 * h});
+    // --- concat vector and image embeddings (full overwrite)
+    Tensor& merged =
+        arena_->tensor(merged_slot_, {n_, 2 * h}, Arena::Fill::kNone);
     for (int j = 0; j < n_; ++j) {
-      std::memcpy(merged_in.data() + static_cast<std::size_t>(j) * 2 * h,
-                  v.data() + static_cast<std::size_t>(j) * h,
+      std::memcpy(merged.data() + static_cast<std::size_t>(j) * 2 * h,
+                  v->data() + static_cast<std::size_t>(j) * h,
                   sizeof(float) * h);
-      std::memcpy(merged_in.data() + static_cast<std::size_t>(j) * 2 * h + h,
+      std::memcpy(merged.data() + static_cast<std::size_t>(j) * 2 * h + h,
                   img_out.data() + static_cast<std::size_t>(j) * h,
                   sizeof(float) * h);
     }
+    merged_in = &merged;
   } else {
     merged_in = v;
   }
 
-  Tensor m = fc5_merged_->forward(merged_in);
-  for (ResBlock& block : merged_blocks_) m = block.forward(m);
-  m = fc6_->forward(m);
-  Tensor scores = fc7_->forward(m);  // [n, 1] or [n, 2]
+  const Tensor* m = &fc5_merged_->forward(*merged_in);
+  for (ResBlock& block : merged_blocks_) m = &block.forward(*m);
+  m = &fc6_->forward(*m);
+  Tensor& scores = fc7_->forward(*m);  // [n, 1] or [n, 2]
   if (!config_.two_class) {
     scores.reshape({n_});
   }
@@ -132,22 +165,25 @@ Tensor AttackNet::forward(const QueryInput& input) {
 
 void AttackNet::backward(const Tensor& dscores) {
   const int h = config_.hidden;
-  Tensor d = dscores;
-  d.reshape({n_, config_.two_class ? 2 : 1});
-
-  d = fc6_->backward(fc7_->backward(d));
+  // The seed copied dscores only to flatten [n] into [n, 1]; Linear's
+  // backward derives its row count from size()/out and never reads the
+  // shape, so dscores feeds fc7 directly — same bytes, no copy.
+  const Tensor* d = &fc7_->backward(dscores);
+  d = &fc6_->backward(*d);
   for (auto it = merged_blocks_.rbegin(); it != merged_blocks_.rend(); ++it) {
-    d = it->backward(d);
+    d = &it->backward(*d);
   }
-  Tensor dmerged_in = fc5_merged_->backward(d);
+  const Tensor& dmerged_in = fc5_merged_->backward(*d);
 
-  Tensor dv;
+  const Tensor* dv = nullptr;
   if (config_.use_images) {
-    // Split the merged gradient into vector and image halves.
-    dv = Tensor({n_, h});
-    Tensor dimg({n_, h});
+    // Split the merged gradient into vector and image halves (both full
+    // overwrite). dv lives on this net's own slot so it survives the
+    // whole image-branch backward below.
+    Tensor& dv_half = arena_->tensor(dv_slot_, {n_, h}, Arena::Fill::kNone);
+    Tensor& dimg = arena_->tensor(dimg_slot_, {n_, h}, Arena::Fill::kNone);
     for (int j = 0; j < n_; ++j) {
-      std::memcpy(dv.data() + static_cast<std::size_t>(j) * h,
+      std::memcpy(dv_half.data() + static_cast<std::size_t>(j) * h,
                   dmerged_in.data() + static_cast<std::size_t>(j) * 2 * h,
                   sizeof(float) * h);
       std::memcpy(dimg.data() + static_cast<std::size_t>(j) * h,
@@ -155,10 +191,12 @@ void AttackNet::backward(const Tensor& dscores) {
                   sizeof(float) * h);
     }
 
-    Tensor dfused = fc5_img_->backward(dimg);  // [n, 2h]
+    const Tensor& dfused = fc5_img_->backward(dimg);  // [n, 2h]
     // Reassemble per-image embedding gradients; the sink row accumulates
-    // the second half of every fused row.
-    Tensor demb({n_ + 1, h});
+    // (+=) the second half of every fused row, so the slot is acquired
+    // zero-filled — the bytes of the seed's fresh tensor.
+    Tensor& demb =
+        arena_->tensor(demb_slot_, {n_ + 1, h}, Arena::Fill::kZero);
     float* sink_grad = demb.data() + static_cast<std::size_t>(n_) * h;
     for (int j = 0; j < n_; ++j) {
       std::memcpy(demb.data() + static_cast<std::size_t>(j) * h,
@@ -169,20 +207,21 @@ void AttackNet::backward(const Tensor& dscores) {
       for (int k = 0; k < h; ++k) sink_grad[k] += second[k];
     }
 
-    Tensor dx = fc4_->backward(demb);
-    dx = fc3_->backward(dx);
-    dx = pool_.backward(dx);
+    const Tensor* dx = &fc4_->backward(demb);
+    dx = &fc3_->backward(*dx);
+    dx = &pool_.backward(*dx);
     for (std::size_t i = convs_.size(); i-- > 0;) {
-      dx = convs_[i].backward(dx);
+      dx = &convs_[i].backward(*dx);
     }
+    dv = &dv_half;
   } else {
-    dv = dmerged_in;
+    dv = &dmerged_in;
   }
 
   for (auto it = vec_blocks_.rbegin(); it != vec_blocks_.rend(); ++it) {
-    dv = it->backward(dv);
+    dv = &it->backward(*dv);
   }
-  fc1_->backward(dv);
+  fc1_->backward(*dv);
 }
 
 std::vector<Param> AttackNet::params() {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/arena.hpp"
 #include "nn/layers.hpp"
 #include "nn/tensor.hpp"
 
@@ -57,11 +58,21 @@ class AttackNet {
 
   const NetConfig& config() const { return config_; }
 
-  /// Scores [n] (or [n, 2] in two-class mode).
-  Tensor forward(const QueryInput& input);
+  /// Scores [n] (or [n, 2] in two-class mode). The returned reference
+  /// points into this network's activation arena: it stays valid (and
+  /// unchanged) until the next forward call on this same net. Callers
+  /// that need the scores longer must copy.
+  const Tensor& forward(const QueryInput& input);
 
   /// Backpropagate d(loss)/d(scores); accumulates parameter gradients.
   void backward(const Tensor& dscores);
+
+  /// This network's activation arena (stats: bytes pinned, allocations).
+  /// Every net — master, gradient lane, pinned inference replica — owns
+  /// exactly one arena for its lifetime; after a warm-up query at the
+  /// largest shape, `arena().stats().allocs` stops growing: the
+  /// forward/backward hot path performs zero heap allocations per query.
+  const Arena& arena() const { return *arena_; }
 
   std::vector<Param> params();
   std::size_t num_parameters();
@@ -93,6 +104,11 @@ class AttackNet {
  private:
   NetConfig config_;
 
+  /// Per-network activation arena (heap-allocated so the net stays
+  /// movable: layers cache the arena's address). Owns every layer's
+  /// output/staging slot plus the branch-fusion slots below.
+  std::unique_ptr<Arena> arena_;
+
   // Vector branch. All hidden layers fuse their LeakyReLU into the GEMM
   // epilogue (Act::kLeakyReLU); only fc7 emits raw scores.
   std::unique_ptr<Linear> fc1_;
@@ -110,6 +126,16 @@ class AttackNet {
   std::vector<ResBlock> merged_blocks_;
   std::unique_ptr<Linear> fc6_;
   std::unique_ptr<Linear> fc7_;
+
+  // Branch-fusion arena slots (see forward/backward): fused and merged_in
+  // are fully overwritten each forward; dv/dimg are fully overwritten
+  // each backward; demb accumulates into its sink row and is acquired
+  // zero-filled.
+  Arena::Slot fused_slot_ = 0;
+  Arena::Slot merged_slot_ = 0;
+  Arena::Slot dv_slot_ = 0;
+  Arena::Slot dimg_slot_ = 0;
+  Arena::Slot demb_slot_ = 0;
 
   // Cached batch size for backward.
   int n_ = 0;

@@ -8,23 +8,40 @@ namespace sma::nn {
 
 namespace {
 
-/// Transient staging buffers for the blocked conv pipeline. They hold no
-/// state across layer calls, so sharing one set per thread (rather than
-/// one per layer per lane replica) keeps the training working set small —
-/// with 8 gradient lanes the per-layer copies alone would thrash the
-/// cache. Thread-local keeps pool workers race-free.
-std::vector<float>& tl_y_rows() {
-  thread_local std::vector<float> buf;
-  return buf;
+/// Per-thread staging arena. Two tenants:
+///  - Call-transient buffers (conv's y^T / dy^T / dcols^T staging and the
+///    GEMM packing scratch) for ALL layers, bound or not. They hold no
+///    state across layer calls, so one copy per thread — rather than one
+///    per network replica — keeps a lane/replica fleet's working set
+///    small and cache-hot (with 8 serial gradient lanes, per-replica
+///    staging alone would thrash the cache; the PR-2 measurement that
+///    originally made these buffers thread-shared still holds).
+///  - The fallback persistent arena for layers used standalone (tests,
+///    benches, ad-hoc code) that were never bound by an owning network;
+///    such a layer must keep running on the thread that first called it.
+/// Thread-local keeps pool workers race-free: a layer call runs entirely
+/// on one thread, and the transient buffers never outlive the call.
+struct ThreadStaging {
+  Arena arena;
+  Arena::Slot y_rows;
+  Arena::Slot dy_rows;
+  Arena::Slot dcols;
+  ThreadStaging()
+      : y_rows(arena.add_floats()),
+        dy_rows(arena.add_floats()),
+        dcols(arena.add_floats()) {}
+};
+
+ThreadStaging& thread_staging() {
+  thread_local ThreadStaging staging;
+  return staging;
 }
-std::vector<float>& tl_dy_rows() {
-  thread_local std::vector<float> buf;
-  return buf;
-}
-std::vector<float>& tl_dcols() {
-  thread_local std::vector<float> buf;
-  return buf;
-}
+
+Arena& fallback_arena() { return thread_staging().arena; }
+
+/// The calling thread's GEMM packing scratch, tracked by its staging
+/// arena (growth counts toward that arena's alloc stats).
+GemmScratch& staging_scratch() { return thread_staging().arena.gemm_scratch(); }
 
 }  // namespace
 
@@ -43,58 +60,92 @@ Linear::Linear(int in, int out, util::Pcg32& rng, std::string name, Act act,
       dw_(Tensor({out, in})),
       db_(Tensor({out})) {}
 
-Tensor Linear::forward(const Tensor& x) {
+void Linear::bind_arena(Arena& arena) {
+  arena_ = &arena;
+  y_slot_ = arena.add_tensor();
+  dx_slot_ = arena.add_tensor();
+  dmasked_slot_ = arena.add_tensor();
+  mask_slot_ = arena.add_bytes();
+}
+
+void Linear::ensure_arena() {
+  if (arena_ == nullptr) bind_arena(fallback_arena());
+}
+
+Tensor& Linear::forward(const Tensor& x) {
   if (x.shape().back() != in_) {
     throw std::invalid_argument(name_ + ": bad input width " +
                                 x.shape_string());
   }
-  x_ = x;
+  ensure_arena();
+  // Cache the input for backward (dW = dy^T x) by POINTER: inside a
+  // network the input is another layer's arena slot (stable and untouched
+  // until that layer's next forward, which is after our backward), so the
+  // seed's defensive copy was a full tensor of pure memcpy per call. The
+  // contract this buys: forward's input must outlive the matching
+  // backward unmodified.
+  x_ = &x;
+
   const int rows = static_cast<int>(x.size()) / in_;
-  Tensor y({rows, out_});
+  // y: full overwrite — every GEMM form below writes the whole [rows, out]
+  // extent (CMode::kOverwrite, or the reference path's explicit zeroing).
+  Tensor& y = arena_->tensor(y_slot_, {rows, out_}, Arena::Fill::kNone);
   const bool fused = act_ == Act::kLeakyReLU;
-  if (fused) mask_.resize(static_cast<std::size_t>(rows) * out_);
+  // mask: full overwrite — the epilogue writes one byte per output
+  // element on both the blocked and reference paths.
+  if (fused) {
+    mask_ = arena_->bytes(mask_slot_, static_cast<std::size_t>(rows) * out_);
+  }
   if (fused && kernel_backend() == KernelBackend::kReference) {
     // Seed behavior, reproduced faithfully as the bench baseline: naive
     // GEMM + bias, then a separate LeakyReLU layer (one copy to cache
     // the pre-activation, one copy for the output, an in-place pass).
     gemm_forward_nt(rows, out_, in_, x.data(), weight().data(), bias().data(),
-                    y.data(), Epilogue::kBias, slope_, mask_.data(),
-                    thread_scratch());
+                    y.data(), Epilogue::kBias, slope_, mask_,
+                    staging_scratch());
     Tensor preact_cache = y;
     Tensor activated = y;
-    for (std::size_t i = 0; i < activated.size(); ++i) {
-      if (activated[i] < 0.0f) activated[i] *= slope_;
-    }
     (void)preact_cache;
-    return activated;
+    (void)activated;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      if (y[i] < 0.0f) y[i] *= slope_;
+    }
+    return y;
   }
   // y = x * w^T + b (+ LeakyReLU), all in one kernel pass.
-  gemm_forward_nt(rows, out_, in_, x.data(), weight().data(), bias().data(), y.data(),
+  gemm_forward_nt(rows, out_, in_, x.data(), weight().data(), bias().data(),
+                  y.data(),
                   fused ? Epilogue::kBiasLeakyReLU : Epilogue::kBias, slope_,
-                  fused ? mask_.data() : nullptr, thread_scratch());
+                  fused ? mask_ : nullptr, staging_scratch());
   return y;
 }
 
-Tensor Linear::backward(const Tensor& dy) {
+Tensor& Linear::backward(const Tensor& dy) {
+  ensure_arena();
   const int rows = static_cast<int>(dy.size()) / out_;
   const Tensor* dsrc = &dy;
-  Tensor dmasked;
   if (act_ == Act::kLeakyReLU) {
-    dmasked = dy;
+    // dmasked: full overwrite by memcpy, then the in-place mask scaling.
+    Tensor& dmasked =
+        arena_->tensor(dmasked_slot_, {rows, out_}, Arena::Fill::kNone);
+    std::memcpy(dmasked.data(), dy.data(), dy.size() * sizeof(float));
     for (std::size_t i = 0; i < dmasked.size(); ++i) {
       if (mask_[i]) dmasked[i] *= slope_;
     }
     dsrc = &dmasked;
   }
   // dw += dy^T * x ; stored [out, in]
-  gemm_acc_tn(out_, in_, rows, dsrc->data(), x_.data(), dw_.data(), thread_scratch());
+  gemm_acc_tn(out_, in_, rows, dsrc->data(), x_->data(), dw_.data(),
+              staging_scratch());
   for (int r = 0; r < rows; ++r) {
     const float* dyr = dsrc->data() + static_cast<std::size_t>(r) * out_;
     for (int o = 0; o < out_; ++o) db_[o] += dyr[o];
   }
-  Tensor dx({rows, in_});
+  // dx: full overwrite (gemm_ovr_nn ignores the destination's contents).
+  Tensor& dx = arena_->tensor(dx_slot_, {rows, in_}, Arena::Fill::kNone);
   // dx = dy * w
-  gemm_ovr_nn(rows, in_, out_, dsrc->data(), weight().data(), dx.data(), thread_scratch());
+  gemm_ovr_nn(rows, in_, out_, dsrc->data(), weight().data(), dx.data(),
+              staging_scratch());
   return dx;
 }
 
@@ -150,24 +201,40 @@ Conv2d::Conv2d(int in_channels, int out_channels, int stride,
       dw_(Tensor({out_channels, in_channels * 9})),
       db_(Tensor({out_channels})) {}
 
-Tensor Conv2d::forward(const Tensor& x) {
+void Conv2d::bind_arena(Arena& arena) {
+  arena_ = &arena;
+  cols_slot_ = arena.add_floats();
+  mask_slot_ = arena.add_bytes();
+  out_slot_ = arena.add_tensor();
+  dx_slot_ = arena.add_tensor();
+  // Transient staging (y^T / dy^T / dcols^T, live only inside one layer
+  // call) is NOT per-net: it comes from the per-thread staging arena —
+  // see ThreadStaging above.
+}
+
+void Conv2d::ensure_arena() {
+  if (arena_ == nullptr) bind_arena(fallback_arena());
+}
+
+Tensor& Conv2d::forward(const Tensor& x) {
   const auto& shape = x.shape();
   if (shape.size() != 4 || shape[1] != in_channels_) {
     throw std::invalid_argument(name_ + ": bad conv input " +
                                 x.shape_string());
   }
+  ensure_arena();
   x_shape_ = shape;
   used_blocked_path_ = kernel_backend() == KernelBackend::kBlocked;
   return used_blocked_path_ ? forward_blocked(x) : forward_reference(x);
 }
 
-Tensor Conv2d::backward(const Tensor& dy) {
+Tensor& Conv2d::backward(const Tensor& dy) {
   return used_blocked_path_ ? backward_blocked(dy) : backward_reference(dy);
 }
 
 // ---- blocked pipeline (transposed layouts) --------------------------
 
-Tensor Conv2d::forward_blocked(const Tensor& x) {
+Tensor& Conv2d::forward_blocked(const Tensor& x) {
   const int n = x_shape_[0];
   const int h = x_shape_[2];
   const int w = x_shape_[3];
@@ -176,14 +243,18 @@ Tensor Conv2d::forward_blocked(const Tensor& x) {
   const int rows = n * ho * wo;
   const int patch = in_channels_ * 9;
 
-  // im2col, transposed: cols_[q][row] for patch offset q = (c, ky, kx).
+  // im2col, transposed: cols[q][row] for patch offset q = (c, ky, kx).
   // Each (img, oy) output row is one contiguous run in the source image,
-  // so the stride-1 interior is a straight memcpy.
-  cols_.resize(static_cast<std::size_t>(patch) * rows);
+  // so the stride-1 interior is a straight memcpy. Full overwrite: every
+  // element is either a padding zero or a copied input value (the three
+  // loops below cover [0, ox_lo), [ox_lo, ox_hi), [ox_hi, wo) exactly).
+  float* cols = arena_->floats(
+      cols_slot_, static_cast<std::size_t>(patch) * rows, Arena::Fill::kNone);
+  cols_ = cols;
   for (int c = 0; c < in_channels_; ++c) {
     for (int ky = 0; ky < 3; ++ky) {
       for (int kx = 0; kx < 3; ++kx) {
-        float* dst = cols_.data() +
+        float* dst = cols +
                      static_cast<std::size_t>((c * 3 + ky) * 3 + kx) * rows;
         for (int img = 0; img < n; ++img) {
           const float* plane =
@@ -223,20 +294,31 @@ Tensor Conv2d::forward_blocked(const Tensor& x) {
   }
 
   const bool fused = act_ == Act::kLeakyReLU;
-  std::vector<float>& y_rows = tl_y_rows();
-  y_rows.resize(static_cast<std::size_t>(out_channels_) * rows);
-  if (fused) mask_.resize(static_cast<std::size_t>(out_channels_) * rows);
+  // y_rows (shared staging) and mask: full overwrite by the GEMM
+  // (CMode::kOverwrite writes every element; the epilogue writes one mask
+  // byte per element).
+  ThreadStaging& staging = thread_staging();
+  float* y_rows = staging.arena.floats(
+      staging.y_rows, static_cast<std::size_t>(out_channels_) * rows,
+      Arena::Fill::kNone);
+  if (fused) {
+    mask_ = arena_->bytes(mask_slot_,
+                          static_cast<std::size_t>(out_channels_) * rows);
+  }
   // y^T[out, rows] = W[out, patch] * cols^T[patch, rows] + bias (+ act).
-  gemm_forward_nn_rowbias(out_channels_, rows, patch, weight().data(), cols_.data(),
-                          bias().data(), y_rows.data(),
+  gemm_forward_nn_rowbias(out_channels_, rows, patch, weight().data(), cols,
+                          bias().data(), y_rows,
                           fused ? Epilogue::kBiasLeakyReLU : Epilogue::kBias,
-                          slope_, fused ? mask_.data() : nullptr, thread_scratch());
+                          slope_, fused ? mask_ : nullptr,
+                          staging_scratch());
 
   // [out, n*ho*wo] -> [n, out, ho, wo]: contiguous copy per (img, o).
-  Tensor out({n, out_channels_, ho, wo});
+  // Full overwrite: the (o, img) double loop covers every output plane.
+  Tensor& out = arena_->tensor(out_slot_, {n, out_channels_, ho, wo},
+                               Arena::Fill::kNone);
   const std::size_t how = static_cast<std::size_t>(ho) * wo;
   for (int o = 0; o < out_channels_; ++o) {
-    const float* src = y_rows.data() + static_cast<std::size_t>(o) * rows;
+    const float* src = y_rows + static_cast<std::size_t>(o) * rows;
     for (int img = 0; img < n; ++img) {
       std::memcpy(out.data() +
                       (static_cast<std::size_t>(img) * out_channels_ + o) * how,
@@ -247,7 +329,7 @@ Tensor Conv2d::forward_blocked(const Tensor& x) {
   return out;
 }
 
-Tensor Conv2d::backward_blocked(const Tensor& dy) {
+Tensor& Conv2d::backward_blocked(const Tensor& dy) {
   const int n = x_shape_[0];
   const int h = x_shape_[2];
   const int w = x_shape_[3];
@@ -259,18 +341,21 @@ Tensor Conv2d::backward_blocked(const Tensor& dy) {
   const std::size_t how = static_cast<std::size_t>(ho) * wo;
 
   // dy [n, out, ho, wo] -> dy^T [out, rows], applying the fused
-  // activation's mask on the way through.
-  std::vector<float>& dy_rows = tl_dy_rows();
-  dy_rows.resize(static_cast<std::size_t>(out_channels_) * rows);
+  // activation's mask on the way through. Full overwrite: every (o, img)
+  // row is written by exactly one of the two branches.
+  ThreadStaging& staging = thread_staging();
+  float* dy_rows = staging.arena.floats(
+      staging.dy_rows, static_cast<std::size_t>(out_channels_) * rows,
+      Arena::Fill::kNone);
   for (int o = 0; o < out_channels_; ++o) {
-    float* dst = dy_rows.data() + static_cast<std::size_t>(o) * rows;
+    float* dst = dy_rows + static_cast<std::size_t>(o) * rows;
     for (int img = 0; img < n; ++img) {
       const float* src =
           dy.data() +
           (static_cast<std::size_t>(img) * out_channels_ + o) * how;
       float* drow = dst + static_cast<std::size_t>(img) * how;
       if (fused) {
-        const std::uint8_t* mrow = mask_.data() +
+        const std::uint8_t* mrow = mask_ +
                                    static_cast<std::size_t>(o) * rows +
                                    static_cast<std::size_t>(img) * how;
         for (std::size_t t = 0; t < how; ++t) {
@@ -283,8 +368,8 @@ Tensor Conv2d::backward_blocked(const Tensor& dy) {
   }
 
   // dw += dy^T * cols (k = rows, ascending — the seed accumulation order).
-  gemm_acc_nt(out_channels_, patch, rows, dy_rows.data(), cols_.data(),
-              dw_.data(), thread_scratch());
+  gemm_acc_nt(out_channels_, patch, rows, dy_rows, cols_, dw_.data(),
+              staging_scratch());
   // db: one ascending-r chain per channel (bit-identical to the seed's
   // row-major sum); four channels in flight to hide the add latency the
   // strict chain ordering imposes.
@@ -294,7 +379,7 @@ Tensor Conv2d::backward_blocked(const Tensor& dy) {
     const float* drow[4];
     for (int j = 0; j < ov; ++j) {
       acc[j] = db_[o0 + j];
-      drow[j] = dy_rows.data() + static_cast<std::size_t>(o0 + j) * rows;
+      drow[j] = dy_rows + static_cast<std::size_t>(o0 + j) * rows;
     }
     for (int r = 0; r < rows; ++r) {
       for (int j = 0; j < ov; ++j) acc[j] += drow[j][r];
@@ -302,26 +387,28 @@ Tensor Conv2d::backward_blocked(const Tensor& dy) {
     for (int j = 0; j < ov; ++j) db_[o0 + j] = acc[j];
   }
 
-  if (!compute_input_grad_) return Tensor();
+  if (!compute_input_grad_) return empty_;
 
-  // dcols^T[patch, rows] = W^T * dy^T.
-  std::vector<float>& dcols = tl_dcols();
-  dcols.resize(static_cast<std::size_t>(patch) * rows);
-  gemm_ovr_tn(patch, rows, out_channels_, weight().data(), dy_rows.data(),
-              dcols.data(), thread_scratch());
+  // dcols^T[patch, rows] = W^T * dy^T. Full overwrite (gemm_ovr_tn).
+  float* dcols = staging.arena.floats(
+      staging.dcols, static_cast<std::size_t>(patch) * rows,
+      Arena::Fill::kNone);
+  gemm_ovr_tn(patch, rows, out_channels_, weight().data(), dy_rows, dcols,
+              staging_scratch());
 
   // col2im from the transposed layout. Loop order (c asc, ky desc,
   // kx desc, img, oy, ox) reproduces the seed's per-element accumulation
   // order: for a fixed dx element each output position contributes at
   // most one tap, and ky desc <=> oy asc (resp. kx/ox), so contributions
   // arrive in ascending (oy, ox) — exactly the seed nest.
-  Tensor dx(x_shape_);
+  // dx accumulates (+=), so the slot is acquired zero-filled — the same
+  // bytes a freshly constructed tensor starts from.
+  Tensor& dx = arena_->tensor(dx_slot_, x_shape_, Arena::Fill::kZero);
   for (int c = 0; c < in_channels_; ++c) {
     for (int ky = 2; ky >= 0; --ky) {
       for (int kx = 2; kx >= 0; --kx) {
         const float* src =
-            dcols.data() +
-            static_cast<std::size_t>((c * 3 + ky) * 3 + kx) * rows;
+            dcols + static_cast<std::size_t>((c * 3 + ky) * 3 + kx) * rows;
         for (int img = 0; img < n; ++img) {
           float* plane =
               dx.data() +
@@ -355,7 +442,7 @@ Tensor Conv2d::backward_blocked(const Tensor& dy) {
 
 // ---- reference pipeline (the seed's layouts and kernels) -------------
 
-Tensor Conv2d::forward_reference(const Tensor& x) {
+Tensor& Conv2d::forward_reference(const Tensor& x) {
   const int n = x_shape_[0];
   const int h = x_shape_[2];
   const int w = x_shape_[3];
@@ -366,11 +453,11 @@ Tensor Conv2d::forward_reference(const Tensor& x) {
 
   // Seed behavior, reproduced faithfully as the bench baseline: the
   // im2col matrix was a freshly allocated (zeroed) tensor every call.
-  cols_.clear();
-  cols_.shrink_to_fit();
-  cols_.resize(static_cast<std::size_t>(rows) * patch);
+  ref_cols_.clear();
+  ref_cols_.shrink_to_fit();
+  ref_cols_.resize(static_cast<std::size_t>(rows) * patch);
   // im2col with zero padding 1 (the seed loop).
-  float* col = cols_.data();
+  float* col = ref_cols_.data();
   for (int img = 0; img < n; ++img) {
     const float* base =
         x.data() + static_cast<std::size_t>(img) * in_channels_ * h * w;
@@ -394,13 +481,20 @@ Tensor Conv2d::forward_reference(const Tensor& x) {
 
   const bool fused = act_ == Act::kLeakyReLU;
   std::vector<float> y_rows(static_cast<std::size_t>(rows) * out_channels_);
-  if (fused) mask_.resize(static_cast<std::size_t>(rows) * out_channels_);
-  gemm_forward_nt(rows, out_channels_, patch, cols_.data(), weight().data(),
-                  bias().data(), y_rows.data(), Epilogue::kBias, slope_,
-                  fused ? mask_.data() : nullptr, thread_scratch());
+  if (fused) {
+    mask_ = arena_->bytes(mask_slot_,
+                          static_cast<std::size_t>(rows) * out_channels_);
+  }
+  gemm_forward_nt(rows, out_channels_, patch, ref_cols_.data(),
+                  weight().data(), bias().data(), y_rows.data(),
+                  Epilogue::kBias, slope_, fused ? mask_ : nullptr,
+                  staging_scratch());
 
-  // Reorder [n*ho*wo, out] -> [n, out, ho, wo].
-  Tensor out({n, out_channels_, ho, wo});
+  // Reorder [n*ho*wo, out] -> [n, out, ho, wo]. The seed's output was a
+  // fresh zeroed tensor; Fill::kZero reproduces both the bytes and the
+  // zero-fill cost of that baseline.
+  Tensor& out = arena_->tensor(out_slot_, {n, out_channels_, ho, wo},
+                               Arena::Fill::kZero);
   for (int img = 0; img < n; ++img) {
     for (int oy = 0; oy < ho; ++oy) {
       for (int ox = 0; ox < wo; ++ox) {
@@ -423,16 +517,16 @@ Tensor Conv2d::forward_reference(const Tensor& x) {
     // pre-activation, one copy for the output, then an in-place pass.
     Tensor preact_cache = out;
     Tensor activated = out;
-    for (std::size_t i = 0; i < activated.size(); ++i) {
-      if (activated[i] < 0.0f) activated[i] *= slope_;
-    }
     (void)preact_cache;
-    return activated;
+    (void)activated;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i] < 0.0f) out[i] *= slope_;
+    }
   }
   return out;
 }
 
-Tensor Conv2d::backward_reference(const Tensor& dy) {
+Tensor& Conv2d::backward_reference(const Tensor& dy) {
   const int n = x_shape_[0];
   const int h = x_shape_[2];
   const int w = x_shape_[3];
@@ -477,8 +571,8 @@ Tensor Conv2d::backward_reference(const Tensor& dy) {
   }
 
   // dw += dy_rows^T * cols
-  gemm_acc_tn(out_channels_, patch, rows, dy_rows.data(), cols_.data(),
-              dw_.data(), thread_scratch());
+  gemm_acc_tn(out_channels_, patch, rows, dy_rows.data(), ref_cols_.data(),
+              dw_.data(), staging_scratch());
   for (int r = 0; r < rows; ++r) {
     const float* dyr =
         dy_rows.data() + static_cast<std::size_t>(r) * out_channels_;
@@ -489,10 +583,11 @@ Tensor Conv2d::backward_reference(const Tensor& dy) {
   // even for a network's first layer).
   std::vector<float> dcols(static_cast<std::size_t>(rows) * patch);
   gemm_ovr_nn(rows, patch, out_channels_, dy_rows.data(), weight().data(),
-              dcols.data(), thread_scratch());
+              dcols.data(), staging_scratch());
 
-  // col2im.
-  Tensor dx(x_shape_);
+  // col2im. dx accumulates (+=): acquired zero-filled, the bytes of the
+  // seed's freshly constructed tensor.
+  Tensor& dx = arena_->tensor(dx_slot_, x_shape_, Arena::Fill::kZero);
   const float* col = dcols.data();
   for (int img = 0; img < n; ++img) {
     float* base =
@@ -533,12 +628,24 @@ void Conv2d::share_weights_from(const Conv2d& master) {
 // --------------------------------------------------------------------
 // GlobalAvgPool
 
-Tensor GlobalAvgPool::forward(const Tensor& x) {
+void GlobalAvgPool::bind_arena(Arena& arena) {
+  arena_ = &arena;
+  y_slot_ = arena.add_tensor();
+  dx_slot_ = arena.add_tensor();
+}
+
+void GlobalAvgPool::ensure_arena() {
+  if (arena_ == nullptr) bind_arena(fallback_arena());
+}
+
+Tensor& GlobalAvgPool::forward(const Tensor& x) {
+  ensure_arena();
   x_shape_ = x.shape();
   const int n = x_shape_[0];
   const int c = x_shape_[1];
   const int hw = x_shape_[2] * x_shape_[3];
-  Tensor y({n, c});
+  // y: full overwrite — one store per (img, ch).
+  Tensor& y = arena_->tensor(y_slot_, {n, c}, Arena::Fill::kNone);
   for (int img = 0; img < n; ++img) {
     for (int ch = 0; ch < c; ++ch) {
       const float* plane =
@@ -551,11 +658,13 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
   return y;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& dy) {
+Tensor& GlobalAvgPool::backward(const Tensor& dy) {
+  ensure_arena();
   const int n = x_shape_[0];
   const int c = x_shape_[1];
   const int hw = x_shape_[2] * x_shape_[3];
-  Tensor dx(x_shape_);
+  // dx: full overwrite — every plane element is assigned.
+  Tensor& dx = arena_->tensor(dx_slot_, x_shape_, Arena::Fill::kNone);
   for (int img = 0; img < n; ++img) {
     for (int ch = 0; ch < c; ++ch) {
       const float g =
@@ -576,16 +685,26 @@ ResBlock::ResBlock(int width, util::Pcg32& rng, const std::string& name)
       fc2_(width, width, rng, name + ".fc2", Act::kLeakyReLU),
       fc3_(width, width, rng, name + ".fc3", Act::kLeakyReLU) {}
 
-Tensor ResBlock::forward(const Tensor& x) {
-  Tensor h = fc1_.forward(x);
-  h = fc2_.forward(h);
-  h = fc3_.forward(h);
+void ResBlock::bind_arena(Arena& arena) {
+  fc1_.bind_arena(arena);
+  fc2_.bind_arena(arena);
+  fc3_.bind_arena(arena);
+}
+
+Tensor& ResBlock::forward(const Tensor& x) {
+  Tensor& h1 = fc1_.forward(x);
+  Tensor& h2 = fc2_.forward(h1);
+  // The residual add mutates fc3_'s output slot in place — we own it, and
+  // it is consumed by the caller before fc3_ runs again.
+  Tensor& h = fc3_.forward(h2);
   for (std::size_t i = 0; i < h.size(); ++i) h[i] += x[i];
   return h;
 }
 
-Tensor ResBlock::backward(const Tensor& dy) {
-  Tensor dh = fc1_.backward(fc2_.backward(fc3_.backward(dy)));
+Tensor& ResBlock::backward(const Tensor& dy) {
+  Tensor& d3 = fc3_.backward(dy);
+  Tensor& d2 = fc2_.backward(d3);
+  Tensor& dh = fc1_.backward(d2);
   for (std::size_t i = 0; i < dh.size(); ++i) dh[i] += dy[i];
   return dh;
 }

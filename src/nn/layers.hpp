@@ -11,16 +11,35 @@
 // `Act::kLeakyReLU` folds the activation into the kernel's writeback (the
 // backward mask is captured from the pre-activation sign), which removes
 // one full tensor copy per layer while producing bit-identical values to
-// a separate activation layer. Scratch buffers (im2col matrix, packing
-// panels, gradient staging) live on the layer and are reused across
-// calls — the training hot path does no per-call allocation after the
-// first batch.
+// a separate activation layer.
+//
+// Activation-arena contract: `forward`/`backward` return references to
+// tensors owned by the layer's bound `Arena` (nn/arena.hpp) instead of
+// freshly constructed values, so the hot path performs zero heap
+// allocations per query once warm. A returned reference stays valid and
+// stable until the SAME layer's next `forward`/`backward` call; callers
+// that need the data longer must copy. Symmetrically, the tensor passed
+// to `forward` is cached by POINTER (not copied) for the backward pass:
+// it must stay alive and unmodified until the matching `backward`
+// returns — trivially true inside a network, where it is another layer's
+// arena slot. `AttackNet` binds every layer to its per-network arena at
+// construction; a layer used standalone (tests, benches) lazily binds
+// itself to a thread-local fallback arena on first use — such a layer
+// must then keep running on the thread that first called it.
+// Call-transient staging (conv's y^T/dy^T/dcols^T, GEMM packing panels)
+// is NOT per-network: it lives in a per-thread staging arena
+// (layers.cpp), one hot copy per thread no matter how many replicas run.
+// Every arena slot below is annotated with its overwrite discipline (the
+// no-stale-read audit): `full` slots are completely rewritten by their
+// producer each call and acquired with Fill::kNone; `accum` slots feed
+// += consumers and are acquired with Fill::kZero.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "nn/arena.hpp"
 #include "nn/gemm.hpp"
 #include "nn/tensor.hpp"
 #include "util/rng.hpp"
@@ -44,8 +63,12 @@ class Linear {
   Linear(int in, int out, util::Pcg32& rng, std::string name,
          Act act = Act::kNone, float slope = 0.01f);
 
-  Tensor forward(const Tensor& x);
-  Tensor backward(const Tensor& dy);
+  /// Attach this layer's activation/staging slots to `arena`. Call once,
+  /// before the first forward; the arena must outlive the layer's use.
+  void bind_arena(Arena& arena);
+
+  Tensor& forward(const Tensor& x);
+  Tensor& backward(const Tensor& dy);
   void collect_params(std::vector<Param>& out);
 
   int in_features() const { return in_; }
@@ -66,6 +89,8 @@ class Linear {
   const Tensor& bias() const { return shared_b_ ? *shared_b_ : b_; }
 
  private:
+  void ensure_arena();
+
   int in_;
   int out_;
   std::string name_;
@@ -77,14 +102,25 @@ class Linear {
   const Tensor* shared_b_ = nullptr;
   Tensor dw_;
   Tensor db_;
-  Tensor x_;   ///< cached input
-  std::vector<std::uint8_t> mask_;  ///< pre-activation < 0, when fused
+  // Arena slots. mask (full: the GEMM epilogue writes every element)
+  // persists from forward to backward; y/dx/dmasked (all full) are live
+  // only until the next call.
+  Arena* arena_ = nullptr;
+  Arena::Slot y_slot_ = 0;
+  Arena::Slot dx_slot_ = 0;
+  Arena::Slot dmasked_slot_ = 0;
+  Arena::Slot mask_slot_ = 0;
+  /// Input of the last forward, held by pointer (see the header comment's
+  /// lifetime contract) — inside a network this is another layer's slot.
+  const Tensor* x_ = nullptr;
+  std::uint8_t* mask_ = nullptr;     ///< pre-activation < 0, when fused
 };
 
 /// y = max(0.01 x, x) elementwise (the paper's LReLU activation).
 /// Layers fuse this via `Act::kLeakyReLU`; the standalone class remains
 /// for ad-hoc use and as the reference the fused epilogue is tested
-/// against.
+/// against — as reference code it intentionally keeps the seed's
+/// fresh-tensor-per-call behavior and takes no arena.
 class LeakyReLU {
  public:
   explicit LeakyReLU(float slope = 0.01f) : slope_(slope) {}
@@ -107,18 +143,27 @@ class LeakyReLU {
 ///    the GEMM output channel-major ([out, rows]). Every GEMM then has a
 ///    huge contiguous n dimension (full register panels), im2col rows
 ///    become memcpy runs, and the NCHW reorder collapses to per-channel
-///    contiguous copies.
+///    contiguous copies. All staging lives on arenas: the im2col matrix
+///    and activation mask persist from forward to backward on per-layer
+///    slots of the network's arena, while the purely transient
+///    y^T / dy^T / dcols^T staging (the col2im/reorder residue named in
+///    the ROADMAP) comes from the per-thread staging arena — one hot
+///    copy per thread across every conv layer and every replica.
 ///  - reference: the seed pipeline on seed layouts (row-major im2col,
-///    naive kernels, separate bias/activation passes) — the before side
-///    of bench_kernels and the ground truth for the bit-identity tests.
+///    naive kernels, separate bias/activation passes, per-call interior
+///    allocations) — the before side of bench_kernels and the ground
+///    truth for the bit-identity tests.
 /// Both produce bit-identical outputs and gradients.
 class Conv2d {
  public:
   Conv2d(int in_channels, int out_channels, int stride, util::Pcg32& rng,
          std::string name, Act act = Act::kNone, float slope = 0.01f);
 
-  Tensor forward(const Tensor& x);
-  Tensor backward(const Tensor& dy);
+  /// See Linear::bind_arena.
+  void bind_arena(Arena& arena);
+
+  Tensor& forward(const Tensor& x);
+  Tensor& backward(const Tensor& dy);
   void collect_params(std::vector<Param>& out);
 
   int out_size(int in_size) const { return (in_size + 2 - 3) / stride_ + 1; }
@@ -136,10 +181,11 @@ class Conv2d {
   const Tensor& bias() const { return shared_b_ ? *shared_b_ : b_; }
 
  private:
-  Tensor forward_blocked(const Tensor& x);
-  Tensor forward_reference(const Tensor& x);
-  Tensor backward_blocked(const Tensor& dy);
-  Tensor backward_reference(const Tensor& dy);
+  void ensure_arena();
+  Tensor& forward_blocked(const Tensor& x);
+  Tensor& forward_reference(const Tensor& x);
+  Tensor& backward_blocked(const Tensor& dy);
+  Tensor& backward_reference(const Tensor& dy);
 
   int in_channels_;
   int out_channels_;
@@ -156,23 +202,44 @@ class Conv2d {
   Tensor db_;
   std::vector<int> x_shape_;
   bool used_blocked_path_ = true;  ///< pipeline of the last forward
-  // Reusable per-layer scratch: the im2col matrix and activation mask
-  // persist from forward to backward; purely transient staging (y^T,
-  // dy^T, dcols^T) lives in shared thread-local buffers instead (see
-  // layers.cpp) to keep lane replicas' working set small.
-  std::vector<float> cols_;     ///< im2col, [rows, patch] (reference) or
-                                ///< [patch, rows] (blocked)
-  std::vector<std::uint8_t> mask_;  ///< pre-activation < 0, when fused
+  Tensor empty_;  ///< returned when the input gradient is skipped
+  // Arena slots. cols (full: every element is a memcpy run, an explicit
+  // padding zero, or a strided gather) and mask (full: GEMM epilogue)
+  // persist from forward to backward; out (full: per-channel memcpy
+  // reorder) and dx (accum: col2im += — acquired Fill::kZero) are live
+  // until the next call. The y_rows/dy_rows/dcols staging (all full) is
+  // call-transient and comes from the per-thread staging arena.
+  Arena* arena_ = nullptr;
+  Arena::Slot cols_slot_ = 0;
+  Arena::Slot mask_slot_ = 0;
+  Arena::Slot out_slot_ = 0;
+  Arena::Slot dx_slot_ = 0;
+  const float* cols_ = nullptr;      ///< blocked im2col, [patch, rows]
+  std::uint8_t* mask_ = nullptr;     ///< pre-activation < 0, when fused
+  /// Reference-pipeline im2col, [rows, patch]. Deliberately NOT arena
+  /// storage: the seed allocated (and zeroed) this matrix on every call,
+  /// and the reference pipeline reproduces that cost as the bench
+  /// baseline.
+  std::vector<float> ref_cols_;
 };
 
 /// [N, C, H, W] -> [N, C] channel means.
 class GlobalAvgPool {
  public:
-  Tensor forward(const Tensor& x);
-  Tensor backward(const Tensor& dy);
+  /// See Linear::bind_arena.
+  void bind_arena(Arena& arena);
+
+  Tensor& forward(const Tensor& x);
+  Tensor& backward(const Tensor& dy);
 
  private:
+  void ensure_arena();
+
   std::vector<int> x_shape_;
+  // Arena slots: y and dx are both fully overwritten each call.
+  Arena* arena_ = nullptr;
+  Arena::Slot y_slot_ = 0;
+  Arena::Slot dx_slot_ = 0;
 };
 
 /// The paper's FC ResNet block: y = x + f3(f2(f1(x))) with
@@ -182,8 +249,11 @@ class ResBlock {
  public:
   ResBlock(int width, util::Pcg32& rng, const std::string& name);
 
-  Tensor forward(const Tensor& x);
-  Tensor backward(const Tensor& dy);
+  /// Binds the three member Linears; see Linear::bind_arena.
+  void bind_arena(Arena& arena);
+
+  Tensor& forward(const Tensor& x);
+  Tensor& backward(const Tensor& dy);
   void collect_params(std::vector<Param>& out);
 
   /// Weight sharing for replicas; same contract as

@@ -1,22 +1,55 @@
 #include "nn/tensor.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace sma::nn {
 
-std::size_t shape_size(const std::vector<int>& shape) {
+namespace {
+
+std::string format_shape(const int* dims, std::size_t rank) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < rank; ++i) {
+    if (i > 0) os << ", ";
+    os << dims[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::size_t shape_size_impl(const int* dims, std::size_t rank) {
   std::size_t total = 1;
-  for (int d : shape) {
+  for (std::size_t i = 0; i < rank; ++i) {
+    const int d = dims[i];
     if (d < 0) throw std::invalid_argument("negative tensor dimension");
-    total *= static_cast<std::size_t>(d);
+    const std::size_t ud = static_cast<std::size_t>(d);
+    if (ud != 0 &&
+        total > std::numeric_limits<std::size_t>::max() / ud) {
+      throw std::overflow_error("tensor shape " + format_shape(dims, rank) +
+                                " overflows std::size_t element count");
+    }
+    total *= ud;
   }
   return total;
 }
 
+}  // namespace
+
+std::size_t shape_size(const std::vector<int>& shape) {
+  return shape_size_impl(shape.data(), shape.size());
+}
+
+std::size_t shape_size(std::initializer_list<int> shape) {
+  return shape_size_impl(shape.begin(), shape.size());
+}
+
 Tensor::Tensor(std::vector<int> shape)
-    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+    : shape_(std::move(shape)),
+      data_(shape_size(shape_), 0.0f),
+      numel_(data_.size()) {}
 
 Tensor Tensor::randn(std::vector<int> shape, util::Pcg32& rng, double stddev) {
   Tensor t(std::move(shape));
@@ -27,25 +60,49 @@ Tensor Tensor::randn(std::vector<int> shape, util::Pcg32& rng, double stddev) {
 }
 
 void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(numel_),
+            value);
 }
 
 void Tensor::reshape(std::vector<int> shape) {
-  if (shape_size(shape) != data_.size()) {
+  if (shape_size(shape) != numel_) {
     throw std::invalid_argument("reshape changes element count");
   }
-  shape_ = std::move(shape);
+  // Copy-assign (not move) so shape_'s capacity is reused — reshape sits
+  // on the alloc-free hot path (AttackNet flattens fc7's scores).
+  shape_ = shape;
+}
+
+void Tensor::reshape(std::initializer_list<int> shape) {
+  if (shape_size(shape) != numel_) {
+    throw std::invalid_argument("reshape changes element count");
+  }
+  shape_.assign(shape);
+}
+
+bool Tensor::ensure_numel(std::size_t n) {
+  const std::size_t cap_before = data_.capacity();
+  // Grow-only: the high-water extent stays materialized, so a shrink-then-
+  // grow sequence touches no allocator and performs no value-init pass.
+  if (n > data_.size()) data_.resize(n);
+  numel_ = n;
+  return data_.capacity() != cap_before;
+}
+
+bool Tensor::resize_reuse(const std::vector<int>& shape) {
+  const std::size_t n = shape_size(shape);
+  shape_ = shape;  // copy-assign: reuses shape_'s capacity
+  return ensure_numel(n);
+}
+
+bool Tensor::resize_reuse(std::initializer_list<int> shape) {
+  const std::size_t n = shape_size(shape);
+  shape_.assign(shape);
+  return ensure_numel(n);
 }
 
 std::string Tensor::shape_string() const {
-  std::ostringstream os;
-  os << '[';
-  for (std::size_t i = 0; i < shape_.size(); ++i) {
-    if (i > 0) os << ", ";
-    os << shape_[i];
-  }
-  os << ']';
-  return os.str();
+  return format_shape(shape_.data(), shape_.size());
 }
 
 }  // namespace sma::nn

@@ -4,9 +4,17 @@
 // attack network's needs (no views, no broadcasting — layers operate on
 // explicit shapes). Keeping it small makes the backprop code easy to audit
 // against the paper's equations.
+//
+// Buffer reuse: `resize_reuse` reshapes a tensor in place with grow-only
+// capacity and NO clearing of reused storage — the activation-arena
+// subsystem (nn/arena.hpp) uses it so the training/inference hot path
+// performs zero heap allocations per query once warm. A tensor that has
+// been through `resize_reuse` may hold more storage than `size()`
+// elements; all accessors operate on the logical extent only.
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -26,8 +34,8 @@ class Tensor {
 
   const std::vector<int>& shape() const { return shape_; }
   int dim(int axis) const { return shape_.at(axis); }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
@@ -35,18 +43,43 @@ class Tensor {
   float operator[](std::size_t i) const { return data_[i]; }
 
   void fill(float value);
-  /// Reinterpret the shape; total element count must match.
+  /// Reinterpret the shape; total element count must match. The
+  /// initializer-list overload exists so hot-path callers can reshape
+  /// without constructing a temporary std::vector (which would allocate).
   void reshape(std::vector<int> shape);
+  void reshape(std::initializer_list<int> shape);
+
+  /// Reshape in place for buffer reuse. Capacity only ever grows (backing
+  /// storage is retained across shrink-then-grow sequences) and reused
+  /// storage is NOT cleared: after this call the contents of the logical
+  /// extent are unspecified, and the caller must either fully overwrite
+  /// every element before reading or zero explicitly (the arena's
+  /// `Fill::kZero`). This no-stale-read contract is what lets the hot
+  /// path skip both the per-call allocation and the per-call zero-fill of
+  /// a freshly constructed tensor. Returns true when backing storage had
+  /// to grow (a heap allocation happened) — the arena's alloc counter.
+  bool resize_reuse(const std::vector<int>& shape);
+  bool resize_reuse(std::initializer_list<int> shape);
 
   /// "[2, 3, 4]" for diagnostics.
   std::string shape_string() const;
 
+  /// Bytes of backing storage currently held (>= size() * sizeof(float)
+  /// after resize_reuse shrinks).
+  std::size_t capacity_bytes() const { return data_.capacity() * sizeof(float); }
+
  private:
+  bool ensure_numel(std::size_t n);
+
   std::vector<int> shape_;
   std::vector<float> data_;
+  std::size_t numel_ = 0;  ///< logical element count; data_.size() >= numel_
 };
 
-/// Number of elements implied by a shape.
+/// Number of elements implied by a shape. Throws std::overflow_error when
+/// the dimension product overflows std::size_t (a silent wrap would
+/// under-allocate storage and turn later indexing into OOB writes).
 std::size_t shape_size(const std::vector<int>& shape);
+std::size_t shape_size(std::initializer_list<int> shape);
 
 }  // namespace sma::nn

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "runtime/parallel.hpp"
 
@@ -39,16 +40,21 @@ void TrainStep::accumulate(const std::vector<Param>& lane) {
 }
 
 void TrainStep::step(int active_lanes, runtime::ThreadPool* pool) {
+  if (active_lanes < 0) {
+    // A negative count is always a caller bug (a miscomputed partial
+    // batch); silently clamping it to 0 would run a spurious Adam step on
+    // zero gradients. Throw, matching the alignment checks above.
+    throw std::invalid_argument("TrainStep::step: negative active_lanes " +
+                                std::to_string(active_lanes));
+  }
   if (lanes_.empty()) {
     adam_.step(pool);
     return;
   }
-  const std::size_t active = static_cast<std::size_t>(
-      active_lanes < 0 ? 0
-                       : (static_cast<std::size_t>(active_lanes) <
-                                  lanes_.size()
-                              ? static_cast<std::size_t>(active_lanes)
-                              : lanes_.size()));
+  const std::size_t active =
+      static_cast<std::size_t>(active_lanes) < lanes_.size()
+          ? static_cast<std::size_t>(active_lanes)
+          : lanes_.size();
   const Adam::StepScales scales = adam_.begin_step();
   runtime::parallel_for(
       pool, 0, master_.size(), /*grain=*/4, [&](std::size_t k) {

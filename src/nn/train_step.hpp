@@ -51,7 +51,8 @@ class TrainStep {
   /// One fused reduce + Adam + broadcast pass over all parameters, using
   /// the gradients of the first `active_lanes` lanes (a trailing partial
   /// batch activates fewer lanes than are attached). With no lanes
-  /// attached this degrades to a plain `Adam::step`.
+  /// attached this degrades to a plain `Adam::step`. A negative
+  /// `active_lanes` is a caller bug and throws std::invalid_argument.
   void step(int active_lanes, runtime::ThreadPool* pool);
 
   /// Serial-lane mode: add `lane`'s gradients onto the master gradients

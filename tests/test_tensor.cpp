@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 namespace sma::nn {
 namespace {
 
@@ -55,6 +60,72 @@ TEST(Tensor, RandnStatistics) {
 
 TEST(Tensor, NegativeDimensionRejected) {
   EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, ShapeSizeOverflowRejected) {
+  // 3 x INT_MAX dimensions multiply to ~2^93, past any std::size_t. A
+  // silent wrap would under-allocate data_ and turn indexing into OOB
+  // writes; shape_size must throw instead, naming the offending shape.
+  const int big = std::numeric_limits<int>::max();
+  const std::vector<int> shape = {big, big, big};
+  try {
+    shape_size(shape);
+    FAIL() << "shape_size accepted an overflowing shape";
+  } catch (const std::overflow_error& e) {
+    EXPECT_NE(std::string(e.what()).find("2147483647"), std::string::npos)
+        << "error should name the offending shape: " << e.what();
+  }
+  EXPECT_THROW(Tensor({big, big, big}), std::overflow_error);
+  EXPECT_THROW(shape_size({big, big, big, big}), std::overflow_error);
+}
+
+TEST(Tensor, ZeroDimensionNeverOverflows) {
+  // A zero dimension makes the product 0 no matter how large the rest
+  // are — must not trip the overflow guard (or divide by zero).
+  const int big = std::numeric_limits<int>::max();
+  EXPECT_EQ(shape_size({big, 0, big, big}), 0u);
+  Tensor t({0, big});
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ResizeReuseGrowOnlyNoClear) {
+  Tensor t;
+  EXPECT_TRUE(t.resize_reuse({2, 3}));  // first growth allocates
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i + 1);
+  const std::size_t cap = t.capacity_bytes();
+
+  // Shrink: logical extent drops, storage (and contents) retained.
+  EXPECT_FALSE(t.resize_reuse({2}));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.capacity_bytes(), cap);
+
+  // Regrow within the high-water mark: no allocation, stale contents
+  // still visible — the explicit no-stale-read contract.
+  EXPECT_FALSE(t.resize_reuse({3, 2}));
+  EXPECT_EQ(t.shape(), (std::vector<int>{3, 2}));
+  EXPECT_FLOAT_EQ(t[5], 6.0f);
+
+  // fill() touches only the logical extent.
+  t.resize_reuse({2});
+  t.fill(-1.0f);
+  t.resize_reuse({6});
+  EXPECT_FLOAT_EQ(t[0], -1.0f);
+  EXPECT_FLOAT_EQ(t[1], -1.0f);
+  EXPECT_FLOAT_EQ(t[2], 3.0f);  // beyond the fill: stale, untouched
+
+  // Growing past the high-water mark allocates.
+  EXPECT_TRUE(t.resize_reuse({100}));
+  EXPECT_GE(t.capacity_bytes(), 100 * sizeof(float));
+}
+
+TEST(Tensor, ReshapeInitializerList) {
+  Tensor t({2, 6});
+  t[7] = 9.0f;
+  t.reshape({4, 3});
+  EXPECT_EQ(t.dim(0), 4);
+  EXPECT_FLOAT_EQ(t[7], 9.0f);
+  EXPECT_THROW(t.reshape({7}), std::invalid_argument);
 }
 
 }  // namespace

@@ -149,6 +149,25 @@ TEST(TrainStep, FusedMatchesThreePassAcrossLanesAndThreads) {
   }
 }
 
+TEST(TrainStep, NegativeActiveLanesThrows) {
+  // A negative count is a caller bug (a miscomputed partial batch), not a
+  // "no lanes active" request — silently clamping it to 0 would run a
+  // spurious Adam step on zero gradients and advance the step counter.
+  const std::vector<std::vector<int>> shapes = {{3, 3}};
+  util::Pcg32 init(11);
+  ParamBank master(shapes, init);
+  TrainStep engine(master.params(), {});
+  // Throws with no lanes attached...
+  EXPECT_THROW(engine.step(-1, nullptr), std::invalid_argument);
+  // ...and with lanes attached (where the old code clamped).
+  util::Pcg32 lane_init(12);
+  ParamBank lane(shapes, lane_init);
+  engine.attach_lanes({lane.params()}, /*broadcast=*/true);
+  EXPECT_THROW(engine.step(-3, nullptr), std::invalid_argument);
+  // Zero stays valid: it means "no active lanes this step".
+  EXPECT_NO_THROW(engine.step(0, nullptr));
+}
+
 TEST(TrainStep, NoLanesDegradesToAdamStep) {
   const std::vector<std::vector<int>> shapes = {{4, 4}, {9}};
   util::Pcg32 init(5);
