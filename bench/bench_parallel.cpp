@@ -56,14 +56,7 @@ bool dl_rows_identical(const Table3Result& a, const Table3Result& b) {
   return true;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
+using sma::benchutil::json_escape;
 
 }  // namespace
 

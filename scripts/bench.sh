@@ -1,25 +1,27 @@
 #!/usr/bin/env bash
 # Run a repo benchmark and emit its JSON result file.
 #
-# Usage: scripts/bench.sh [parallel|kernels|train|all] [extra bench flags]
+# Usage: scripts/bench.sh [parallel|kernels|train|flow|all] [extra bench flags]
 #   scripts/bench.sh                      # parallel bench (default)
 #   scripts/bench.sh parallel --threads=1,2,4 --layer=3
 #   scripts/bench.sh kernels --design=c880 --epochs=3
 #   scripts/bench.sh train --design=c432 --epochs=3
-#   scripts/bench.sh all                  # all three, default flags only
+#   scripts/bench.sh flow --designs=c432,b13 --threads=1,2,4
+#   scripts/bench.sh all                  # all four, default flags only
 #
 # Each bench prints human-readable progress on stderr and exactly one
 # JSON object on stdout; exit status is non-zero if its self-check fails
 # (bench_parallel: determinism across thread counts; bench_kernels:
 # bit-identity between naive and blocked kernels; bench_train:
-# bit-identity between the fused and three-pass training paths).
+# bit-identity between the fused and three-pass training paths;
+# bench_flow: byte-identical layouts across thread counts).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 which="${1:-parallel}"
 case "$which" in
-  parallel|kernels|train|all) shift || true ;;
+  parallel|kernels|train|flow|all) shift || true ;;
   *) which=parallel ;;  # no subcommand: all args go to bench_parallel
 esac
 
@@ -42,6 +44,7 @@ case "$which" in
   parallel) run_one parallel "$@" ;;
   kernels)  run_one kernels "$@" ;;
   train)    run_one train "$@" ;;
+  flow)     run_one flow "$@" ;;
   all)
     # The benches take different flags, so `all` runs each with defaults
     # rather than forwarding one bench's flags to the others.
@@ -52,5 +55,6 @@ case "$which" in
     run_one parallel
     run_one kernels
     run_one train
+    run_one flow
     ;;
 esac

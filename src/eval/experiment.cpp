@@ -12,7 +12,7 @@ namespace sma::eval {
 
 PreparedSplit prepare_split(const netlist::DesignProfile& profile,
                             int split_layer, const layout::FlowConfig& flow,
-                            std::uint64_t seed) {
+                            std::uint64_t seed, runtime::ThreadPool* pool) {
   static const tech::CellLibrary kLibrary = tech::CellLibrary::nangate45_like();
 
   PreparedSplit prepared;
@@ -25,10 +25,10 @@ PreparedSplit prepare_split(const netlist::DesignProfile& profile,
       design_cache_key(profile, flow_config, seed), [&] {
         netlist::Netlist nl = netlist::build_profile(profile, &kLibrary, seed);
         return std::make_shared<const layout::Design>(
-            layout::run_flow(std::move(nl), flow_config));
+            layout::run_flow(std::move(nl), flow_config, pool));
       });
   prepared.split = std::make_unique<split::SplitDesign>(prepared.design.get(),
-                                                        split_layer);
+                                                        split_layer, pool);
   return prepared;
 }
 
@@ -98,7 +98,7 @@ attack::DlAttack train_attack(int split_layer,
         TrainingDesign design;
         design.prepared =
             prepare_split(profiles[i], split_layer, flow,
-                          seed ^ (profiles[i].num_gates * 31ull));
+                          seed ^ (profiles[i].num_gates * 31ull), pool);
         design.dataset = std::make_unique<attack::QueryDataset>(
             make_dataset(design.prepared, profile, true, pool));
         return design;
@@ -173,9 +173,9 @@ Table3Result run_table3(int split_layer, const ExperimentProfile& profile,
   result.rows = runtime::parallel_map(
       pool, designs.size(), /*grain=*/1, [&](std::size_t d) {
         const netlist::DesignProfile& design_profile = designs[d];
-        PreparedSplit prepared =
-            prepare_split(design_profile, split_layer, flow,
-                          seed ^ 0x5151u ^ (design_profile.num_gates * 131ull));
+        PreparedSplit prepared = prepare_split(
+            design_profile, split_layer, flow,
+            seed ^ 0x5151u ^ (design_profile.num_gates * 131ull), pool);
 
         Table3Row row;
         row.design = design_profile.name;
@@ -264,7 +264,7 @@ std::vector<AblationRow> run_figure5(
         pool, designs.size(), /*grain=*/1, [&](std::size_t d) {
           PreparedSplit prepared = prepare_split(
               designs[d], kSplitLayer, flow,
-              seed ^ 0x5151u ^ (designs[d].num_gates * 131ull));
+              seed ^ 0x5151u ^ (designs[d].num_gates * 131ull), pool);
           util::Timer timer;
           attack::QueryDataset dataset =
               make_dataset(prepared, variant, setting.use_images, pool);
@@ -306,11 +306,11 @@ std::vector<AblationRow> run_figure5(
           [&](std::size_t i) {
             if (i < corpus.size()) {
               prepare_split(corpus[i], kSplitLayer, flow,
-                            seed ^ (corpus[i].num_gates * 31ull));
+                            seed ^ (corpus[i].num_gates * 31ull), pool);
             } else {
               const netlist::DesignProfile& d = designs[i - corpus.size()];
               prepare_split(d, kSplitLayer, flow,
-                            seed ^ 0x5151u ^ (d.num_gates * 131ull));
+                            seed ^ 0x5151u ^ (d.num_gates * 131ull), pool);
             }
           });
     }

@@ -41,9 +41,15 @@ struct PreparedSplit {
 /// placement and routing. Cached and fresh results are byte-identical, so
 /// every downstream number (Table 3, Figure 5, flow attack) is unchanged
 /// by the cache.
+///
+/// A non-null `pool` parallelizes inside a cache-cold flow run (placement
+/// relaxation lanes, routing waves) and fragment extraction. Layouts are
+/// bit-identical at any thread count, so the pool never enters the cache
+/// key — pooled and serial calls share one cache entry.
 PreparedSplit prepare_split(const netlist::DesignProfile& profile,
                             int split_layer, const layout::FlowConfig& flow,
-                            std::uint64_t seed);
+                            std::uint64_t seed,
+                            runtime::ThreadPool* pool = nullptr);
 
 /// Fast defaults for single-core experiments: 15x15 three-scale images,
 /// 15 candidates, reduced conv widths. `paper_fidelity` switches to the

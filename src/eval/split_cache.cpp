@@ -26,7 +26,11 @@ std::uint64_t design_cache_key(const netlist::DesignProfile& profile,
       .add(gp.pull)
       .add(gp.refine_iterations)
       .add(gp.refine_pull)
-      .add(gp.seed);
+      .add(gp.seed)
+      // Lane count fixes how the centroid sums associate, so it shapes
+      // the layout. The thread count does NOT (bit-identical contract)
+      // and is deliberately absent from this digest.
+      .add(gp.relax_lanes);
 
   const place::DetailedPlacerConfig& dp = flow.detailed_placer;
   h.add(dp.passes)
@@ -58,7 +62,12 @@ std::uint64_t design_cache_key(const netlist::DesignProfile& profile,
       .add(rt.promote_dist2)
       .add(rt.promote_layer2)
       .add(rt.promotion_penalty)
-      .add(rt.promote_access_region);
+      .add(rt.promote_access_region)
+      // Wave width and rip-up policy decide which nets share a usage
+      // snapshot, so they shape the routes; the thread count does not
+      // and is absent.
+      .add(rt.wave_size)
+      .add(rt.bulk_negotiation_ripup);
 
   return h.digest();
 }

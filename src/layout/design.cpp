@@ -5,7 +5,8 @@
 
 namespace sma::layout {
 
-Design run_flow(netlist::Netlist netlist, const FlowConfig& config) {
+Design run_flow(netlist::Netlist netlist, const FlowConfig& config,
+                runtime::ThreadPool* pool) {
   util::Timer timer;
   Design design;
   design.netlist = std::make_unique<netlist::Netlist>(std::move(netlist));
@@ -17,19 +18,28 @@ Design run_flow(netlist::Netlist netlist, const FlowConfig& config) {
   design.placement =
       std::make_unique<place::Placement>(design.netlist.get(), floorplan);
 
+  util::Timer phase_timer;
   place::GlobalPlacerConfig global = config.global_placer;
   global.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
-  run_global_placement(*design.placement, global);
-  run_legalization(*design.placement);
+  run_global_placement(*design.placement, global, pool);
+  design.timings.global_place_seconds = phase_timer.seconds();
 
+  phase_timer.reset();
+  run_legalization(*design.placement);
+  design.timings.legalize_seconds = phase_timer.seconds();
+
+  phase_timer.reset();
   place::DetailedPlacerConfig detailed = config.detailed_placer;
   detailed.seed ^= config.seed * 0xbf58476d1ce4e5b9ULL;
   run_detailed_placement(*design.placement, detailed);
+  design.timings.detailed_place_seconds = phase_timer.seconds();
 
   design.grid = std::make_unique<route::RoutingGrid>(
       design.stack.get(), floorplan.die, config.grid);
+  phase_timer.reset();
   design.routing = route::route_design(*design.placement, *design.grid,
-                                       config.router);
+                                       config.router, pool);
+  design.timings.route_seconds = phase_timer.seconds();
 
   util::log_info() << design.netlist->name() << ": flow done in "
                    << timer.seconds() << "s, HPWL "

@@ -17,9 +17,20 @@
 #include "place/placement.hpp"
 #include "route/router.hpp"
 #include "route/routing_grid.hpp"
+#include "runtime/thread_pool.hpp"
 #include "tech/layer_stack.hpp"
 
 namespace sma::layout {
+
+/// Wall-clock breakdown of one flow run (diagnostic only — never part of
+/// the layout content or the cache digest). The negotiation subset of
+/// `route_seconds` lives in `RoutingResult::negotiation_seconds`.
+struct FlowTimings {
+  double global_place_seconds = 0.0;
+  double legalize_seconds = 0.0;
+  double detailed_place_seconds = 0.0;
+  double route_seconds = 0.0;
+};
 
 /// A completed layout. Move-only; internal pointers stay valid across moves
 /// because the parts live behind unique_ptr.
@@ -29,6 +40,7 @@ struct Design {
   std::unique_ptr<place::Placement> placement;
   std::unique_ptr<route::RoutingGrid> grid;
   route::RoutingResult routing;
+  FlowTimings timings;
 
   const route::NetRoute& route_of(netlist::NetId net) const {
     return routing.routes.at(net);
@@ -48,6 +60,11 @@ struct FlowConfig {
 };
 
 /// Run placement + routing on `netlist` (consumed) and return the layout.
-Design run_flow(netlist::Netlist netlist, const FlowConfig& config = {});
+/// A non-null `pool` parallelizes inside placement (relaxation lanes,
+/// band sorts) and routing (wave-concurrent nets); the resulting layout
+/// is bit-identical at any thread count, so the pool is deliberately NOT
+/// part of `FlowConfig` or the layout-cache digest.
+Design run_flow(netlist::Netlist netlist, const FlowConfig& config = {},
+                runtime::ThreadPool* pool = nullptr);
 
 }  // namespace sma::layout

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <queue>
 #include <stdexcept>
 
+#include "runtime/parallel.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace sma::route {
 
@@ -43,9 +47,13 @@ struct QueueEntry {
   }
 };
 
+/// Routes one net at a time against a *read-only* grid view. A NetRouter
+/// never mutates grid usage — commits and rip-ups are the wave scheduler's
+/// job — so several NetRouters (one per concurrent task, each with its own
+/// scratch) may route different nets of a wave against the same snapshot.
 class NetRouter {
  public:
-  NetRouter(RoutingGrid& grid, const RouterConfig& config)
+  NetRouter(const RoutingGrid& grid, const RouterConfig& config)
       : grid_(grid), config_(config), scratch_(grid.num_nodes()) {}
 
   /// Cost of traversing the edge leaving `c` in direction `d`.
@@ -76,9 +84,17 @@ class NetRouter {
     const int cap = grid_.capacity(c, d);
     double cost = base;
     cost += config_.history_weight * grid_.history(c, d);
-    cost += config_.present_weight * (static_cast<double>(usage) / cap);
-    if (usage >= cap) {
-      cost += config_.overflow_penalty * (usage - cap + 1);
+    if (cap > 0) {
+      cost += config_.present_weight * (static_cast<double>(usage) / cap);
+      if (usage >= cap) {
+        cost += config_.overflow_penalty * (usage - cap + 1);
+      }
+    } else {
+      // Zero-capacity edge (e.g. wrongway_capacity = 0): any use of it is
+      // pure overflow. The old `usage / cap` produced NaN/inf here and
+      // poisoned the priority-queue ordering; keep the cost finite so A*
+      // stays ordered and simply avoids these edges whenever it can.
+      cost += config_.overflow_penalty * (usage + 1);
     }
     return static_cast<float>(cost);
   }
@@ -90,10 +106,11 @@ class NetRouter {
     return static_cast<float>(planar + vias);
   }
 
-  /// Route one net; returns false only if even the fallback failed.
-  bool route_net(NetRoute& route, int& fallbacks) {
+  /// Route one net against the current grid snapshot. Does NOT commit
+  /// usage — the caller commits `route.grid_edges` in fixed net order.
+  void route_net(NetRoute& route, int& fallbacks) {
     route.grid_edges.clear();
-    if (route.pin_nodes.size() < 2) return true;
+    if (route.pin_nodes.size() < 2) return;
 
     ++scratch_.current_net_mark;
     const std::uint32_t mark = scratch_.current_net_mark;
@@ -138,19 +155,6 @@ class NetRouter {
         fallback_route(target, mark, tree_nodes, route);
         ++fallbacks;
       }
-    }
-
-    // Commit usage.
-    for (const GridEdge& e : route.grid_edges) {
-      grid_.add_usage(e.from, e.dir, 1);
-    }
-    return true;
-  }
-
-  /// Remove a net's usage from the grid.
-  void rip_up(const NetRoute& route) {
-    for (const GridEdge& e : route.grid_edges) {
-      grid_.add_usage(e.from, e.dir, -1);
     }
   }
 
@@ -226,14 +230,17 @@ class NetRouter {
     }
   }
 
-  /// Guaranteed L-shaped connection, ignoring congestion: climbs to M3/M2,
-  /// runs the two legs, and descends at the target. Used only when A*
-  /// exceeds its expansion budget.
+  /// Guaranteed connection, ignoring congestion: climbs toward M3/M2, runs
+  /// the two planar legs, and descends at the target. Used only when A*
+  /// exceeds its expansion budget. Every leg stops as soon as a step is
+  /// blocked (grid edge missing) instead of spinning on it — a grid with
+  /// fewer than 3 metal layers, or a target on the die edge, used to make
+  /// the old unconditional `while` legs loop forever.
   void fallback_route(const GridCoord& target, std::uint32_t mark,
                       std::vector<std::size_t>& tree_nodes, NetRoute& route) {
     GridCoord from = grid_.coord_of(tree_nodes.front());
-    auto step = [&](GridCoord& c, Dir d) {
-      if (!grid_.has_neighbor(c, d)) return;
+    auto step = [&](GridCoord& c, Dir d) -> bool {
+      if (!grid_.has_neighbor(c, d)) return false;
       route.grid_edges.push_back({c, d});
       c = grid_.neighbor(c, d);
       std::size_t index = grid_.node_index(c);
@@ -241,25 +248,61 @@ class NetRouter {
         scratch_.tree_mark[index] = mark;
         tree_nodes.push_back(index);
       }
+      return true;
     };
 
-    // Horizontal leg on M3 (preferred horizontal), vertical leg on M2.
-    while (from.layer < 3) step(from, Dir::kUp);
-    while (from.x < target.x) step(from, Dir::kEast);
-    while (from.x > target.x) step(from, Dir::kWest);
-    while (from.layer > 2) step(from, Dir::kDown);
-    while (from.y < target.y) step(from, Dir::kNorth);
-    while (from.y > target.y) step(from, Dir::kSouth);
-    while (from.layer > target.layer) step(from, Dir::kDown);
-    while (from.layer < target.layer) step(from, Dir::kUp);
+    // Horizontal leg on M3 (preferred horizontal), vertical leg on M2;
+    // on a shorter stack the legs run on the highest layer reachable.
+    while (from.layer < 3 && step(from, Dir::kUp)) {}
+    while (from.x < target.x && step(from, Dir::kEast)) {}
+    while (from.x > target.x && step(from, Dir::kWest)) {}
+    while (from.layer > 2 && step(from, Dir::kDown)) {}
+    while (from.y < target.y && step(from, Dir::kNorth)) {}
+    while (from.y > target.y && step(from, Dir::kSouth)) {}
+    while (from.layer > target.layer && step(from, Dir::kDown)) {}
+    while (from.layer < target.layer && step(from, Dir::kUp)) {}
   }
 
-  RoutingGrid& grid_;
+  const RoutingGrid& grid_;
   const RouterConfig& config_;
   SearchScratch scratch_;
   int current_min_layer_ = 1;
   GridCoord current_root_;
   GridCoord current_target_;
+};
+
+/// Lends NetRouters (each carrying O(num_nodes) scratch) to concurrent
+/// wave tasks. Which task gets which router never affects results: the
+/// scratch is epoch-stamped, so a route is a pure function of the net and
+/// the grid snapshot. At most one router per simultaneously running task
+/// is ever allocated; the serial path reuses a single router throughout.
+class RouterLoaner {
+ public:
+  RouterLoaner(const RoutingGrid& grid, const RouterConfig& config)
+      : grid_(grid), config_(config) {}
+
+  std::unique_ptr<NetRouter> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<NetRouter> router = std::move(idle_.back());
+        idle_.pop_back();
+        return router;
+      }
+    }
+    return std::make_unique<NetRouter>(grid_, config_);
+  }
+
+  void release(std::unique_ptr<NetRouter> router) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(router));
+  }
+
+ private:
+  const RoutingGrid& grid_;
+  const RouterConfig& config_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<NetRouter>> idle_;
 };
 
 /// Unique pin grid nodes of a net, driver first.
@@ -280,33 +323,87 @@ std::vector<GridCoord> pin_nodes_of(const place::Placement& placement,
   return nodes;
 }
 
+/// Add (`delta` = 1) or remove (-1) a route's usage on the grid.
+void apply_route_usage(RoutingGrid& grid, const NetRoute& route, int delta) {
+  for (const GridEdge& e : route.grid_edges) {
+    grid.add_usage(e.from, e.dir, delta);
+  }
+}
+
+/// Route `nets` in waves of `wave`: each wave's nets run against the grid
+/// as it stands at the wave's start (nobody writes usage mid-wave), then
+/// their usage is committed in net order. Slot-addressed routes and
+/// fallback counters keep the parallel run bit-identical to the serial
+/// one.
+void route_waves(const std::vector<NetId>& nets, RoutingResult& result,
+                 RoutingGrid& grid, RouterLoaner& loaner,
+                 runtime::ThreadPool* pool, std::size_t wave,
+                 bool rip_up_first) {
+  std::vector<int> fallbacks(nets.size(), 0);
+  for (std::size_t begin = 0; begin < nets.size(); begin += wave) {
+    const std::size_t end = std::min(nets.size(), begin + wave);
+    if (rip_up_first) {
+      // Negotiation: rip up only THIS wave's routes, immediately before
+      // rerouting them. Offenders scheduled for later waves keep their
+      // usage on the grid, so the wave reroutes under realistic pressure
+      // instead of the near-empty grid a bulk rip-up would leave — the
+      // close-to-sequential visibility PathFinder's convergence needs.
+      for (std::size_t i = begin; i < end; ++i) {
+        apply_route_usage(grid, result.routes[nets[i]], -1);
+      }
+    }
+    runtime::parallel_for(pool, begin, end, /*grain=*/1, [&](std::size_t i) {
+      std::unique_ptr<NetRouter> router = loaner.acquire();
+      router->route_net(result.routes[nets[i]], fallbacks[i]);
+      loaner.release(std::move(router));
+    });
+    for (std::size_t i = begin; i < end; ++i) {
+      apply_route_usage(grid, result.routes[nets[i]], 1);
+    }
+  }
+  for (int f : fallbacks) result.fallback_routes += f;
+}
+
 }  // namespace
 
 RoutingResult route_design(const place::Placement& placement,
-                           RoutingGrid& grid, const RouterConfig& config) {
+                           RoutingGrid& grid, const RouterConfig& config,
+                           runtime::ThreadPool* pool) {
+  if (config.wave_size < 1) {
+    throw std::invalid_argument("RouterConfig::wave_size must be >= 1");
+  }
   const netlist::Netlist& nl = placement.netlist();
   RoutingResult result;
   result.routes.resize(nl.num_nets());
 
-  NetRouter router(grid, config);
+  RouterLoaner loaner(grid, config);
 
   // Route order: small-HPWL nets first; they have the least flexibility.
-  std::vector<NetId> order;
-  order.reserve(nl.num_nets());
-  for (NetId n = 0; n < nl.num_nets(); ++n) {
-    order.push_back(n);
-    result.routes[n].net = n;
-    result.routes[n].pin_nodes = pin_nodes_of(placement, grid, n);
-  }
-  std::stable_sort(order.begin(), order.end(), [&](NetId a, NetId b) {
-    return placement.net_hpwl(a) < placement.net_hpwl(b);
-  });
+  const std::size_t num_nets = static_cast<std::size_t>(nl.num_nets());
+  std::vector<NetId> order(num_nets);
+  std::vector<std::int64_t> hpwl(num_nets, 0);
+  runtime::parallel_for(pool, 0, num_nets,
+                        runtime::default_grain(num_nets, pool),
+                        [&](std::size_t i) {
+                          const NetId n = static_cast<NetId>(i);
+                          order[i] = n;
+                          result.routes[i].net = n;
+                          result.routes[i].pin_nodes =
+                              pin_nodes_of(placement, grid, n);
+                          hpwl[i] = placement.net_hpwl(n);
+                        });
+  std::stable_sort(order.begin(), order.end(),
+                   [&](NetId a, NetId b) { return hpwl[a] < hpwl[b]; });
 
-  for (NetId n : order) {
-    router.route_net(result.routes[n], result.fallback_routes);
-  }
+  route_waves(order, result, grid, loaner, pool,
+              static_cast<std::size_t>(config.wave_size),
+              /*rip_up_first=*/false);
 
-  // Negotiation rounds: reroute nets that touch overflowed edges.
+  // Negotiation rounds: reroute nets that touch overflowed edges, wave
+  // by wave with per-wave rip-up. Every schedule decision below depends
+  // only on the config and the round index — never the thread count — so
+  // determinism is preserved.
+  util::Timer negotiation_timer;
   for (int iter = 1; iter < config.max_iterations; ++iter) {
     if (grid.overflow_count() == 0) break;
     grid.bump_history_on_overflow(1.0f);
@@ -324,13 +421,23 @@ RoutingResult route_design(const place::Placement& placement,
     util::log_debug() << "route iter " << iter << ": "
                       << grid.overflow_count() << " overflowed edges, "
                       << offenders.size() << " nets to reroute";
-    for (NetId n : offenders) {
-      router.rip_up(result.routes[n]);
+    if (config.bulk_negotiation_ripup) {
+      for (NetId n : offenders) {
+        apply_route_usage(grid, result.routes[n], -1);
+      }
     }
-    for (NetId n : offenders) {
-      router.route_net(result.routes[n], result.fallback_routes);
-    }
+    // The negotiation wave width starts at half the first-pass width and
+    // halves again every round (never below 1), so late rounds approach
+    // the sequential schedule whose full usage visibility PathFinder's
+    // convergence relies on — full-width negotiation waves measurably
+    // leave residual overflow (see BENCH_flow.json).
+    const std::size_t negotiation_wave = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config.wave_size) >>
+               std::min(iter, 30));  // clamped: shifting by >= width is UB
+    route_waves(offenders, result, grid, loaner, pool, negotiation_wave,
+                /*rip_up_first=*/!config.bulk_negotiation_ripup);
   }
+  result.negotiation_seconds = negotiation_timer.seconds();
 
   result.final_overflow = grid.overflow_count();
   for (NetRoute& route : result.routes) {

@@ -25,6 +25,31 @@ RoutingGrid::RoutingGrid(const tech::LayerStack* stack, const util::Rect& die,
     : stack_(stack), die_(die), config_(config) {
   if (stack_ == nullptr) throw std::invalid_argument("null layer stack");
   if (die_.empty()) throw std::invalid_argument("empty die");
+  // Degenerate capacities used to surface only deep inside the router as
+  // NaN/inf edge costs (usage / 0) that silently corrupted the A* queue
+  // ordering; reject them at construction with a nameable error instead.
+  // wrongway_capacity == 0 stays legal (a "no wrong-way tracks" config);
+  // the router's edge cost guards that division.
+  if (config_.gcell_size <= 0) {
+    throw std::invalid_argument("RoutingGrid: gcell_size must be positive");
+  }
+  if (config_.via_capacity < 1) {
+    throw std::invalid_argument("RoutingGrid: via_capacity must be >= 1");
+  }
+  if (config_.m1_capacity < 1) {
+    throw std::invalid_argument("RoutingGrid: m1_capacity must be >= 1");
+  }
+  if (config_.m2_capacity < 1) {
+    throw std::invalid_argument("RoutingGrid: m2_capacity must be >= 1");
+  }
+  if (config_.wrongway_capacity < 0) {
+    throw std::invalid_argument(
+        "RoutingGrid: wrongway_capacity must be >= 0");
+  }
+  if (!(config_.track_utilization > 0.0)) {
+    throw std::invalid_argument(
+        "RoutingGrid: track_utilization must be positive");
+  }
   nx_ = std::max<int>(
       1, static_cast<int>((die_.width() + config_.gcell_size - 1) /
                           config_.gcell_size));

@@ -33,6 +33,10 @@ Dir reverse(Dir d);
 
 class RoutingGrid {
  public:
+  /// Validated at grid construction: gcell_size, via/m1/m2 capacities and
+  /// track_utilization must be positive; wrongway_capacity may be 0 (no
+  /// wrong-way tracks) but not negative. Violations throw
+  /// std::invalid_argument instead of surfacing later as NaN edge costs.
   struct Config {
     std::int64_t gcell_size = 700;   ///< DBU; ~5 thin-metal tracks
     int wrongway_capacity = 1;       ///< tracks available against preference

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "runtime/parallel.hpp"
+
 namespace sma::split {
 
 namespace {
@@ -67,7 +69,8 @@ int Fragment::vias_on(int cut) const {
   return count;
 }
 
-SplitDesign::SplitDesign(const layout::Design* design, int split_layer)
+SplitDesign::SplitDesign(const layout::Design* design, int split_layer,
+                         runtime::ThreadPool* pool)
     : design_(design), split_layer_(split_layer) {
   if (design_ == nullptr) throw std::invalid_argument("null design");
   if (split_layer_ < 1 || split_layer_ >= design_->stack->num_layers()) {
@@ -76,16 +79,47 @@ SplitDesign::SplitDesign(const layout::Design* design, int split_layer)
   const netlist::Netlist& nl = *design_->netlist;
   net_source_fragment_.assign(nl.num_nets(), -1);
   net_broken_.assign(nl.num_nets(), false);
+
+  // Per-net extraction is independent (slot-addressed into `extractions`);
+  // the stitch below assigns global ids in net order, so pooled and serial
+  // construction produce identical fragment/vpin numbering.
+  const std::size_t num_nets = static_cast<std::size_t>(nl.num_nets());
+  std::vector<NetExtraction> extractions = runtime::parallel_map(
+      pool, num_nets, [&](std::size_t n) {
+        return extract_net(static_cast<NetId>(n));
+      });
+
   for (NetId n = 0; n < nl.num_nets(); ++n) {
-    extract_net(n);
+    NetExtraction& e = extractions[n];
+    if (!e.broken) {
+      ++unbroken_nets_;
+      continue;
+    }
+    net_broken_[n] = true;
+    const int fragment_base = static_cast<int>(fragments_.size());
+    const int vp_base = static_cast<int>(virtual_pins_.size());
+    for (Fragment& f : e.fragments) {
+      f.id += fragment_base;
+      for (int& vp : f.virtual_pins) vp += vp_base;
+      fragments_.push_back(std::move(f));
+    }
+    for (VirtualPin& vp : e.virtual_pins) {
+      vp.id += vp_base;
+      vp.fragment += fragment_base;
+      virtual_pins_.push_back(std::move(vp));
+    }
+    if (e.source_fragment >= 0) {
+      net_source_fragment_[n] = e.source_fragment + fragment_base;
+    }
   }
+
   for (const Fragment& f : fragments_) {
     if (f.is_source()) source_fragments_.push_back(f.id);
     if (f.is_sink()) sink_fragments_.push_back(f.id);
   }
 }
 
-void SplitDesign::extract_net(NetId net_id) {
+SplitDesign::NetExtraction SplitDesign::extract_net(NetId net_id) const {
   const netlist::Netlist& nl = *design_->netlist;
   const route::RoutingGrid& grid = *design_->grid;
   const netlist::Net& net = nl.net(net_id);
@@ -113,7 +147,7 @@ void SplitDesign::extract_net(NetId net_id) {
     }
   }
 
-  const int first_new_fragment = static_cast<int>(fragments_.size());
+  NetExtraction out;
 
   // Pin contact points (router connects pins at their gcell center).
   struct PinElement {
@@ -131,9 +165,8 @@ void SplitDesign::extract_net(NetId net_id) {
 
   if (vp_vias.empty()) {
     // Net fully routed in the FEOL (or not routed at all): unbroken.
-    ++unbroken_nets_;
     (void)has_beol;
-    return;
+    return out;
   }
 
   // --- union-find over elements: [pins][segments][vias].
@@ -218,17 +251,18 @@ void SplitDesign::extract_net(NetId net_id) {
     return -1;  // floating virtual pin (degenerate route)
   };
 
-  // --- build fragments per component that has at least one VP.
+  // --- build fragments per component that has at least one VP. Ids are
+  // net-local here; the constructor's stitch pass rebases them.
   std::vector<int> component_fragment(total, -1);
   auto fragment_for = [&](int component) -> int {
     if (component_fragment[component] >= 0) {
       return component_fragment[component];
     }
     Fragment fragment;
-    fragment.id = static_cast<int>(fragments_.size());
+    fragment.id = static_cast<int>(out.fragments.size());
     fragment.net = net_id;
     component_fragment[component] = fragment.id;
-    fragments_.push_back(std::move(fragment));
+    out.fragments.push_back(std::move(fragment));
     return component_fragment[component];
   };
 
@@ -239,16 +273,15 @@ void SplitDesign::extract_net(NetId net_id) {
     vp_with_fragment.emplace_back(vp, fragment_for(component));
   }
   if (vp_with_fragment.empty()) {
-    ++unbroken_nets_;
-    return;
+    return out;
   }
-  net_broken_[net_id] = true;
+  out.broken = true;
 
   // Populate fragment contents.
   for (int i = 0; i < num_pins; ++i) {
     int fragment_id = component_fragment[uf.find(i)];
     if (fragment_id < 0) continue;
-    Fragment& fragment = fragments_[fragment_id];
+    Fragment& fragment = out.fragments[fragment_id];
     fragment.pins.push_back(pin_elements[i].pin);
     if (pin_elements[i].is_sink) {
       ++fragment.num_sink_pins;
@@ -259,23 +292,23 @@ void SplitDesign::extract_net(NetId net_id) {
   for (int s = 0; s < num_segs; ++s) {
     int fragment_id = component_fragment[uf.find(seg_index(s))];
     if (fragment_id >= 0) {
-      fragments_[fragment_id].segments.push_back(feol_segments[s]);
+      out.fragments[fragment_id].segments.push_back(feol_segments[s]);
     }
   }
   for (int v = 0; v < num_vias; ++v) {
     int fragment_id = component_fragment[uf.find(via_index(v))];
     if (fragment_id >= 0) {
-      fragments_[fragment_id].vias.push_back(feol_vias[v]);
+      out.fragments[fragment_id].vias.push_back(feol_vias[v]);
     }
   }
 
   // Virtual pins with stub directions.
   for (const auto& [vp, fragment_id] : vp_with_fragment) {
     VirtualPin pin;
-    pin.id = static_cast<int>(virtual_pins_.size());
+    pin.id = static_cast<int>(out.virtual_pins.size());
     pin.fragment = fragment_id;
     pin.location = vp.at;
-    for (const RouteSegment& s : fragments_[fragment_id].segments) {
+    for (const RouteSegment& s : out.fragments[fragment_id].segments) {
       if (s.layer != split_layer_ || !point_on_segment(vp.at, s)) continue;
       // Wire extends from the pin toward each segment end it does not sit on.
       if (vp.at != s.a) {
@@ -287,18 +320,18 @@ void SplitDesign::extract_net(NetId net_id) {
             {s.b.x > vp.at.x ? 1 : 0, s.b.y > vp.at.y ? 1 : 0});
       }
     }
-    fragments_[fragment_id].virtual_pins.push_back(pin.id);
-    virtual_pins_.push_back(std::move(pin));
+    out.fragments[fragment_id].virtual_pins.push_back(pin.id);
+    out.virtual_pins.push_back(std::move(pin));
   }
 
   // Ground truth source fragment for this net.
-  for (int f = first_new_fragment; f < static_cast<int>(fragments_.size());
-       ++f) {
-    if (fragments_[f].has_driver) {
-      net_source_fragment_[net_id] = f;
+  for (int f = 0; f < static_cast<int>(out.fragments.size()); ++f) {
+    if (out.fragments[f].has_driver) {
+      out.source_fragment = f;
       break;
     }
   }
+  return out;
 }
 
 int SplitDesign::positive_source_of(int sink_fragment) const {

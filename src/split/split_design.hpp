@@ -19,6 +19,7 @@
 
 #include "layout/design.hpp"
 #include "route/net_route.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/geometry.hpp"
 
 namespace sma::split {
@@ -70,7 +71,14 @@ struct SplitStats {
 /// ground truth (which source fragment each sink fragment belongs to).
 class SplitDesign {
  public:
-  SplitDesign(const layout::Design* design, int split_layer);
+  /// Extract the FEOL view of `design` cut at `split_layer`. Per-net
+  /// fragment extraction is a pure geometric function of one net's route,
+  /// so a non-null `pool` extracts nets concurrently; global fragment and
+  /// virtual-pin ids are then assigned in a serial net-order stitch pass,
+  /// making the result bit-identical to the serial construction at any
+  /// thread count.
+  explicit SplitDesign(const layout::Design* design, int split_layer,
+                       runtime::ThreadPool* pool = nullptr);
 
   const layout::Design& design() const { return *design_; }
   int split_layer() const { return split_layer_; }
@@ -99,7 +107,15 @@ class SplitDesign {
   SplitStats stats() const;
 
  private:
-  void extract_net(netlist::NetId net);
+  /// Pure per-net extraction result with net-local fragment/vpin ids;
+  /// the constructor's stitch pass rebases them onto the global arrays.
+  struct NetExtraction {
+    std::vector<Fragment> fragments;
+    std::vector<VirtualPin> virtual_pins;
+    bool broken = false;
+    int source_fragment = -1;  ///< net-local id, -1 if none
+  };
+  NetExtraction extract_net(netlist::NetId net) const;
 
   const layout::Design* design_;
   int split_layer_;

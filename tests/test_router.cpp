@@ -22,13 +22,15 @@ struct Routed {
   RoutingResult result;
 };
 
-Routed route_small(int gates = 80, std::uint64_t seed = 5) {
-  netlist::GeneratorConfig config;
-  config.num_inputs = 8;
-  config.num_outputs = 4;
-  config.num_gates = gates;
-  config.seed = seed;
-  Routed r{netlist::generate_netlist(config, "r", &sma::test::library()),
+Routed route_small(int gates = 80, std::uint64_t seed = 5,
+                   runtime::ThreadPool* pool = nullptr,
+                   const RouterConfig& config = {}) {
+  netlist::GeneratorConfig generator;
+  generator.num_inputs = 8;
+  generator.num_outputs = 4;
+  generator.num_gates = gates;
+  generator.seed = seed;
+  Routed r{netlist::generate_netlist(generator, "r", &sma::test::library()),
            {},
            nullptr};
   r.fp = place::make_floorplan(r.nl);
@@ -36,29 +38,53 @@ Routed route_small(int gates = 80, std::uint64_t seed = 5) {
   place::run_global_placement(*r.placement);
   place::run_legalization(*r.placement);
   r.grid = std::make_unique<RoutingGrid>(&r.stack, r.fp.die);
-  r.result = route_design(*r.placement, *r.grid);
+  r.result = route_design(*r.placement, *r.grid, config, pool);
   return r;
 }
 
-/// Every routed net must form a connected tree over its pin nodes.
-void check_connectivity(const Routed& r) {
-  for (netlist::NetId n = 0; n < r.nl.num_nets(); ++n) {
-    const NetRoute& route = r.result.routes[n];
+/// Full structural equality of two routing results (edges, geometry,
+/// aggregates) — the byte-identity the wave determinism contract promises.
+void expect_identical(const RoutingResult& a, const RoutingResult& b) {
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  EXPECT_EQ(a.total_wirelength, b.total_wirelength);
+  EXPECT_EQ(a.total_vias, b.total_vias);
+  EXPECT_EQ(a.final_overflow, b.final_overflow);
+  EXPECT_EQ(a.fallback_routes, b.fallback_routes);
+  for (std::size_t n = 0; n < a.routes.size(); ++n) {
+    const NetRoute& ra = a.routes[n];
+    const NetRoute& rb = b.routes[n];
+    ASSERT_EQ(ra.grid_edges.size(), rb.grid_edges.size()) << "net " << n;
+    for (std::size_t e = 0; e < ra.grid_edges.size(); ++e) {
+      EXPECT_EQ(ra.grid_edges[e].from, rb.grid_edges[e].from)
+          << "net " << n << " edge " << e;
+      EXPECT_EQ(ra.grid_edges[e].dir, rb.grid_edges[e].dir)
+          << "net " << n << " edge " << e;
+    }
+    EXPECT_EQ(ra.segments, rb.segments) << "net " << n;
+    EXPECT_EQ(ra.vias, rb.vias) << "net " << n;
+  }
+}
+
+/// Every routed net must form a connected tree over its pin nodes, using
+/// only edges that exist in `grid`.
+void expect_connected(const netlist::Netlist& nl, const RoutingGrid& grid,
+                      const RoutingResult& result) {
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const NetRoute& route = result.routes[n];
     if (route.pin_nodes.size() < 2) continue;
 
-    std::set<std::size_t> nodes;
     std::map<std::size_t, std::vector<std::size_t>> adj;
     for (const GridEdge& e : route.grid_edges) {
-      std::size_t a = r.grid->node_index(e.from);
-      std::size_t b = r.grid->node_index(r.grid->neighbor(e.from, e.dir));
-      nodes.insert(a);
-      nodes.insert(b);
+      ASSERT_TRUE(grid.has_neighbor(e.from, e.dir))
+          << "net " << nl.net(n).name << " uses a nonexistent edge";
+      std::size_t a = grid.node_index(e.from);
+      std::size_t b = grid.node_index(grid.neighbor(e.from, e.dir));
       adj[a].push_back(b);
       adj[b].push_back(a);
     }
     // BFS from the first pin.
     std::set<std::size_t> reached;
-    std::vector<std::size_t> stack = {r.grid->node_index(route.pin_nodes[0])};
+    std::vector<std::size_t> stack = {grid.node_index(route.pin_nodes[0])};
     reached.insert(stack[0]);
     while (!stack.empty()) {
       std::size_t v = stack.back();
@@ -68,10 +94,14 @@ void check_connectivity(const Routed& r) {
       }
     }
     for (const GridCoord& pin : route.pin_nodes) {
-      EXPECT_TRUE(reached.contains(r.grid->node_index(pin)))
-          << "net " << r.nl.net(n).name << " pin unreachable";
+      EXPECT_TRUE(reached.contains(grid.node_index(pin)))
+          << "net " << nl.net(n).name << " pin unreachable";
     }
   }
+}
+
+void check_connectivity(const Routed& r) {
+  expect_connected(r.nl, *r.grid, r.result);
 }
 
 TEST(Router, AllNetsConnected) {
@@ -157,6 +187,138 @@ TEST(Router, DeterministicAcrossRuns) {
   for (std::size_t i = 0; i < a.result.routes.size(); ++i) {
     EXPECT_EQ(a.result.routes[i].grid_edges.size(),
               b.result.routes[i].grid_edges.size());
+  }
+}
+
+// --- wave determinism contract -----------------------------------------
+
+TEST(Router, ParallelWavesBitIdenticalToSerial) {
+  // Two design profiles, threads {1, 2, 4}: the wave schedule is a
+  // property of the config, so every pool size must reproduce the serial
+  // routes edge-for-edge.
+  struct Profile {
+    int gates;
+    std::uint64_t seed;
+  };
+  for (const Profile& p : {Profile{80, 5}, Profile{150, 9}}) {
+    Routed serial = route_small(p.gates, p.seed);
+    for (int threads : {2, 4}) {
+      runtime::ThreadPool pool(threads - 1);
+      Routed parallel = route_small(p.gates, p.seed, &pool);
+      SCOPED_TRACE(testing::Message()
+                   << "gates " << p.gates << ", threads " << threads);
+      expect_identical(serial.result, parallel.result);
+    }
+  }
+}
+
+TEST(Router, WaveScheduleStableAcrossRuns) {
+  // Same binary, same config, two runs (one serial, two pooled): the
+  // schedule must not depend on any run-to-run state.
+  runtime::ThreadPool pool(3);
+  Routed first = route_small(60, 77, &pool);
+  Routed second = route_small(60, 77, &pool);
+  expect_identical(first.result, second.result);
+}
+
+TEST(Router, WaveSizeOneMatchesLegacySequentialSchedule) {
+  // wave_size = 1 is the pre-wave router: every net sees all previously
+  // committed nets. It differs from the default wave schedule in general
+  // but must itself be deterministic and parallel-invariant (each wave
+  // holds a single net, so the pool has nothing to reorder).
+  RouterConfig sequential;
+  sequential.wave_size = 1;
+  Routed serial = route_small(100, 21, nullptr, sequential);
+  runtime::ThreadPool pool(2);
+  Routed parallel = route_small(100, 21, &pool, sequential);
+  expect_identical(serial.result, parallel.result);
+}
+
+TEST(Router, RejectsNonPositiveWaveSize) {
+  netlist::GeneratorConfig generator;
+  generator.num_inputs = 4;
+  generator.num_outputs = 2;
+  generator.num_gates = 10;
+  netlist::Netlist nl =
+      netlist::generate_netlist(generator, "w", &sma::test::library());
+  place::Floorplan fp = place::make_floorplan(nl);
+  place::Placement placement(&nl, fp);
+  place::run_global_placement(placement);
+  tech::LayerStack stack = tech::LayerStack::nangate45_like();
+  RoutingGrid grid(&stack, fp.die);
+  RouterConfig config;
+  config.wave_size = 0;
+  EXPECT_THROW(route_design(placement, grid, config), std::invalid_argument);
+}
+
+// --- fallback-route termination (regression) ---------------------------
+
+TEST(Router, FallbackTerminatesOnTwoLayerGrid) {
+  // max_expansions = 0 forces every connection through the L-shape
+  // fallback. On a 2-layer stack the fallback's "climb to M3" leg can
+  // never complete; the old unconditional `while (layer < 3) step(kUp)`
+  // spun forever once the step was blocked. The legs must bail out when
+  // blocked and still deliver a connected route.
+  std::vector<tech::LayerInfo> layers = {
+      {"M1", util::Axis::kHorizontal, 140, 0.2, 3.0},
+      {"M2", util::Axis::kVertical, 140, 0.2, 3.0},
+  };
+  tech::LayerStack two_layer(layers);
+
+  netlist::GeneratorConfig generator;
+  generator.num_inputs = 6;
+  generator.num_outputs = 3;
+  generator.num_gates = 40;
+  generator.seed = 3;
+  netlist::Netlist nl =
+      netlist::generate_netlist(generator, "two", &sma::test::library());
+  place::Floorplan fp = place::make_floorplan(nl);
+  place::Placement placement(&nl, fp);
+  place::run_global_placement(placement);
+  place::run_legalization(placement);
+
+  RoutingGrid grid(&two_layer, fp.die);
+  RouterConfig config;
+  config.max_expansions = 0;  // A* always gives up -> fallback every leg
+  RoutingResult result = route_design(placement, grid, config);
+
+  EXPECT_GT(result.fallback_routes, 0);
+  // Every multi-pin net still forms a connected tree over its pins.
+  expect_connected(nl, grid, result);
+}
+
+// --- zero-capacity edge costs (regression) -----------------------------
+
+TEST(Router, ZeroWrongwayCapacityRoutesWithoutNanCosts) {
+  // wrongway_capacity = 0 is a legal "no wrong-way tracks" config. The
+  // old edge cost divided usage by the zero capacity, and the resulting
+  // NaN broke the A* ordering; now such edges carry a finite overflow
+  // surcharge and routing completes connected and deterministically.
+  netlist::GeneratorConfig generator;
+  generator.num_inputs = 8;
+  generator.num_outputs = 4;
+  generator.num_gates = 80;
+  generator.seed = 5;
+  netlist::Netlist nl =
+      netlist::generate_netlist(generator, "zw", &sma::test::library());
+  place::Floorplan fp = place::make_floorplan(nl);
+  place::Placement placement(&nl, fp);
+  place::run_global_placement(placement);
+  place::run_legalization(placement);
+
+  tech::LayerStack stack = tech::LayerStack::nangate45_like();
+  RoutingGrid::Config grid_config;
+  grid_config.wrongway_capacity = 0;
+  RoutingGrid grid_a(&stack, fp.die, grid_config);
+  RoutingResult a = route_design(placement, grid_a);
+  RoutingGrid grid_b(&stack, fp.die, grid_config);
+  RoutingResult b = route_design(placement, grid_b);
+  expect_identical(a, b);
+
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const NetRoute& route = a.routes[n];
+    if (route.pin_nodes.size() < 2) continue;
+    EXPECT_FALSE(route.grid_edges.empty()) << "net " << nl.net(n).name;
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace sma::route {
 namespace {
 
@@ -114,6 +116,42 @@ TEST_F(RoutingGridTest, ViaUsage) {
   grid_.add_usage(a, Dir::kUp, 2);
   GridCoord above = grid_.neighbor(a, Dir::kUp);
   EXPECT_EQ(grid_.usage(above, Dir::kDown), 2);
+}
+
+TEST_F(RoutingGridTest, RejectsDegenerateCapacities) {
+  // Zero/negative capacities used to reach the router as NaN/inf edge
+  // costs (usage / 0); they must fail loudly at construction instead.
+  const util::Rect die{{0, 0}, {7000, 7000}};
+  auto make = [&](const RoutingGrid::Config& config) {
+    RoutingGrid grid(&stack_, die, config);
+  };
+  RoutingGrid::Config config;
+  config.via_capacity = 0;
+  EXPECT_THROW(make(config), std::invalid_argument);
+  config = {};
+  config.m1_capacity = 0;
+  EXPECT_THROW(make(config), std::invalid_argument);
+  config = {};
+  config.m2_capacity = 0;
+  EXPECT_THROW(make(config), std::invalid_argument);
+  config = {};
+  config.wrongway_capacity = -1;
+  EXPECT_THROW(make(config), std::invalid_argument);
+  config = {};
+  config.gcell_size = 0;
+  EXPECT_THROW(make(config), std::invalid_argument);
+  config = {};
+  config.track_utilization = 0.0;
+  EXPECT_THROW(make(config), std::invalid_argument);
+  // wrongway_capacity = 0 is legal: "no wrong-way tracks".
+  config = {};
+  config.wrongway_capacity = 0;
+  EXPECT_NO_THROW(make(config));
+  RoutingGrid no_wrongway(&stack_, die, config);
+  // M1 is horizontal-preferred in this stack; its vertical edges now have
+  // zero capacity.
+  EXPECT_EQ(no_wrongway.capacity({1, 5, 5}, Dir::kNorth), 0);
+  EXPECT_GT(no_wrongway.capacity({1, 5, 5}, Dir::kEast), 0);
 }
 
 }  // namespace

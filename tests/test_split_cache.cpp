@@ -11,6 +11,8 @@
 #include "eval/experiment.hpp"
 #include "layout/def_io.hpp"
 #include "netlist/profiles.hpp"
+#include "runtime/thread_pool.hpp"
+#include "split/split_design.hpp"
 
 namespace sma::eval {
 namespace {
@@ -57,6 +59,56 @@ TEST_F(SplitCacheTest, KeySeparatesFlowInputs) {
   other = flow;
   other.grid.m2_capacity += 1;
   EXPECT_NE(base, design_cache_key(a, other, 7));
+  // The wave schedule and the relaxation lane count shape the layout, so
+  // they must separate keys...
+  other = flow;
+  other.router.wave_size = 1;
+  EXPECT_NE(base, design_cache_key(a, other, 7));
+  other = flow;
+  other.router.bulk_negotiation_ripup = true;
+  EXPECT_NE(base, design_cache_key(a, other, 7));
+  other = flow;
+  other.global_placer.relax_lanes = 1;
+  EXPECT_NE(base, design_cache_key(a, other, 7));
+}
+
+TEST_F(SplitCacheTest, PooledAndSerialFlowsShareOneDigestAndEntry) {
+  // ...while the thread count must NOT: pooled and serial flows are
+  // bit-identical, share one digest, and therefore one cache entry.
+  const netlist::DesignProfile profile = tiny_profile("tiny_a", 280);
+  layout::FlowConfig flow;
+
+  PreparedSplit serial = prepare_split(profile, 3, flow, 9);
+  const std::string serial_def = layout::to_def_string(*serial.design);
+
+  runtime::ThreadPool pool(3);
+  PreparedSplit pooled = prepare_split(profile, 3, flow, 9, &pool);
+  // Same digest -> the pooled call hit the serial call's entry.
+  EXPECT_EQ(SplitCache::global().stats().misses, 1u);
+  EXPECT_EQ(SplitCache::global().stats().hits, 1u);
+  EXPECT_EQ(serial.design.get(), pooled.design.get());
+
+  // Cache-cold pooled build: byte-identical layout, equal end-to-end.
+  SplitCache::global().clear();
+  PreparedSplit cold = prepare_split(profile, 3, flow, 9, &pool);
+  EXPECT_NE(serial.design.get(), cold.design.get());
+  EXPECT_EQ(serial_def, layout::to_def_string(*cold.design));
+  // The split itself (pooled fragment extraction) matches too.
+  EXPECT_EQ(serial.split->stats().num_fragments,
+            cold.split->stats().num_fragments);
+  EXPECT_EQ(serial.split->stats().num_virtual_pins,
+            cold.split->stats().num_virtual_pins);
+  ASSERT_EQ(serial.split->fragments().size(), cold.split->fragments().size());
+  for (std::size_t f = 0; f < serial.split->fragments().size(); ++f) {
+    const split::Fragment& a = serial.split->fragment(static_cast<int>(f));
+    const split::Fragment& b = cold.split->fragment(static_cast<int>(f));
+    ASSERT_EQ(a.net, b.net);
+    ASSERT_EQ(a.segments, b.segments);
+    ASSERT_EQ(a.vias, b.vias);
+    ASSERT_EQ(a.virtual_pins, b.virtual_pins);
+    ASSERT_EQ(a.has_driver, b.has_driver);
+    ASSERT_EQ(a.num_sink_pins, b.num_sink_pins);
+  }
 }
 
 TEST_F(SplitCacheTest, HitSharesTheDesignAndCountsStats) {
