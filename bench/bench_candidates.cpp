@@ -6,6 +6,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_util.hpp"
 #include "eval/experiment.hpp"
 #include "split/candidates.hpp"
 #include "util/logging.hpp"
@@ -13,6 +14,7 @@
 
 int main(int argc, char** argv) {
   sma::util::set_log_level(sma::util::LogLevel::kWarn);
+  sma::benchutil::init_observability();
   int max_gates = 1300;  // default: small/mid designs
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -58,5 +60,7 @@ int main(int argc, char** argv) {
   std::cout << "hit% bounds any attack's CCR; the direction criterion "
                "should cost little coverage (its column stays close to "
                "no-dir), and n=8 shows the distance criterion's pressure.\n";
+  sma::benchutil::flush_report(sma::obs::RunReport("candidates", 1));
+  sma::benchutil::flush_trace();
   return 0;
 }

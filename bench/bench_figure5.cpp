@@ -19,6 +19,7 @@
 
 int main(int argc, char** argv) {
   sma::util::set_log_level(sma::util::LogLevel::kInfo);
+  sma::benchutil::init_observability();
 
   sma::eval::ExperimentProfile profile = sma::eval::ExperimentProfile::fast();
   std::vector<std::string> design_filter;
@@ -73,5 +74,8 @@ int main(int argc, char** argv) {
   std::cout << "\npaper reference: softmax loss = 1.07x two-class baseline; "
                "adding images = 1.09x (Fig. 5a); inference times comparable "
                "(Fig. 5b)\n";
+  sma::benchutil::flush_report(
+      sma::obs::RunReport("figure5", profile.runtime.resolved()));
+  sma::benchutil::flush_trace();
   return 0;
 }

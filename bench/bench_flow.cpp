@@ -57,7 +57,8 @@ struct FlowRun {
 };
 
 FlowRun run_flow_once(const sma::netlist::DesignProfile& profile,
-                      const sma::layout::FlowConfig& flow, int threads) {
+                      const sma::layout::FlowConfig& flow, int threads,
+                      sma::obs::RunReport* report = nullptr) {
   static const sma::tech::CellLibrary kLibrary =
       sma::tech::CellLibrary::nangate45_like();
   sma::netlist::Netlist nl =
@@ -69,6 +70,7 @@ FlowRun run_flow_once(const sma::netlist::DesignProfile& profile,
   sma::util::Timer timer;
   sma::layout::Design design =
       sma::layout::run_flow(std::move(nl), flow, pool.get());
+  if (report != nullptr) report->add_flow(profile.name, design);
   FlowRun run;
   run.threads = threads;
   run.seconds = timer.seconds();
@@ -108,6 +110,7 @@ void append_quality_json(std::ostringstream& json, const FlowRun& run) {
 
 int main(int argc, char** argv) {
   sma::util::set_log_level(sma::util::LogLevel::kWarn);
+  sma::benchutil::init_observability();
 
   std::vector<int> threads = {1, 2, 4};
   std::vector<std::string> design_names = {"c432", "b13"};
@@ -186,6 +189,7 @@ int main(int argc, char** argv) {
             << host_concurrency << (smoke ? ", smoke" : "") << "\n";
 
   bool deterministic = true;
+  sma::obs::RunReport report("flow", threads.back());
   std::ostringstream body;
   double summary_baseline = 0.0;
   double best_speedup = 0.0;
@@ -202,7 +206,8 @@ int main(int argc, char** argv) {
     std::vector<FlowRun> runs;
     bool design_identical = true;
     for (int t : threads) {
-      FlowRun run = run_flow_once(profile, wave_flow, t);
+      FlowRun run = run_flow_once(profile, wave_flow, t,
+                                  runs.empty() ? &report : nullptr);
       if (!runs.empty()) {
         if (run.def != runs.front().def) {
           design_identical = false;
@@ -280,8 +285,9 @@ int main(int argc, char** argv) {
        << ", \"best_speedup_threads\": " << best_threads
        << ", \"measured_counts\": " << threads.size() << "}"
        << ", \"deterministic\": " << (deterministic ? "true" : "false")
-       << "}";
+       << sma::benchutil::report_fragment(report) << "}";
   std::cout << json.str() << "\n";
+  sma::benchutil::flush_trace();
   std::cerr << (deterministic
                     ? "determinism check: all thread counts byte-identical\n"
                     : "determinism check FAILED: layouts differ\n");

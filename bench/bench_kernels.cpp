@@ -302,6 +302,7 @@ TrainResult run_train_case(const std::string& design_name, int split_layer,
 
 int main(int argc, char** argv) {
   sma::util::set_log_level(sma::util::LogLevel::kWarn);
+  sma::benchutil::init_observability();
 
   bool smoke = false;
   bool with_train = true;
@@ -422,9 +423,11 @@ int main(int argc, char** argv) {
          << ", \"speedup\": " << train.speedup << ", \"models_identical\": "
          << (train.models_identical ? "true" : "false") << "}";
   }
+  sma::obs::RunReport report("kernels", 1);
   json << ", \"bit_identical\": " << (g_all_identical ? "true" : "false")
-       << "}";
+       << sma::benchutil::report_fragment(report) << "}";
   std::cout << json.str() << "\n";
+  sma::benchutil::flush_trace();
   std::cerr << (g_all_identical
                     ? "bit-identity check: all outputs identical\n"
                     : "bit-identity check FAILED\n");

@@ -8,6 +8,8 @@
 #include <iostream>
 #include <string>
 
+#include "bench_util.hpp"
+
 #include "attack/flow_attack.hpp"
 #include "attack/proximity_attack.hpp"
 #include "eval/experiment.hpp"
@@ -17,6 +19,7 @@
 
 int main(int argc, char** argv) {
   sma::util::set_log_level(sma::util::LogLevel::kWarn);
+  sma::benchutil::init_observability();
   std::vector<std::string> designs = {"c880", "c3540"};
   if (argc > 1) {
     designs.clear();
@@ -56,5 +59,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "Expected shape: #Sk falls as the split moves up while the "
                "baselines' CCR rises — fewer, easier connections.\n";
+  sma::benchutil::flush_report(sma::obs::RunReport("layers", 1));
+  sma::benchutil::flush_trace();
   return 0;
 }

@@ -62,6 +62,7 @@ using sma::benchutil::json_escape;
 
 int main(int argc, char** argv) {
   sma::util::set_log_level(sma::util::LogLevel::kWarn);
+  sma::benchutil::init_observability();
 
   ExperimentProfile profile = ExperimentProfile::fast();
   std::string profile_name = "fast";
@@ -218,10 +219,12 @@ int main(int argc, char** argv) {
        << (runs.empty() ? 0.0 : runs.front().train_seconds)
        << ", \"best_speedup\": " << best_speedup
        << ", \"best_speedup_threads\": " << best_threads
-       << ", \"measured_counts\": " << runs.size() << "}"
-       << ", \"deterministic\": " << (deterministic ? "true" : "false")
-       << "}";
+       << ", \"measured_counts\": " << runs.size() << "}";
+  sma::obs::RunReport report("parallel", threads.back());
+  json << ", \"deterministic\": " << (deterministic ? "true" : "false")
+       << sma::benchutil::report_fragment(report) << "}";
   std::cout << json.str() << "\n";
+  sma::benchutil::flush_trace();
   std::cerr << (deterministic
                     ? "determinism check: all thread counts identical\n"
                     : "determinism check FAILED: rows differ across runs\n");

@@ -41,6 +41,7 @@ using sma::util::format_double;
 
 int main(int argc, char** argv) {
   sma::util::set_log_level(sma::util::LogLevel::kInfo);
+  sma::benchutil::init_observability();
 
   ExperimentProfile profile = ExperimentProfile::fast();
   bool paper_mode = false;
@@ -135,5 +136,8 @@ int main(int argc, char** argv) {
     std::cout << "paper reference: CCR ratio 1.21x at M1, 1.12x at M3; "
                  "runtime ratio ~0.001-0.002\n\n";
   }
+  sma::benchutil::flush_report(
+      sma::obs::RunReport("table3", profile.runtime.resolved()));
+  sma::benchutil::flush_trace();
   return 0;
 }

@@ -49,7 +49,8 @@ struct PathResult {
 
 PathResult run_path(const sma::eval::PreparedSplit& prepared,
                     const sma::eval::ExperimentProfile& profile,
-                    bool fused, int epochs, bool use_all_queries) {
+                    bool fused, int epochs, bool use_all_queries,
+                    sma::obs::RunReport* report = nullptr) {
   sma::attack::DatasetConfig dataset_config = profile.dataset;
   dataset_config.build_images = profile.net.use_images;
 
@@ -76,6 +77,7 @@ PathResult run_path(const sma::eval::PreparedSplit& prepared,
   sma::attack::DlAttack dl(net_config);
   sma::attack::TrainStats stats =
       dl.train(training, validation, train_config, /*pool=*/nullptr);
+  if (report != nullptr) report->add_train(stats);
 
   PathResult result;
   result.s_per_epoch = stats.seconds / epochs;
@@ -95,6 +97,7 @@ PathResult run_path(const sma::eval::PreparedSplit& prepared,
 
 int main(int argc, char** argv) {
   sma::util::set_log_level(sma::util::LogLevel::kWarn);
+  sma::benchutil::init_observability();
 
   bool smoke = false;
   std::string design = "c432";
@@ -157,7 +160,9 @@ int main(int argc, char** argv) {
   std::cerr << "  three-pass (PR-2 baseline): " << unfused.s_per_epoch
             << " s/epoch (" << unfused.queries_seen << " queries, "
             << unfused.steady_allocs << " steady-state arena allocs)\n";
-  PathResult fused = run_path(prepared, profile, /*fused=*/true, epochs, smoke);
+  sma::obs::RunReport report("train", 1);
+  PathResult fused =
+      run_path(prepared, profile, /*fused=*/true, epochs, smoke, &report);
   std::cerr << "  fused engine:               " << fused.s_per_epoch
             << " s/epoch (" << fused.queries_seen << " queries, "
             << fused.steady_allocs << " steady-state arena allocs, "
@@ -203,8 +208,9 @@ int main(int argc, char** argv) {
        << ", \"fused_steady_allocs_per_query\": " << fused_allocs_per_query
        << ", \"fused_arena_bytes\": " << fused.arena_bytes
        << ", \"models_identical\": " << (identical ? "true" : "false")
-       << "}";
+       << sma::benchutil::report_fragment(report) << "}";
   std::cout << json.str() << "\n";
+  sma::benchutil::flush_trace();
   std::cerr << (identical ? "bit-identity check: trained models identical\n"
                           : "bit-identity check FAILED\n");
   if (!identical) return 1;

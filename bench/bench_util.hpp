@@ -2,12 +2,60 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
 namespace sma::benchutil {
+
+/// Standard bench bring-up: honor SMA_LOG_LEVEL, and enable tracing when
+/// SMA_TRACE is set (its value names the Chrome-trace output file, which
+/// `flush_trace` writes at exit). Call first thing in main().
+inline void init_observability() {
+  util::set_log_level_from_env();
+  const char* trace_path = std::getenv("SMA_TRACE");
+  if (trace_path != nullptr && *trace_path != '\0') {
+    obs::set_tracing_enabled(true);
+  }
+}
+
+/// Write the trace started by `init_observability`, if any. Call after
+/// all pool work has joined (end of main()).
+inline void flush_trace() {
+  const char* trace_path = std::getenv("SMA_TRACE");
+  if (trace_path == nullptr || *trace_path == '\0') return;
+  std::ofstream out(trace_path);
+  if (!out) {
+    std::cerr << "cannot write SMA_TRACE file '" << trace_path << "'\n";
+    return;
+  }
+  obs::write_chrome_trace(out);
+}
+
+/// The unified report fragment every bench embeds in its JSON object:
+/// `, "report": {...}` — appended just before the closing brace.
+inline std::string report_fragment(const obs::RunReport& report) {
+  return ", \"report\": " + report.to_json();
+}
+
+/// For benches whose stdout is a human-readable table rather than JSON:
+/// write the run report to the file named by SMA_REPORT (no-op unset).
+inline void flush_report(const obs::RunReport& report) {
+  const char* path = std::getenv("SMA_REPORT");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write SMA_REPORT file '" << path << "'\n";
+    return;
+  }
+  out << report.to_json() << "\n";
+}
 
 /// Parse an integer flag value; exits(2) with a message naming the flag
 /// on malformed input or a value below `min_value`.

@@ -16,6 +16,7 @@
 
 int main(int argc, char** argv) {
   sma::util::set_log_level(sma::util::LogLevel::kInfo);
+  sma::util::set_log_level_from_env();  // SMA_LOG_LEVEL overrides the default
   const std::string design_name = argc > 1 ? argv[1] : "c880";
   const int split_layer = argc > 2 ? std::stoi(argv[2]) : 3;
 

@@ -70,6 +70,7 @@ layout::Design defended_flow(netlist::Netlist nl, int swaps,
 
 int main() {
   util::set_log_level(util::LogLevel::kWarn);
+  util::set_log_level_from_env();  // SMA_LOG_LEVEL overrides the default
   const tech::CellLibrary library = tech::CellLibrary::nangate45_like();
   const int kSplitLayer = 3;
 

@@ -5,16 +5,44 @@
 //   3. split the layout after Metal 3,
 //   4. train the paper's DL model on another layout from the same flow,
 //   5. attack: recover the hidden BEOL connections, report CCR.
+//
+// Observability flags (both optional):
+//   --trace <file>   record a Chrome trace of the run (open the file at
+//                    chrome://tracing or https://ui.perfetto.dev)
+//   --report <file>  write the unified run report JSON (schema
+//                    sma-run-report-v1; '-' writes to stdout)
+// SMA_LOG_LEVEL=debug|info|warn|error raises/lowers log verbosity.
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "attack/dl_attack.hpp"
 #include "attack/proximity_attack.hpp"
 #include "eval/experiment.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/stats.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sma::util::set_log_level_from_env();
+  std::string trace_path;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else {
+      std::cerr << "usage: quickstart [--trace FILE] [--report FILE]\n";
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) sma::obs::set_tracing_enabled(true);
+
   const sma::tech::CellLibrary library =
       sma::tech::CellLibrary::nangate45_like();
 
@@ -86,5 +114,36 @@ int main() {
             << result.seconds << "s (candidate ceiling "
             << victim.candidate_hit_rate() * 100 << "%)\n";
   std::cout << "proximity baseline CCR: " << proximity.ccr * 100 << "%\n";
+
+  // Observability output: one report, one trace — both after the pool
+  // work above has fully joined.
+  if (!report_path.empty()) {
+    sma::obs::RunReport report("quickstart", profile.runtime.resolved());
+    report.add_flow("victim", design);
+    report.add_flow("training", training_design);
+    report.add_train(train_stats);
+    report.add_replicas(dl);
+    if (report_path == "-") {
+      std::cout << report.to_json() << "\n";
+    } else {
+      std::ofstream out(report_path);
+      if (!out) {
+        std::cerr << "cannot write report file '" << report_path << "'\n";
+        return 1;
+      }
+      out << report.to_json() << "\n";
+      std::cout << "run report written to " << report_path << "\n";
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write trace file '" << trace_path << "'\n";
+      return 1;
+    }
+    sma::obs::write_chrome_trace(out);
+    std::cout << "chrome trace written to " << trace_path
+              << " (open at https://ui.perfetto.dev)\n";
+  }
   return 0;
 }

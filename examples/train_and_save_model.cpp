@@ -12,6 +12,7 @@
 
 int main(int argc, char** argv) {
   sma::util::set_log_level(sma::util::LogLevel::kInfo);
+  sma::util::set_log_level_from_env();  // SMA_LOG_LEVEL overrides the default
   const std::string path = argc > 1 ? argv[1] : "attack_model.bin";
   const int split_layer = argc > 2 ? std::stoi(argv[2]) : 3;
 

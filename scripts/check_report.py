@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts: Chrome traces and sma run reports.
+
+Three checks, combinable in one invocation (CI runs all of them):
+
+  --trace FILE      FILE is Chrome trace-event JSON: a `traceEvents` list
+                    of complete ("X") events with the keys Perfetto /
+                    chrome://tracing need. By default the trace must be
+                    non-empty (a traced run that recorded zero spans means
+                    the instrumentation is broken); --allow-empty relaxes.
+
+  --report FILE     FILE is a unified run report of schema
+                    sma-run-report-v1 (see src/obs/report.hpp).
+
+  --bench FILE...   Each FILE is a BENCH_*.json bench artifact; when it
+                    embeds a "report" object, that object must validate as
+                    sma-run-report-v1. Guards against report-schema drift
+                    in the bench trajectory.
+
+Exits non-zero with a message naming the file and the violated rule.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "sma-run-report-v1"
+
+TRACE_EVENT_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+RUN_KEYS = ("name", "threads", "obs_compiled", "tracing")
+FLOW_ROW_KEYS = (
+    "design",
+    "global_place_seconds",
+    "legalize_seconds",
+    "detailed_place_seconds",
+    "route_seconds",
+    "negotiation_seconds",
+    "wirelength",
+    "vias",
+    "overflow",
+    "fallback_routes",
+)
+TRAIN_KEYS = (
+    "seconds",
+    "seconds_per_epoch",
+    "epochs",
+    "queries_seen",
+    "final_loss",
+    "arena_allocs_total",
+    "arena_bytes_pinned",
+)
+REPLICA_KEYS = (
+    "clones_created",
+    "leases",
+    "max_on_loan",
+    "wait_seconds",
+    "occupancy_seconds",
+    "arena_allocs",
+    "arena_bytes_pinned",
+)
+KERNEL_KEYS = ("backend", "isa", "blocked_calls", "reference_calls")
+METRICS_KEYS = ("counters", "gauges", "histograms")
+HISTOGRAM_KEYS = ("count", "sum", "buckets")
+
+
+def fail(path, message):
+    sys.exit(f"{path}: {message}")
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        fail(path, f"cannot read: {e}")
+    except json.JSONDecodeError as e:
+        fail(path, f"not valid JSON: {e}")
+
+
+def require_keys(path, obj, keys, context):
+    for key in keys:
+        if key not in obj:
+            fail(path, f"{context} is missing key {key!r}")
+
+
+def check_trace(path, allow_empty):
+    trace = load_json(path)
+    if not isinstance(trace, dict):
+        fail(path, "trace root must be a JSON object")
+    if "traceEvents" not in trace:
+        fail(path, "missing 'traceEvents'")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        fail(path, "'traceEvents' must be a list")
+    if not events and not allow_empty:
+        fail(path, "trace recorded zero events (tracing not enabled, or "
+                   "instrumentation compiled out?)")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(path, f"traceEvents[{i}] is not an object")
+        require_keys(path, event, TRACE_EVENT_KEYS, f"traceEvents[{i}]")
+        if event["ph"] != "X":
+            fail(path, f"traceEvents[{i}]: expected complete events "
+                       f"(ph='X'), got ph={event['ph']!r}")
+        for key in ("ts", "dur"):
+            if not isinstance(event[key], (int, float)):
+                fail(path, f"traceEvents[{i}].{key} is not a number")
+        if event["dur"] < 0:
+            fail(path, f"traceEvents[{i}] has negative duration")
+    print(f"{path}: ok ({len(events)} trace events)")
+
+
+def check_report_object(path, report, context="report"):
+    if not isinstance(report, dict):
+        fail(path, f"{context} must be a JSON object")
+    if report.get("schema") != SCHEMA:
+        fail(path, f"{context}: schema is {report.get('schema')!r}, "
+                   f"expected {SCHEMA!r}")
+    require_keys(path, report, ("run", "flow", "train", "replicas",
+                                "split_cache", "kernels", "metrics"), context)
+    require_keys(path, report["run"], RUN_KEYS, f"{context}.run")
+    if not isinstance(report["flow"], list):
+        fail(path, f"{context}.flow must be a list")
+    for i, row in enumerate(report["flow"]):
+        require_keys(path, row, FLOW_ROW_KEYS, f"{context}.flow[{i}]")
+    if report["train"] is not None:
+        require_keys(path, report["train"], TRAIN_KEYS, f"{context}.train")
+    if report["replicas"] is not None:
+        require_keys(path, report["replicas"], REPLICA_KEYS,
+                     f"{context}.replicas")
+    require_keys(path, report["split_cache"], ("hits", "misses"),
+                 f"{context}.split_cache")
+    require_keys(path, report["kernels"], KERNEL_KEYS, f"{context}.kernels")
+    require_keys(path, report["metrics"], METRICS_KEYS, f"{context}.metrics")
+    for name, hist in report["metrics"]["histograms"].items():
+        require_keys(path, hist, HISTOGRAM_KEYS,
+                     f"{context}.metrics.histograms[{name!r}]")
+        if not isinstance(hist["buckets"], list):
+            fail(path, f"{context}.metrics.histograms[{name!r}].buckets "
+                       "must be a list")
+
+
+def check_report(path):
+    check_report_object(path, load_json(path))
+    print(f"{path}: ok ({SCHEMA})")
+
+
+def check_bench(path):
+    bench = load_json(path)
+    if not isinstance(bench, dict):
+        fail(path, "bench artifact root must be a JSON object")
+    if "report" not in bench:
+        fail(path, "bench artifact has no embedded 'report' — report-schema "
+                   "drift (benches must attach an sma run report)")
+    check_report_object(path, bench["report"], context="report")
+    print(f"{path}: ok (embedded {SCHEMA})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    parser.add_argument("--report", help="run-report JSON to validate")
+    parser.add_argument("--bench", nargs="*", default=[],
+                        help="BENCH_*.json artifacts whose embedded report "
+                             "must validate")
+    parser.add_argument("--allow-empty", action="store_true",
+                        help="accept a trace with zero events")
+    args = parser.parse_args()
+    if not args.trace and not args.report and not args.bench:
+        parser.error("nothing to check: pass --trace, --report or --bench")
+    if args.trace:
+        check_trace(args.trace, args.allow_empty)
+    if args.report:
+        check_report(args.report)
+    for path in args.bench:
+        check_bench(path)
+
+
+if __name__ == "__main__":
+    main()

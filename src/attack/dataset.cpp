@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 
 namespace sma::attack {
@@ -10,6 +11,8 @@ namespace sma::attack {
 QueryDataset::QueryDataset(const split::SplitDesign* split,
                            const DatasetConfig& config)
     : split_(split), config_(config) {
+  SMA_TRACE_SPAN("dataset", "build");
+  SMA_COUNT("dataset.builds");
   queries_ = split::build_queries(*split_, config_.candidates);
   vector_features_.resize(queries_.size());
   runtime::parallel_for(
@@ -50,6 +53,8 @@ void QueryDataset::prebuild_images(runtime::ThreadPool* pool) {
   std::vector<int> pins = referenced_pins();
   std::erase_if(pins, [this](int pin) { return image_cache_.count(pin) > 0; });
   if (pins.empty()) return;
+  SMA_TRACE_SPAN_V("dataset", "render_images", pins.size());
+  SMA_COUNT_N("dataset.images_rendered", pins.size());
 
   // Rendering is pure per pin; the cache fill stays on this thread.
   std::vector<std::vector<float>> images = runtime::parallel_map(

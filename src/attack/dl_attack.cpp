@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "nn/train_step.hpp"
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -49,6 +50,7 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
                            std::vector<QueryDataset>& validation,
                            const TrainConfig& config,
                            runtime::ThreadPool* pool) {
+  SMA_TRACE_SPAN_V("train", "train", config.epochs);
   util::Timer timer;
   TrainStats stats;
   util::Pcg32 rng(config.seed, 0x7a13);
@@ -180,6 +182,8 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
   }
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    SMA_TRACE_SPAN_V("train", "epoch", epoch);
+    SMA_COUNT("train.epochs");
     if (epoch > 0 && config.decay_every > 0 &&
         epoch % config.decay_every == 0) {
       engine.decay_lr();
@@ -350,6 +354,8 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
 
 AttackResult DlAttack::attack(QueryDataset& dataset,
                               runtime::ThreadPool* pool) {
+  SMA_TRACE_SPAN_V("attack", "attack", dataset.num_queries());
+  SMA_COUNT("attack.calls");
   util::Timer timer;
   AttackResult result;
   result.attack_name = net_.config().use_images ? "dl(vec+img)" : "dl(vec)";
@@ -376,6 +382,7 @@ AttackResult DlAttack::attack(QueryDataset& dataset,
       group.run([c, chunk, n, &lease, &dataset, &result] {
         const std::size_t lo = c * chunk;
         const std::size_t hi = std::min(n, lo + chunk);
+        SMA_TRACE_SPAN_V("attack", "chunk", hi - lo);
         nn::QueryInput input;  // reused across this worker's chunk
         for (std::size_t i = lo; i < hi; ++i) {
           select_one(*lease.nets()[c], dataset, i, input,

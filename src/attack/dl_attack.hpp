@@ -113,6 +113,12 @@ class DlAttack {
     return replicas_->arena_stats();
   }
 
+  /// Lease-lifecycle stats of the pinned replica set (leases, acquisition
+  /// wait, occupancy) — the serving section of obs::RunReport.
+  ReplicaSet::LeaseStats replica_lease_stats() const {
+    return replicas_->lease_stats();
+  }
+
  private:
   nn::AttackNet net_;
   /// Pinned inference replicas (heap-allocated so DlAttack stays movable;

@@ -1,15 +1,26 @@
 #include "attack/replica_set.hpp"
 
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
 namespace sma::attack {
 
 ReplicaLease::ReplicaLease(ReplicaSet* set, std::vector<nn::AttackNet*> nets,
                            std::vector<std::size_t> indices)
-    : set_(set), nets_(std::move(nets)), indices_(std::move(indices)) {}
+    : set_(set),
+      nets_(std::move(nets)),
+      indices_(std::move(indices)),
+      start_us_(obs::now_us()) {}
 
-ReplicaLease::~ReplicaLease() { set_->release(indices_); }
+ReplicaLease::~ReplicaLease() {
+  set_->release(indices_, (obs::now_us() - start_us_) * 1e-6);
+}
 
 ReplicaLease ReplicaSet::lease(std::size_t n, nn::AttackNet& master) {
+  const double wait_start_us = obs::now_us();
   std::lock_guard<std::mutex> lock(mutex_);
+  stats_.wait_seconds += (obs::now_us() - wait_start_us) * 1e-6;
   std::vector<nn::AttackNet*> nets;
   std::vector<std::size_t> indices;
   nets.reserve(n);
@@ -25,20 +36,39 @@ ReplicaLease ReplicaSet::lease(std::size_t n, nn::AttackNet& master) {
     replicas_.push_back(master.clone_shared());
     on_loan_.push_back(true);
     ++clones_created_;
+    SMA_COUNT("replica.clones_created");
     nets.push_back(&replicas_.back());
     indices.push_back(replicas_.size() - 1);
   }
+  ++stats_.leases;
+  stats_.replicas_leased += static_cast<long>(n);
+  stats_.clones_created = clones_created_;
+  on_loan_now_ += indices.size();
+  stats_.max_on_loan = std::max(stats_.max_on_loan, on_loan_now_);
+  SMA_COUNT("replica.leases");
+  SMA_COUNT_N("replica.replicas_leased", n);
   return ReplicaLease(this, std::move(nets), std::move(indices));
 }
 
-void ReplicaSet::release(const std::vector<std::size_t>& indices) {
+void ReplicaSet::release(const std::vector<std::size_t>& indices,
+                         double held_seconds) {
+  SMA_HISTOGRAM_US("replica.lease_held_us",
+                   static_cast<std::uint64_t>(held_seconds * 1e6));
   std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i : indices) on_loan_[i] = false;
+  on_loan_now_ -= indices.size();
+  stats_.occupancy_seconds +=
+      held_seconds * static_cast<double>(indices.size());
 }
 
 long ReplicaSet::clones_created() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return clones_created_;
+}
+
+ReplicaSet::LeaseStats ReplicaSet::lease_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 nn::ArenaStats ReplicaSet::arena_stats() const {

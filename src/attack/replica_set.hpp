@@ -46,10 +46,24 @@ class ReplicaLease {
   ReplicaSet* set_;
   std::vector<nn::AttackNet*> nets_;
   std::vector<std::size_t> indices_;
+  double start_us_ = 0.0;  ///< lease birth, for occupancy accounting
 };
 
 class ReplicaSet {
  public:
+  /// Lease-lifecycle accounting for the run report: how often replicas
+  /// were leased, how long callers waited to acquire the set (mutex
+  /// contention between concurrent attack() calls), and the summed
+  /// lease lifetimes (occupancy — replica-seconds on loan).
+  struct LeaseStats {
+    long leases = 0;            ///< lease() calls completed
+    long replicas_leased = 0;   ///< replicas handed out, summed over leases
+    long clones_created = 0;    ///< replicas ever constructed
+    std::size_t max_on_loan = 0;  ///< peak concurrently leased replicas
+    double wait_seconds = 0.0;    ///< summed time to acquire the set
+    double occupancy_seconds = 0.0;  ///< summed lease lifetimes
+  };
+
   /// Lease `n` replicas of `master` for exclusive use. Grows the set (via
   /// `master.clone_shared()`) only when fewer than `n` replicas are free;
   /// the master is passed per call rather than stored so the owning
@@ -61,6 +75,11 @@ class ReplicaSet {
   /// repeated attack() calls reuse pinned replicas instead of cloning.
   long clones_created() const;
 
+  /// Lease-lifecycle stats since construction (see LeaseStats). Occupancy
+  /// of still-live leases is not yet included — read between attack()
+  /// calls, like arena_stats().
+  LeaseStats lease_stats() const;
+
   /// Aggregate activation-arena stats over every pinned replica. Each
   /// replica owns one arena for its lifetime, so repeated attack() calls
   /// over already-seen query shapes leave `allocs` unchanged — the
@@ -71,12 +90,14 @@ class ReplicaSet {
 
  private:
   friend class ReplicaLease;
-  void release(const std::vector<std::size_t>& indices);
+  void release(const std::vector<std::size_t>& indices, double held_seconds);
 
   mutable std::mutex mutex_;
   std::deque<nn::AttackNet> replicas_;  ///< deque: growth keeps addresses
   std::vector<bool> on_loan_;
   long clones_created_ = 0;
+  LeaseStats stats_;
+  std::size_t on_loan_now_ = 0;
 };
 
 }  // namespace sma::attack

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "eval/split_cache.hpp"
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -15,6 +16,7 @@ PreparedSplit prepare_split(const netlist::DesignProfile& profile,
                             std::uint64_t seed, runtime::ThreadPool* pool) {
   static const tech::CellLibrary kLibrary = tech::CellLibrary::nangate45_like();
 
+  SMA_TRACE_SPAN("eval", "prepare_split");
   PreparedSplit prepared;
   prepared.name = profile.name;
   // Key on the *effective* flow config (seed overrides FlowConfig::seed),

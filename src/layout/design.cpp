@@ -1,10 +1,16 @@
 #include "layout/design.hpp"
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace sma::layout {
 
+// Phase timing rides on obs::TimedSpan: each phase still lands its
+// wall-clock seconds in Design::timings (the public accessor benches
+// consume, available even under SMA_OBS=OFF), and when tracing is on the
+// same interval shows up as a "flow" span in the Chrome trace.
 Design run_flow(netlist::Netlist netlist, const FlowConfig& config,
                 runtime::ThreadPool* pool) {
   util::Timer timer;
@@ -18,28 +24,36 @@ Design run_flow(netlist::Netlist netlist, const FlowConfig& config,
   design.placement =
       std::make_unique<place::Placement>(design.netlist.get(), floorplan);
 
-  util::Timer phase_timer;
-  place::GlobalPlacerConfig global = config.global_placer;
-  global.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
-  run_global_placement(*design.placement, global, pool);
-  design.timings.global_place_seconds = phase_timer.seconds();
+  {
+    obs::TimedSpan span("flow", "global_place");
+    place::GlobalPlacerConfig global = config.global_placer;
+    global.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
+    run_global_placement(*design.placement, global, pool);
+    design.timings.global_place_seconds = span.stop();
+  }
 
-  phase_timer.reset();
-  run_legalization(*design.placement);
-  design.timings.legalize_seconds = phase_timer.seconds();
+  {
+    obs::TimedSpan span("flow", "legalize");
+    run_legalization(*design.placement);
+    design.timings.legalize_seconds = span.stop();
+  }
 
-  phase_timer.reset();
-  place::DetailedPlacerConfig detailed = config.detailed_placer;
-  detailed.seed ^= config.seed * 0xbf58476d1ce4e5b9ULL;
-  run_detailed_placement(*design.placement, detailed);
-  design.timings.detailed_place_seconds = phase_timer.seconds();
+  {
+    obs::TimedSpan span("flow", "detailed_place");
+    place::DetailedPlacerConfig detailed = config.detailed_placer;
+    detailed.seed ^= config.seed * 0xbf58476d1ce4e5b9ULL;
+    run_detailed_placement(*design.placement, detailed);
+    design.timings.detailed_place_seconds = span.stop();
+  }
 
   design.grid = std::make_unique<route::RoutingGrid>(
       design.stack.get(), floorplan.die, config.grid);
-  phase_timer.reset();
-  design.routing = route::route_design(*design.placement, *design.grid,
-                                       config.router, pool);
-  design.timings.route_seconds = phase_timer.seconds();
+  {
+    obs::TimedSpan span("flow", "route");
+    design.routing = route::route_design(*design.placement, *design.grid,
+                                         config.router, pool);
+    design.timings.route_seconds = span.stop();
+  }
 
   util::log_info() << design.netlist->name() << ": flow done in "
                    << timer.seconds() << "s, HPWL "

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstddef>
 
+#include "obs/obs.hpp"
+
 #if defined(__x86_64__) && defined(__GNUC__)
 #define SMA_GEMM_X86_DISPATCH 1
 #include <immintrin.h>
@@ -557,6 +559,10 @@ void blocked_gemm(int m, int n, int k, const float* a, int lda, bool a_trans,
                   BiasKind bias_kind, const float* bias, bool lrelu,
                   float slope, std::uint8_t* mask, GemmScratch& scratch) {
   if (m <= 0 || n <= 0) return;
+  // Dispatch count only — never a clock read: this is the hottest entry
+  // point in the repo, and one relaxed add per *call* (not per tile) is
+  // noise next to the GEMM itself.
+  SMA_COUNT("gemm.blocked_calls");
   const bool use_z = have_avx512() && n >= kNrWide;
   const int nr = use_z ? kNrZ : (have_avx2() ? kNrWide : kNr);
   const int mr_tile = use_z ? kMrZ : kMr;
@@ -663,6 +669,12 @@ KernelBackend kernel_backend() {
   return g_backend.load(std::memory_order_relaxed);
 }
 
+const char* active_isa() {
+  if (have_avx512()) return "avx512";
+  if (have_avx2()) return "avx2";
+  return "portable";
+}
+
 // --------------------------------------------------------------------
 // Reference kernels: the seed implementations, retained verbatim as the
 // ground truth for bit-identity tests and the bench baseline.
@@ -670,6 +682,7 @@ KernelBackend kernel_backend() {
 namespace reference {
 
 void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c) {
+  SMA_COUNT("gemm.reference_calls");
   for (int i = 0; i < m; ++i) {
     float* ci = c + static_cast<std::size_t>(i) * n;
     const float* ai = a + static_cast<std::size_t>(i) * k;
@@ -685,6 +698,7 @@ void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c) {
 }
 
 void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c) {
+  SMA_COUNT("gemm.reference_calls");
   // a stored [K, M]; effective A[i, p] = a[p, i].
   for (int p = 0; p < k; ++p) {
     const float* ap = a + static_cast<std::size_t>(p) * m;
@@ -701,6 +715,7 @@ void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c) {
 }
 
 void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c) {
+  SMA_COUNT("gemm.reference_calls");
   // b stored [N, K]; effective B[p, j] = b[j, p].
   for (int i = 0; i < m; ++i) {
     const float* ai = a + static_cast<std::size_t>(i) * k;

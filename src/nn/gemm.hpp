@@ -43,6 +43,11 @@ enum class KernelBackend { kBlocked, kReference };
 void set_kernel_backend(KernelBackend backend);
 KernelBackend kernel_backend();
 
+/// Widest SIMD path the blocked kernels can dispatch to on this host:
+/// "avx512", "avx2" or "portable". Reported by RunReport so a bench JSON
+/// records what the numbers were measured on.
+const char* active_isa();
+
 /// Optional epilogue of the fused forward form.
 enum class Epilogue { kBias, kBiasLeakyReLU };
 

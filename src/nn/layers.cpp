@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace sma::nn {
 
 namespace {
@@ -86,6 +88,7 @@ Tensor& Linear::forward(const Tensor& x) {
   // backward unmodified.
   x_ = &x;
 
+  SMA_TRACE_SPAN("nn", "linear_fwd");
   const int rows = static_cast<int>(x.size()) / in_;
   // y: full overwrite — every GEMM form below writes the whole [rows, out]
   // extent (CMode::kOverwrite, or the reference path's explicit zeroing).
@@ -122,6 +125,7 @@ Tensor& Linear::forward(const Tensor& x) {
 
 Tensor& Linear::backward(const Tensor& dy) {
   ensure_arena();
+  SMA_TRACE_SPAN("nn", "linear_bwd");
   const int rows = static_cast<int>(dy.size()) / out_;
   const Tensor* dsrc = &dy;
   if (act_ == Act::kLeakyReLU) {
@@ -235,6 +239,7 @@ Tensor& Conv2d::backward(const Tensor& dy) {
 // ---- blocked pipeline (transposed layouts) --------------------------
 
 Tensor& Conv2d::forward_blocked(const Tensor& x) {
+  SMA_TRACE_SPAN("nn", "conv_fwd");
   const int n = x_shape_[0];
   const int h = x_shape_[2];
   const int w = x_shape_[3];
@@ -251,42 +256,46 @@ Tensor& Conv2d::forward_blocked(const Tensor& x) {
   float* cols = arena_->floats(
       cols_slot_, static_cast<std::size_t>(patch) * rows, Arena::Fill::kNone);
   cols_ = cols;
-  for (int c = 0; c < in_channels_; ++c) {
-    for (int ky = 0; ky < 3; ++ky) {
-      for (int kx = 0; kx < 3; ++kx) {
-        float* dst = cols +
-                     static_cast<std::size_t>((c * 3 + ky) * 3 + kx) * rows;
-        for (int img = 0; img < n; ++img) {
-          const float* plane =
-              x.data() +
-              (static_cast<std::size_t>(img) * in_channels_ + c) * h * w;
-          for (int oy = 0; oy < ho; ++oy) {
-            float* out_row = dst + (static_cast<std::size_t>(img) * ho + oy) * wo;
-            const int iy = oy * stride_ - 1 + ky;
-            if (iy < 0 || iy >= h) {
-              for (int ox = 0; ox < wo; ++ox) out_row[ox] = 0.0f;
-              continue;
-            }
-            const float* src_row = plane + static_cast<std::size_t>(iy) * w;
-            // ix = ox * stride - 1 + kx is in [0, w) exactly for ox in
-            // [ox_lo, ox_hi); edges are padding zeros. The w < kx guard
-            // matters: for a 1-wide row and kx = 2 the naive formula
-            // (w - kx) / stride + 1 truncates -1/stride toward zero and
-            // admitted ox = 0, reading one float past the row (heap
-            // garbage on the last plane — nondeterministic models).
-            const int ox_lo = kx == 0 ? 1 : 0;
-            const int ox_hi_raw = w < kx ? 0 : (w - kx) / stride_ + 1;
-            const int ox_hi = wo < ox_hi_raw ? wo : ox_hi_raw;
-            for (int ox = 0; ox < ox_lo; ++ox) out_row[ox] = 0.0f;
-            if (stride_ == 1) {
-              std::memcpy(out_row + ox_lo, src_row + ox_lo - 1 + kx,
-                          sizeof(float) * (ox_hi - ox_lo));
-            } else {
-              for (int ox = ox_lo; ox < ox_hi; ++ox) {
-                out_row[ox] = src_row[ox * stride_ - 1 + kx];
+  {
+    SMA_TRACE_SPAN_V("nn", "im2col", rows);
+    for (int c = 0; c < in_channels_; ++c) {
+      for (int ky = 0; ky < 3; ++ky) {
+        for (int kx = 0; kx < 3; ++kx) {
+          float* dst =
+              cols + static_cast<std::size_t>((c * 3 + ky) * 3 + kx) * rows;
+          for (int img = 0; img < n; ++img) {
+            const float* plane =
+                x.data() +
+                (static_cast<std::size_t>(img) * in_channels_ + c) * h * w;
+            for (int oy = 0; oy < ho; ++oy) {
+              float* out_row =
+                  dst + (static_cast<std::size_t>(img) * ho + oy) * wo;
+              const int iy = oy * stride_ - 1 + ky;
+              if (iy < 0 || iy >= h) {
+                for (int ox = 0; ox < wo; ++ox) out_row[ox] = 0.0f;
+                continue;
               }
+              const float* src_row = plane + static_cast<std::size_t>(iy) * w;
+              // ix = ox * stride - 1 + kx is in [0, w) exactly for ox in
+              // [ox_lo, ox_hi); edges are padding zeros. The w < kx guard
+              // matters: for a 1-wide row and kx = 2 the naive formula
+              // (w - kx) / stride + 1 truncates -1/stride toward zero and
+              // admitted ox = 0, reading one float past the row (heap
+              // garbage on the last plane — nondeterministic models).
+              const int ox_lo = kx == 0 ? 1 : 0;
+              const int ox_hi_raw = w < kx ? 0 : (w - kx) / stride_ + 1;
+              const int ox_hi = wo < ox_hi_raw ? wo : ox_hi_raw;
+              for (int ox = 0; ox < ox_lo; ++ox) out_row[ox] = 0.0f;
+              if (stride_ == 1) {
+                std::memcpy(out_row + ox_lo, src_row + ox_lo - 1 + kx,
+                            sizeof(float) * (ox_hi - ox_lo));
+              } else {
+                for (int ox = ox_lo; ox < ox_hi; ++ox) {
+                  out_row[ox] = src_row[ox * stride_ - 1 + kx];
+                }
+              }
+              for (int ox = ox_hi; ox < wo; ++ox) out_row[ox] = 0.0f;
             }
-            for (int ox = ox_hi; ox < wo; ++ox) out_row[ox] = 0.0f;
           }
         }
       }
@@ -330,6 +339,7 @@ Tensor& Conv2d::forward_blocked(const Tensor& x) {
 }
 
 Tensor& Conv2d::backward_blocked(const Tensor& dy) {
+  SMA_TRACE_SPAN("nn", "conv_bwd");
   const int n = x_shape_[0];
   const int h = x_shape_[2];
   const int w = x_shape_[3];

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 
 namespace sma::nn {
@@ -47,6 +48,8 @@ void TrainStep::step(int active_lanes, runtime::ThreadPool* pool) {
     throw std::invalid_argument("TrainStep::step: negative active_lanes " +
                                 std::to_string(active_lanes));
   }
+  SMA_TRACE_SPAN_V("nn", "train_step", active_lanes);
+  SMA_COUNT("nn.train_steps");
   if (lanes_.empty()) {
     adam_.step(pool);
     return;

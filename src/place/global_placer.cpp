@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 
 namespace sma::place {
@@ -59,7 +60,9 @@ void relax(const netlist::Netlist& nl, const Placement& placement,
   const std::size_t num_nets = static_cast<std::size_t>(nl.num_nets());
   const std::size_t num_cells = static_cast<std::size_t>(nl.num_cells());
 
+  SMA_COUNT("place.relax_passes");
   runtime::parallel_for(pool, 0, num_lanes, /*grain=*/1, [&](std::size_t l) {
+    SMA_TRACE_SPAN_V("place", "relax_lane", l);
     RelaxScratch::Lane& lane = scratch.lanes[l];
     std::fill(lane.target.begin(), lane.target.end(), Vec2{});
     std::fill(lane.weight.begin(), lane.weight.end(), 0.0);
@@ -209,6 +212,7 @@ void run_global_placement(Placement& placement,
   // relax aggressively to discover global structure; later rounds make
   // smaller moves to refine it — a Kraftwerk-like schedule.
   for (int round = 0; round < config.rounds; ++round) {
+    SMA_TRACE_SPAN_V("place", "round", round);
     const double t = config.rounds <= 1
                          ? 0.0
                          : static_cast<double>(round) / (config.rounds - 1);

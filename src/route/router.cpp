@@ -8,6 +8,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -342,6 +343,9 @@ void route_waves(const std::vector<NetId>& nets, RoutingResult& result,
   std::vector<int> fallbacks(nets.size(), 0);
   for (std::size_t begin = 0; begin < nets.size(); begin += wave) {
     const std::size_t end = std::min(nets.size(), begin + wave);
+    SMA_TRACE_SPAN_V("route", "wave", end - begin);
+    SMA_COUNT("route.waves");
+    SMA_HISTOGRAM("route.wave_nets", end - begin);
     if (rip_up_first) {
       // Negotiation: rip up only THIS wave's routes, immediately before
       // rerouting them. Offenders scheduled for later waves keep their
@@ -351,6 +355,7 @@ void route_waves(const std::vector<NetId>& nets, RoutingResult& result,
       for (std::size_t i = begin; i < end; ++i) {
         apply_route_usage(grid, result.routes[nets[i]], -1);
       }
+      SMA_COUNT_N("route.ripped_up", end - begin);
     }
     runtime::parallel_for(pool, begin, end, /*grain=*/1, [&](std::size_t i) {
       std::unique_ptr<NetRouter> router = loaner.acquire();
@@ -395,9 +400,12 @@ RoutingResult route_design(const place::Placement& placement,
   std::stable_sort(order.begin(), order.end(),
                    [&](NetId a, NetId b) { return hpwl[a] < hpwl[b]; });
 
-  route_waves(order, result, grid, loaner, pool,
-              static_cast<std::size_t>(config.wave_size),
-              /*rip_up_first=*/false);
+  {
+    SMA_TRACE_SPAN_V("route", "first_pass", num_nets);
+    route_waves(order, result, grid, loaner, pool,
+                static_cast<std::size_t>(config.wave_size),
+                /*rip_up_first=*/false);
+  }
 
   // Negotiation rounds: reroute nets that touch overflowed edges, wave
   // by wave with per-wave rip-up. Every schedule decision below depends
@@ -406,6 +414,8 @@ RoutingResult route_design(const place::Placement& placement,
   util::Timer negotiation_timer;
   for (int iter = 1; iter < config.max_iterations; ++iter) {
     if (grid.overflow_count() == 0) break;
+    SMA_TRACE_SPAN_V("route", "negotiation_round", iter);
+    SMA_COUNT("route.negotiation_rounds");
     grid.bump_history_on_overflow(1.0f);
 
     std::vector<NetId> offenders;
@@ -421,6 +431,7 @@ RoutingResult route_design(const place::Placement& placement,
     util::log_debug() << "route iter " << iter << ": "
                       << grid.overflow_count() << " overflowed edges, "
                       << offenders.size() << " nets to reroute";
+    SMA_COUNT_N("route.offender_nets", offenders.size());
     if (config.bulk_negotiation_ripup) {
       for (NetId n : offenders) {
         apply_route_usage(grid, result.routes[n], -1);
@@ -440,6 +451,8 @@ RoutingResult route_design(const place::Placement& placement,
   result.negotiation_seconds = negotiation_timer.seconds();
 
   result.final_overflow = grid.overflow_count();
+  SMA_COUNT_N("route.fallback_routes", result.fallback_routes);
+  SMA_COUNT_N("route.final_overflow", result.final_overflow);
   for (NetRoute& route : result.routes) {
     build_geometry(grid, route);
     result.total_wirelength += route.total_wirelength();

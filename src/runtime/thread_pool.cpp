@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace sma::runtime {
 
 int Config::resolved() const {
@@ -56,6 +58,8 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    SMA_TRACE_SPAN("pool", "task");
+    SMA_COUNT("pool.tasks");
     job();
   }
 }
@@ -101,6 +105,8 @@ bool TaskGroup::State::execute_one() {
     fn = std::move(jobs.front());
     jobs.pop_front();
   }
+  SMA_TRACE_SPAN("pool", "group_job");
+  SMA_COUNT("pool.group_jobs");
   try {
     fn();
   } catch (...) {

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 
 namespace sma::split {
@@ -76,6 +77,8 @@ SplitDesign::SplitDesign(const layout::Design* design, int split_layer,
   if (split_layer_ < 1 || split_layer_ >= design_->stack->num_layers()) {
     throw std::invalid_argument("split layer out of range");
   }
+  SMA_TRACE_SPAN_V("split", "extract", split_layer_);
+  SMA_COUNT("split.extractions");
   const netlist::Netlist& nl = *design_->netlist;
   net_source_fragment_.assign(nl.num_nets(), -1);
   net_broken_.assign(nl.num_nets(), false);

@@ -3,16 +3,19 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace sma::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
-double elapsed_seconds() {
+double elapsed_ms() {
   using clock = std::chrono::steady_clock;
   static const clock::time_point start = clock::now();
-  return std::chrono::duration<double>(clock::now() - start).count();
+  return std::chrono::duration<double, std::milli>(clock::now() - start)
+      .count();
 }
 
 const char* tag(LogLevel level) {
@@ -34,12 +37,35 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_level_from_env() {
+  const char* value = std::getenv("SMA_LOG_LEVEL");
+  if (value == nullptr || *value == '\0') return;
+  if (std::strcmp(value, "error") == 0 || std::strcmp(value, "0") == 0) {
+    set_log_level(LogLevel::kError);
+  } else if (std::strcmp(value, "warn") == 0 || std::strcmp(value, "1") == 0) {
+    set_log_level(LogLevel::kWarn);
+  } else if (std::strcmp(value, "info") == 0 || std::strcmp(value, "2") == 0) {
+    set_log_level(LogLevel::kInfo);
+  } else if (std::strcmp(value, "debug") == 0 || std::strcmp(value, "3") == 0) {
+    set_log_level(LogLevel::kDebug);
+  } else {
+    log_line(LogLevel::kWarn, std::string("unrecognized SMA_LOG_LEVEL '") +
+                                  value + "' (want error|warn|info|debug)");
+  }
+}
+
+int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%8.3f] %s %s\n", elapsed_seconds(), tag(level),
-               message.c_str());
+  std::fprintf(stderr, "[%11.3fms t%02d] %s %s\n", elapsed_ms(),
+               thread_ordinal(), tag(level), message.c_str());
 }
 
 }  // namespace sma::util

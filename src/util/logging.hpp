@@ -16,26 +16,45 @@ enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line at `level` with a level tag and elapsed wall time.
+/// Read SMA_LOG_LEVEL from the environment ("error", "warn", "info",
+/// "debug", or the numeric 0-3) and apply it; unset or unrecognized
+/// values leave the level unchanged. Called by the examples and benches
+/// so CI can raise verbosity without code edits.
+void set_log_level_from_env();
+
+/// Small sequential id of the calling thread (0 = first thread to ask).
+/// Shared by log lines and the tracer's Chrome-trace tids, so a log line
+/// and a trace span from the same thread correlate.
+int thread_ordinal();
+
+/// Emit one line at `level` with a level tag, monotonic millisecond
+/// timestamp, and the calling thread's ordinal.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {
 /// Builds a message with stream syntax and emits it on destruction.
+/// Formatting is gated on the level check up front: a filtered-out
+/// message never streams its operands (debug logging in hot loops is
+/// free apart from one atomic level load).
 class LogMessage {
  public:
-  explicit LogMessage(LogLevel level) : level_(level) {}
-  ~LogMessage() { log_line(level_, stream_.str()); }
+  explicit LogMessage(LogLevel level)
+      : level_(level), enabled_(level <= log_level()) {}
+  ~LogMessage() {
+    if (enabled_) log_line(level_, stream_.str());
+  }
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
   template <typename T>
   LogMessage& operator<<(const T& value) {
-    stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 }  // namespace detail
