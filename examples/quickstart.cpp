@@ -6,11 +6,20 @@
 //   4. train the paper's DL model on another layout from the same flow,
 //   5. attack: recover the hidden BEOL connections, report CCR.
 //
-// Observability flags (both optional):
-//   --trace <file>   record a Chrome trace of the run (open the file at
-//                    chrome://tracing or https://ui.perfetto.dev)
-//   --report <file>  write the unified run report JSON (schema
-//                    sma-run-report-v1; '-' writes to stdout)
+// Observability flags (all optional):
+//   --trace <file>      record a Chrome trace of the run (open the file
+//                       at chrome://tracing or https://ui.perfetto.dev)
+//   --report <file>     write the unified run report JSON (schema
+//                       sma-run-report-v1; '-' writes to stdout)
+// Durability flags (all optional):
+//   --checkpoint <file> checkpoint training every 2 epochs; an existing
+//                       matching checkpoint resumes the run. With
+//                       SMA_FAULT=checkpoint.save:fail:2 (etc.) an
+//                       injected crash exits with status 42 — CI kills a
+//                       run this way, reruns it, and asserts the resumed
+//                       model is byte-identical to an uninterrupted one.
+//   --save-model <file> write the trained model (AttackNet::save) for
+//                       byte-comparison across runs.
 // SMA_LOG_LEVEL=debug|info|warn|error raises/lowers log verbosity.
 #include <fstream>
 #include <iostream>
@@ -24,23 +33,53 @@
 #include "netlist/stats.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
+
+namespace {
+
+int run(const std::string& trace_path, const std::string& report_path,
+        const std::string& checkpoint_path, const std::string& model_path);
+
+}  // namespace
 
 int main(int argc, char** argv) {
   sma::util::set_log_level_from_env();
   std::string trace_path;
   std::string report_path;
+  std::string checkpoint_path;
+  std::string model_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--report" && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (arg == "--save-model" && i + 1 < argc) {
+      model_path = argv[++i];
     } else {
-      std::cerr << "usage: quickstart [--trace FILE] [--report FILE]\n";
+      std::cerr << "usage: quickstart [--trace FILE] [--report FILE] "
+                   "[--checkpoint FILE] [--save-model FILE]\n";
       return 2;
     }
   }
+  try {
+    return run(trace_path, report_path, checkpoint_path, model_path);
+  } catch (const sma::util::fault::FaultInjected& e) {
+    // A simulated crash (SMA_FAULT=...). Distinct exit status so scripts
+    // can tell "killed at the injection point, as requested" from real
+    // failures.
+    std::cerr << "simulated crash: " << e.what() << "\n";
+    return 42;
+  }
+}
+
+namespace {
+
+int run(const std::string& trace_path, const std::string& report_path,
+        const std::string& checkpoint_path, const std::string& model_path) {
   if (!trace_path.empty()) sma::obs::set_tracing_enabled(true);
 
   const sma::tech::CellLibrary library =
@@ -82,6 +121,10 @@ int main(int argc, char** argv) {
   sma::eval::ExperimentProfile profile =
       sma::eval::ExperimentProfile::fast();
   profile.train.epochs = 8;
+  if (!checkpoint_path.empty()) {
+    profile.train.checkpoint_path = checkpoint_path;
+    profile.train.checkpoint_every = 2;
+  }
 
   // Parallel runtime: one pool for feature extraction, training lanes and
   // inference. Thread count never changes the numbers below.
@@ -103,7 +146,22 @@ int main(int argc, char** argv) {
       dl.train(training, validation, profile.train, pool);
   std::cout << "trained " << dl.net().num_parameters() << " parameters in "
             << train_stats.seconds << "s (final loss "
-            << train_stats.epoch_loss.back() << ")\n";
+            << train_stats.epoch_loss.back() << ")";
+  if (train_stats.resumed_from_epoch > 0) {
+    std::cout << " [resumed from epoch " << train_stats.resumed_from_epoch
+              << "]";
+  }
+  std::cout << "\n";
+
+  if (!model_path.empty()) {
+    std::ofstream out(model_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write model file '" << model_path << "'\n";
+      return 1;
+    }
+    dl.net().save(out);
+    std::cout << "model written to " << model_path << "\n";
+  }
 
   // 5. Attack.
   sma::attack::QueryDataset victim(&split, dataset_config);
@@ -147,3 +205,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace

@@ -55,8 +55,24 @@ REPLICA_KEYS = (
     "max_on_loan",
     "wait_seconds",
     "occupancy_seconds",
+    "timeouts",
     "arena_allocs",
     "arena_bytes_pinned",
+)
+SPLIT_CACHE_KEYS = (
+    "hits",
+    "misses",
+    "disk_hits",
+    "disk_spills",
+    "disk_corrupt",
+    "disk_dir",
+)
+DURABILITY_KEYS = (
+    "fault_compiled",
+    "faults_injected",
+    "checkpoint_saves",
+    "checkpoint_resumes",
+    "checkpoint_corrupt_discards",
 )
 KERNEL_KEYS = ("backend", "isa", "blocked_calls", "reference_calls")
 METRICS_KEYS = ("counters", "gauges", "histograms")
@@ -117,7 +133,8 @@ def check_report_object(path, report, context="report"):
         fail(path, f"{context}: schema is {report.get('schema')!r}, "
                    f"expected {SCHEMA!r}")
     require_keys(path, report, ("run", "flow", "train", "replicas",
-                                "split_cache", "kernels", "metrics"), context)
+                                "split_cache", "durability", "kernels",
+                                "metrics"), context)
     require_keys(path, report["run"], RUN_KEYS, f"{context}.run")
     if not isinstance(report["flow"], list):
         fail(path, f"{context}.flow must be a list")
@@ -128,8 +145,12 @@ def check_report_object(path, report, context="report"):
     if report["replicas"] is not None:
         require_keys(path, report["replicas"], REPLICA_KEYS,
                      f"{context}.replicas")
-    require_keys(path, report["split_cache"], ("hits", "misses"),
+    require_keys(path, report["split_cache"], SPLIT_CACHE_KEYS,
                  f"{context}.split_cache")
+    require_keys(path, report["durability"], DURABILITY_KEYS,
+                 f"{context}.durability")
+    if not isinstance(report["durability"]["fault_compiled"], bool):
+        fail(path, f"{context}.durability.fault_compiled must be a boolean")
     require_keys(path, report["kernels"], KERNEL_KEYS, f"{context}.kernels")
     require_keys(path, report["metrics"], METRICS_KEYS, f"{context}.metrics")
     for name, hist in report["metrics"]["histograms"].items():

@@ -1,11 +1,15 @@
 #include "attack/dl_attack.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <sstream>
 
+#include "attack/checkpoint.hpp"
 #include "nn/train_step.hpp"
 #include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
+#include "util/durable_io.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -59,6 +63,122 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
   const bool two_class = net_.config().two_class;
   const int lanes = std::max(1, config.batch_size);
 
+  // Index all trainable queries (those whose candidate list contains the
+  // positive VPP — Eq. 6 needs a labelled target).
+  std::vector<std::vector<Ref>> per_design(training.size());
+  for (std::size_t d = 0; d < training.size(); ++d) {
+    for (std::size_t q = 0; q < training[d].num_queries(); ++q) {
+      if (training[d].target(q) >= 0 &&
+          !training[d].query(q).candidates.empty()) {
+        per_design[d].push_back({static_cast<int>(d), static_cast<int>(q)});
+      }
+    }
+  }
+
+  // Per-epoch sample: subsample each design's queries, then shuffle the
+  // combined order so designs interleave. Factored out because resume
+  // replays it (below): the shuffles both mutate `per_design` cumulatively
+  // and advance `rng`, so a resumed run must re-derive the completed
+  // epochs' sampling to put both back in the exact mid-run state.
+  const auto build_epoch_order = [&]() {
+    std::vector<Ref> order;
+    for (auto& refs : per_design) {
+      util::shuffle(refs, rng);
+      std::size_t take = config.max_queries_per_design > 0
+                             ? std::min<std::size_t>(
+                                   refs.size(),
+                                   static_cast<std::size_t>(
+                                       config.max_queries_per_design))
+                             : refs.size();
+      order.insert(order.end(), refs.begin(), refs.begin() + take);
+    }
+    util::shuffle(order, rng);
+    return order;
+  };
+
+  // Master parameters, captured once: the checkpoint target and (on
+  // resume) the restore target. Restoring IN PLACE into these tensors —
+  // before any lane replica exists — means full clones copy the restored
+  // weights at creation and shared-weight replicas read them by
+  // construction.
+  std::vector<nn::Param> ckpt_params = net_.params();
+  const bool checkpointing =
+      config.checkpoint_every > 0 && !config.checkpoint_path.empty();
+  std::uint64_t ckpt_digest = 0;
+  int start_epoch = 0;
+  if (checkpointing) {
+    // Fingerprint of everything that shapes the training stream: the
+    // Adam schedule, the sampling/batching hyperparameters, the seed,
+    // the loss head, the dataset shape, and the model's parameter sizes.
+    // A checkpoint whose digest differs resumes nothing.
+    std::string buf;
+    const auto mix_u64 = [&buf](std::uint64_t v) {
+      buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    const auto mix_double = [&](double d) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      mix_u64(bits);
+    };
+    mix_double(config.adam.lr);
+    mix_double(config.adam.beta1);
+    mix_double(config.adam.beta2);
+    mix_double(config.adam.eps);
+    mix_double(config.adam.decay);
+    mix_u64(static_cast<std::uint64_t>(config.decay_every));
+    mix_u64(static_cast<std::uint64_t>(config.max_queries_per_design));
+    mix_u64(static_cast<std::uint64_t>(config.batch_size));
+    mix_u64(config.seed);
+    mix_u64(two_class ? 1 : 0);
+    mix_u64(per_design.size());
+    for (const auto& refs : per_design) mix_u64(refs.size());
+    mix_u64(ckpt_params.size());
+    for (const nn::Param& p : ckpt_params) mix_u64(p.value->size());
+    ckpt_digest = util::fnv1a(buf.data(), buf.size());
+
+    TrainCheckpoint ckpt;
+    if (try_load_checkpoint(config.checkpoint_path, ckpt_digest, &ckpt) &&
+        ckpt.epochs_done > 0 && ckpt.epochs_done <= config.epochs) {
+      // Snapshot the fresh state first so a checkpoint that passes the
+      // frame checksum and digest but still fails to decode (should be
+      // impossible; defends the invariant anyway) rolls back cleanly to
+      // a fresh start instead of leaving weights and optimizer mixed.
+      const std::string fresh_weights = encode_params(ckpt_params);
+      std::ostringstream fresh_adam;
+      engine.optimizer().serialize(fresh_adam);
+      try {
+        decode_params(ckpt.model_blob, ckpt_params);
+        std::istringstream adam_in(ckpt.adam_blob);
+        engine.optimizer().deserialize(adam_in);
+        start_epoch = ckpt.epochs_done;
+      } catch (const std::exception& e) {
+        util::log_warn() << "checkpoint " << config.checkpoint_path
+                         << " failed to decode, starting fresh: " << e.what();
+        decode_params(fresh_weights, ckpt_params);
+        std::istringstream adam_in(fresh_adam.str());
+        engine.optimizer().deserialize(adam_in);
+        start_epoch = 0;
+      }
+      if (start_epoch > 0) {
+        stats.epoch_loss = ckpt.epoch_loss;
+        stats.validation_ccr = ckpt.validation_ccr;
+        stats.queries_seen = ckpt.queries_seen;
+        stats.resumed_from_epoch = start_epoch;
+        // Keep the per-epoch vectors epoch-indexable on resume.
+        stats.arena_allocs_per_epoch.assign(
+            static_cast<std::size_t>(start_epoch), 0);
+        // Replay the completed epochs' sampling (cheap: shuffles only).
+        for (int e = 0; e < start_epoch; ++e) build_epoch_order();
+        // The replay reproduces the checkpointed RNG state exactly;
+        // restoring is belt-and-braces against future drift.
+        rng.restore_state(ckpt.rng);
+        util::log_info() << "resuming training from checkpoint "
+                         << config.checkpoint_path << " at epoch "
+                         << start_epoch;
+      }
+    }
+  }
+
   // Lane replicas: identical weights, private gradients and activation
   // caches. The lane structure runs even without a pool: accumulating a
   // batch directly on the master net would associate the per-parameter
@@ -110,18 +230,6 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
   // lane's task — race-free under the pool.
   std::vector<nn::QueryInput> lane_inputs(
       lane_nets.empty() ? 1 : lane_nets.size());
-
-  // Index all trainable queries (those whose candidate list contains the
-  // positive VPP — Eq. 6 needs a labelled target).
-  std::vector<std::vector<Ref>> per_design(training.size());
-  for (std::size_t d = 0; d < training.size(); ++d) {
-    for (std::size_t q = 0; q < training[d].num_queries(); ++q) {
-      if (training[d].target(q) >= 0 &&
-          !training[d].query(q).candidates.empty()) {
-        per_design[d].push_back({static_cast<int>(d), static_cast<int>(q)});
-      }
-    }
-  }
 
   // Activation-arena accounting: every net owns one arena for its
   // lifetime (master + each lane replica). Epoch deltas expose the
@@ -181,28 +289,18 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
     }
   }
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
     SMA_TRACE_SPAN_V("train", "epoch", epoch);
     SMA_COUNT("train.epochs");
+    // On resume the decays of epochs < start_epoch are already baked into
+    // the deserialized optimizer's learning rate — this condition only
+    // fires for the epochs this call actually runs.
     if (epoch > 0 && config.decay_every > 0 &&
         epoch % config.decay_every == 0) {
       engine.decay_lr();
     }
 
-    // Per-epoch sample: subsample each design's queries, then shuffle the
-    // combined order so designs interleave.
-    std::vector<Ref> order;
-    for (auto& refs : per_design) {
-      util::shuffle(refs, rng);
-      std::size_t take = config.max_queries_per_design > 0
-                             ? std::min<std::size_t>(
-                                   refs.size(),
-                                   static_cast<std::size_t>(
-                                       config.max_queries_per_design))
-                             : refs.size();
-      order.insert(order.end(), refs.begin(), refs.begin() + take);
-    }
-    util::shuffle(order, rng);
+    std::vector<Ref> order = build_epoch_order();
 
     double epoch_loss = 0.0;
     if (!use_lanes) {
@@ -343,6 +441,32 @@ TrainStats DlAttack::train(std::vector<QueryDataset>& training,
       util::log_debug() << "epoch " << epoch + 1 << ": loss "
                         << stats.epoch_loss.back();
     }
+
+    if (checkpointing && (epoch + 1) % config.checkpoint_every == 0) {
+      TrainCheckpoint ckpt;
+      ckpt.compat_digest = ckpt_digest;
+      ckpt.epochs_done = epoch + 1;
+      ckpt.queries_seen = stats.queries_seen;
+      ckpt.epoch_loss = stats.epoch_loss;
+      ckpt.validation_ccr = stats.validation_ccr;
+      ckpt.rng = rng.save_state();
+      ckpt.model_blob = encode_params(ckpt_params);
+      std::ostringstream adam_out;
+      engine.optimizer().serialize(adam_out);
+      ckpt.adam_blob = adam_out.str();
+      try {
+        save_checkpoint(config.checkpoint_path, ckpt);
+        ++stats.checkpoints_saved;
+        SMA_COUNT("train.checkpoints");
+      } catch (const util::DurableIoError& e) {
+        // Best-effort durability: a failing disk must not kill the run —
+        // the previous checkpoint (if any) is still intact thanks to the
+        // atomic replace. FaultInjected is not caught here: a simulated
+        // crash must crash.
+        util::log_warn() << "checkpoint save failed (training continues): "
+                         << e.what();
+      }
+    }
   }
   stats.arena_bytes_pinned = net_.arena().stats().bytes_pinned;
   for (const nn::AttackNet& lane : lane_nets) {
@@ -373,8 +497,12 @@ AttackResult DlAttack::attack(QueryDataset& dataset,
     // attack() calls (e.g. parallel per-design evaluation) lease disjoint
     // replicas, so they stay race-free.
     dataset.prebuild_images(pool);
-    const std::size_t num_chunks = std::min<std::size_t>(
+    std::size_t num_chunks = std::min<std::size_t>(
         n, static_cast<std::size_t>(pool->num_threads()) + 1);
+    // A bounded replica set caps the fan-out: asking for more replicas
+    // than the bound can never be satisfied.
+    const std::size_t cap = replicas_->max_replicas();
+    if (cap > 0) num_chunks = std::min(num_chunks, cap);
     const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
     ReplicaLease lease = replicas_->lease(num_chunks, net_);
     runtime::TaskGroup group(pool);

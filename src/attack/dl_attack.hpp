@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "attack/attack_result.hpp"
@@ -58,6 +59,16 @@ struct TrainConfig {
   /// (tests/test_train_step.cpp and bench_train assert this); `false`
   /// selects the reference three-pass path for before/after measurement.
   bool fused_step = true;
+  /// Save a resumable checkpoint to `checkpoint_path` every k completed
+  /// epochs (0 = never). A later `train` call with the same configuration
+  /// and datasets picks the checkpoint up and continues — producing a
+  /// final model byte-identical to an uninterrupted run (the durability
+  /// contract tests/test_durability.cpp gates). A checkpoint from a
+  /// *different* configuration or dataset is detected via an embedded
+  /// digest and discarded; a damaged checkpoint file likewise falls back
+  /// to a fresh start instead of failing the run.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
 };
 
 struct TrainStats {
@@ -73,6 +84,13 @@ struct TrainStats {
   std::vector<long> arena_allocs_per_epoch;
   /// Arena backing bytes pinned at the end of training (master + lanes).
   std::size_t arena_bytes_pinned = 0;
+  /// Epoch index this run resumed from (0 = started fresh). On resume the
+  /// per-epoch vectors above still cover the FULL run: the histories come
+  /// from the checkpoint and `arena_allocs_per_epoch` is zero-padded for
+  /// the skipped epochs, so every vector stays indexable by epoch.
+  int resumed_from_epoch = 0;
+  /// Checkpoints written by this train() call.
+  long checkpoints_saved = 0;
 };
 
 class DlAttack {

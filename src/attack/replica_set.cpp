@@ -1,6 +1,8 @@
 #include "attack/replica_set.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
 #include "obs/obs.hpp"
 
@@ -17,9 +19,37 @@ ReplicaLease::~ReplicaLease() {
   set_->release(indices_, (obs::now_us() - start_us_) * 1e-6);
 }
 
-ReplicaLease ReplicaSet::lease(std::size_t n, nn::AttackNet& master) {
+ReplicaLease ReplicaSet::lease(std::size_t n, nn::AttackNet& master,
+                               double timeout_seconds) {
   const double wait_start_us = obs::now_us();
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (max_replicas_ > 0) {
+    if (n > max_replicas_) {
+      throw std::invalid_argument(
+          "ReplicaSet::lease: requested " + std::to_string(n) +
+          " replicas from a set bounded to " + std::to_string(max_replicas_));
+    }
+    // Obtainable now = free pinned replicas + headroom to clone new ones.
+    const auto obtainable = [this] {
+      return (replicas_.size() - on_loan_now_) +
+             (max_replicas_ > replicas_.size() ? max_replicas_ - replicas_.size()
+                                               : 0);
+    };
+    const auto ready = [&] { return obtainable() >= n; };
+    if (timeout_seconds < 0.0) {
+      available_.wait(lock, ready);
+    } else if (!available_.wait_for(
+                   lock, std::chrono::duration<double>(timeout_seconds),
+                   ready)) {
+      ++stats_.timeouts;
+      SMA_COUNT("replica.lease_timeouts");
+      throw AcquireTimeoutError(
+          "ReplicaSet::lease: timed out after " +
+          std::to_string(timeout_seconds) + "s waiting for " +
+          std::to_string(n) + " of " + std::to_string(max_replicas_) +
+          " bounded replicas");
+    }
+  }
   stats_.wait_seconds += (obs::now_us() - wait_start_us) * 1e-6;
   std::vector<nn::AttackNet*> nets;
   std::vector<std::size_t> indices;
@@ -54,11 +84,28 @@ void ReplicaSet::release(const std::vector<std::size_t>& indices,
                          double held_seconds) {
   SMA_HISTOGRAM_US("replica.lease_held_us",
                    static_cast<std::uint64_t>(held_seconds * 1e6));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i : indices) on_loan_[i] = false;
+    on_loan_now_ -= indices.size();
+    stats_.occupancy_seconds +=
+        held_seconds * static_cast<double>(indices.size());
+  }
+  available_.notify_all();
+}
+
+void ReplicaSet::set_max_replicas(std::size_t cap) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_replicas_ = cap;
+  }
+  // A raised (or removed) bound may unblock waiters.
+  available_.notify_all();
+}
+
+std::size_t ReplicaSet::max_replicas() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (std::size_t i : indices) on_loan_[i] = false;
-  on_loan_now_ -= indices.size();
-  stats_.occupancy_seconds +=
-      held_seconds * static_cast<double>(indices.size());
+  return max_replicas_;
 }
 
 long ReplicaSet::clones_created() const {

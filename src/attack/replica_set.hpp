@@ -19,15 +19,25 @@
 // replica serves a chunk never matters.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "nn/arena.hpp"
 #include "nn/attack_net.hpp"
 
 namespace sma::attack {
+
+/// A bounded `ReplicaSet::lease` gave up waiting for free replicas before
+/// its deadline. Typed so callers can tell "the serving tier is saturated"
+/// apart from every other runtime_error and shed load deliberately.
+class AcquireTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class ReplicaSet;
 
@@ -62,6 +72,7 @@ class ReplicaSet {
     std::size_t max_on_loan = 0;  ///< peak concurrently leased replicas
     double wait_seconds = 0.0;    ///< summed time to acquire the set
     double occupancy_seconds = 0.0;  ///< summed lease lifetimes
+    long timeouts = 0;            ///< lease() deadlines missed (bounded sets)
   };
 
   /// Lease `n` replicas of `master` for exclusive use. Grows the set (via
@@ -69,7 +80,24 @@ class ReplicaSet {
   /// the master is passed per call rather than stored so the owning
   /// object stays movable (pinned replicas reference the master's layer
   /// objects, which live behind stable heap storage).
-  ReplicaLease lease(std::size_t n, nn::AttackNet& master);
+  ///
+  /// With a replica bound (`set_max_replicas`) the call BLOCKS while the
+  /// bound leaves fewer than `n` replicas obtainable, until concurrent
+  /// leases release. `timeout_seconds` caps that wait: < 0 waits
+  /// indefinitely (the default), >= 0 throws AcquireTimeoutError once the
+  /// deadline passes without acquisition (counted in
+  /// LeaseStats::timeouts). Requesting `n` larger than the bound can
+  /// never succeed and throws std::invalid_argument immediately.
+  /// Unbounded sets (the default) never block and never time out.
+  ReplicaLease lease(std::size_t n, nn::AttackNet& master,
+                     double timeout_seconds = -1.0);
+
+  /// Bound the set to `cap` pinned replicas (0 = unbounded, the default).
+  /// Bounds memory on wide machines: each pinned replica carries private
+  /// activation arenas even though weights are shared. Shrinking below
+  /// the current size keeps existing replicas but stops growth.
+  void set_max_replicas(std::size_t cap);
+  std::size_t max_replicas() const;
 
   /// Replicas ever created — a monotone counter tests use to prove that
   /// repeated attack() calls reuse pinned replicas instead of cloning.
@@ -93,11 +121,13 @@ class ReplicaSet {
   void release(const std::vector<std::size_t>& indices, double held_seconds);
 
   mutable std::mutex mutex_;
+  std::condition_variable available_;  ///< signaled on every release
   std::deque<nn::AttackNet> replicas_;  ///< deque: growth keeps addresses
   std::vector<bool> on_loan_;
   long clones_created_ = 0;
   LeaseStats stats_;
   std::size_t on_loan_now_ = 0;
+  std::size_t max_replicas_ = 0;  ///< 0 = unbounded
 };
 
 }  // namespace sma::attack

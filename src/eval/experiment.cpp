@@ -1,11 +1,17 @@
 #include "eval/experiment.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <optional>
 #include <string>
 
 #include "eval/split_cache.hpp"
 #include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
+#include "util/durable_io.hpp"
+#include "util/fault.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -122,6 +128,238 @@ attack::DlAttack train_attack(int split_layer,
   return dl;
 }
 
+/// ------------------------------------------------------------------
+/// Durable work units (ExperimentProfile::work_dir).
+///
+/// A unit file holds one completed, slot-addressed result (a Table-3 row
+/// or a Figure-5 setting) inside a durable_io frame, keyed by a digest of
+/// the full run configuration plus its slot index. Reruns load matching
+/// units and skip the work; anything else (missing, damaged, or from a
+/// different configuration) is recomputed and rewritten. Numeric fields
+/// round-trip as raw bit patterns, so a resumed run's output is
+/// bit-identical to an uninterrupted one.
+/// ------------------------------------------------------------------
+
+constexpr const char* kWorkFrameKind = "sma-work-unit";
+constexpr std::uint32_t kWorkSchemaVersion = 1;
+
+/// Fingerprint of everything that determines a run's results: the split
+/// layer, the master seed, every experiment knob that feeds the dataset,
+/// network, training schedule or flow attack, and — via the same digests
+/// the split cache keys on — the flow configuration and every design
+/// profile (training corpus and victims alike).
+std::uint64_t experiment_digest(const char* what, int split_layer,
+                                const ExperimentProfile& p,
+                                const layout::FlowConfig& flow,
+                                const std::vector<netlist::DesignProfile>& designs,
+                                std::uint64_t seed) {
+  util::ContentHash h;
+  h.add("sma-experiment-v1").add(what).add(split_layer).add(seed);
+
+  h.add(p.dataset.candidates.max_candidates)
+      .add(p.dataset.candidates.use_direction_criterion)
+      .add(p.dataset.candidates.use_non_duplication)
+      .add(p.dataset.images.size)
+      .add(p.dataset.images.wire_half_width)
+      .add(p.dataset.build_images);
+  for (std::int64_t px : p.dataset.images.pixel_sizes) h.add(px);
+
+  h.add(p.net.vector_dim)
+      .add(p.net.hidden)
+      .add(p.net.vector_res_blocks)
+      .add(p.net.merged_res_blocks)
+      .add(p.net.use_images)
+      .add(p.net.image_fc)
+      .add(p.net.fc6_width)
+      .add(p.net.two_class)
+      .add(p.net.seed);
+  for (int c : p.net.conv_channels) h.add(c);
+
+  h.add(p.train.epochs)
+      .add(p.train.decay_every)
+      .add(p.train.max_queries_per_design)
+      .add(p.train.batch_size)
+      .add(p.train.seed)
+      .add(p.train.adam.lr)
+      .add(p.train.adam.beta1)
+      .add(p.train.adam.beta2)
+      .add(p.train.adam.eps)
+      .add(p.train.adam.decay);
+
+  h.add(p.flow_attack.candidates.max_candidates)
+      .add(p.flow_attack.avg_sink_cap)
+      .add(p.flow_attack.max_slots)
+      .add(p.flow_attack.timeout_seconds);
+
+  const auto add_design = [&](const netlist::DesignProfile& d,
+                              std::uint64_t design_seed) {
+    layout::FlowConfig flow_config = flow;
+    flow_config.seed = design_seed;
+    h.add(design_cache_key(d, flow_config, design_seed));
+  };
+  for (const netlist::DesignProfile& d : netlist::training_profiles()) {
+    add_design(d, seed ^ (d.num_gates * 31ull));
+  }
+  h.add(designs.size());
+  for (const netlist::DesignProfile& d : designs) {
+    add_design(d, seed ^ 0x5151u ^ (d.num_gates * 131ull));
+  }
+  return h.digest();
+}
+
+std::string work_unit_path(const std::string& dir, std::uint64_t digest,
+                           std::size_t slot) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%016llx_%03zu.sma",
+                static_cast<unsigned long long>(digest), slot);
+  return dir + "/" + name;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void append_bits(std::string& out, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  append_u64(out, bits);
+}
+
+void append_str(std::string& out, const std::string& s) {
+  append_u64(out, s.size());
+  out.append(s);
+}
+
+/// Bounds-checked reader for work-unit payloads.
+class WorkCursor {
+ public:
+  explicit WorkCursor(const std::string& bytes) : bytes_(bytes) {}
+
+  std::uint64_t read_u64(const char* what) {
+    std::uint64_t v = 0;
+    if (bytes_.size() - pos_ < sizeof(v)) {
+      throw util::FrameError(std::string("work unit truncated in ") + what);
+    }
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+
+  double read_bits(const char* what) {
+    const std::uint64_t bits = read_u64(what);
+    double d = 0.0;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+
+  std::string read_str(const char* what) {
+    const std::uint64_t size = read_u64(what);
+    if (size > bytes_.size() - pos_) {
+      throw util::FrameError(std::string("work unit truncated in ") + what);
+    }
+    std::string s(bytes_.data() + pos_, static_cast<std::size_t>(size));
+    pos_ += static_cast<std::size_t>(size);
+    return s;
+  }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::string encode_t3_row(std::uint64_t digest, std::size_t slot,
+                          const Table3Row& row) {
+  std::string out;
+  append_u64(out, digest);
+  append_u64(out, slot);
+  append_str(out, row.design);
+  append_u64(out, static_cast<std::uint64_t>(row.num_sink_fragments));
+  append_u64(out, static_cast<std::uint64_t>(row.num_source_fragments));
+  append_u64(out, (row.flow_timed_out ? 1u : 0u) |
+                      (row.scaled_down ? 2u : 0u));
+  append_bits(out, row.flow_ccr);
+  append_bits(out, row.flow_seconds);
+  append_bits(out, row.dl_ccr);
+  append_bits(out, row.dl_seconds);
+  append_bits(out, row.hit_rate);
+  return out;
+}
+
+Table3Row decode_t3_row(const std::string& payload, std::uint64_t digest,
+                        std::size_t slot) {
+  WorkCursor cur(payload);
+  if (cur.read_u64("digest") != digest || cur.read_u64("slot") != slot) {
+    throw util::FrameError("work unit belongs to a different run or slot");
+  }
+  Table3Row row;
+  row.design = cur.read_str("design name");
+  row.num_sink_fragments = static_cast<int>(cur.read_u64("sink count"));
+  row.num_source_fragments = static_cast<int>(cur.read_u64("source count"));
+  const std::uint64_t flags = cur.read_u64("flags");
+  row.flow_timed_out = (flags & 1u) != 0;
+  row.scaled_down = (flags & 2u) != 0;
+  row.flow_ccr = cur.read_bits("flow ccr");
+  row.flow_seconds = cur.read_bits("flow seconds");
+  row.dl_ccr = cur.read_bits("dl ccr");
+  row.dl_seconds = cur.read_bits("dl seconds");
+  row.hit_rate = cur.read_bits("hit rate");
+  return row;
+}
+
+std::string encode_f5_row(std::uint64_t digest, std::size_t slot,
+                          const AblationRow& row) {
+  std::string out;
+  append_u64(out, digest);
+  append_u64(out, slot);
+  append_str(out, row.setting);
+  append_bits(out, row.avg_ccr);
+  append_bits(out, row.avg_inference_seconds);
+  return out;
+}
+
+AblationRow decode_f5_row(const std::string& payload, std::uint64_t digest,
+                          std::size_t slot) {
+  WorkCursor cur(payload);
+  if (cur.read_u64("digest") != digest || cur.read_u64("slot") != slot) {
+    throw util::FrameError("work unit belongs to a different run or slot");
+  }
+  AblationRow row;
+  row.setting = cur.read_str("setting name");
+  row.avg_ccr = cur.read_bits("avg ccr");
+  row.avg_inference_seconds = cur.read_bits("avg inference seconds");
+  return row;
+}
+
+/// Load one unit's payload, or nullopt when it is missing, damaged (the
+/// file is deleted for recompute), or FaultInjected-free unreadable.
+std::optional<std::string> load_work_unit(const std::string& path) {
+  if (!util::file_exists(path)) return std::nullopt;
+  try {
+    util::fault::point("work.load");
+    return util::read_frame_file(path, kWorkFrameKind, kWorkSchemaVersion);
+  } catch (util::fault::FaultInjected&) {
+    throw;
+  } catch (const std::exception& e) {
+    util::log_warn() << "discarding corrupt work unit " << path << ": "
+                     << e.what();
+    std::remove(path.c_str());
+    return std::nullopt;
+  }
+}
+
+/// Persist one unit; failure degrades to a warning (the run continues,
+/// the unit is simply recomputed next time).
+void save_work_unit(const std::string& path, const std::string& payload) {
+  try {
+    util::fault::point("work.save");
+    util::write_frame_file(path, kWorkFrameKind, kWorkSchemaVersion, payload);
+    SMA_COUNT("work.units_saved");
+  } catch (const util::DurableIoError& e) {
+    util::log_warn() << "work unit save failed for " << path << ": "
+                     << e.what();
+  }
+}
+
 }  // namespace
 
 void finalize_averages(Table3Result& result) {
@@ -156,6 +394,44 @@ Table3Result run_table3(int split_layer, const ExperimentProfile& profile,
                         const layout::FlowConfig& flow,
                         const std::vector<netlist::DesignProfile>& designs,
                         std::uint64_t seed) {
+  // Durable work units: completed rows from an earlier (killed) run are
+  // loaded up front; when every row is present the expensive training run
+  // is skipped entirely.
+  const bool use_work = !profile.work_dir.empty();
+  std::uint64_t digest = 0;
+  std::vector<std::optional<Table3Row>> cached(designs.size());
+  if (use_work) {
+    util::ensure_dir(profile.work_dir);
+    digest = experiment_digest("table3", split_layer, profile, flow, designs,
+                               seed);
+    bool all_cached = !designs.empty();
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+      const std::optional<std::string> payload =
+          load_work_unit(work_unit_path(profile.work_dir, digest, d));
+      if (payload.has_value()) {
+        try {
+          cached[d] = decode_t3_row(*payload, digest, d);
+          SMA_COUNT("work.units_loaded");
+        } catch (const util::FrameError& e) {
+          util::log_warn() << "recomputing work unit " << d << ": "
+                           << e.what();
+        }
+      }
+      if (!cached[d].has_value()) all_cached = false;
+    }
+    if (all_cached) {
+      util::log_info() << "table3 M" << split_layer << ": all "
+                       << designs.size()
+                       << " rows loaded from work units, skipping training";
+      Table3Result result;
+      for (std::size_t d = 0; d < designs.size(); ++d) {
+        result.rows.push_back(std::move(*cached[d]));
+      }
+      finalize_averages(result);
+      return result;
+    }
+  }
+
   std::unique_ptr<runtime::ThreadPool> owned_pool =
       profile.runtime.make_pool();
   runtime::ThreadPool* pool = owned_pool.get();
@@ -174,6 +450,7 @@ Table3Result run_table3(int split_layer, const ExperimentProfile& profile,
   // of a contended run — use threads = 1 for paper-comparable runtimes.
   result.rows = runtime::parallel_map(
       pool, designs.size(), /*grain=*/1, [&](std::size_t d) {
+        if (use_work && cached[d].has_value()) return *cached[d];
         const netlist::DesignProfile& design_profile = designs[d];
         PreparedSplit prepared = prepare_split(
             design_profile, split_layer, flow,
@@ -214,6 +491,10 @@ Table3Result run_table3(int split_layer, const ExperimentProfile& profile,
                                  ? std::string("timeout")
                                  : std::to_string(row.flow_ccr * 100) + "%")
                          << " in " << row.flow_seconds << "s";
+        if (use_work) {
+          save_work_unit(work_unit_path(profile.work_dir, digest, d),
+                         encode_t3_row(digest, d, row));
+        }
         return row;
       });
 
@@ -225,6 +506,43 @@ std::vector<AblationRow> run_figure5(
     const ExperimentProfile& profile, const layout::FlowConfig& flow,
     const std::vector<netlist::DesignProfile>& designs, std::uint64_t seed) {
   constexpr int kSplitLayer = 3;  // the paper's Figure-5 baseline is M3
+  constexpr std::size_t kNumSettings = 3;
+
+  // Durable work units, one per setting: a rerun retrains only the
+  // settings whose unit is missing or damaged.
+  const bool use_work = !profile.work_dir.empty();
+  std::uint64_t digest = 0;
+  std::vector<std::optional<AblationRow>> cached(kNumSettings);
+  bool all_cached = false;
+  if (use_work) {
+    util::ensure_dir(profile.work_dir);
+    digest =
+        experiment_digest("figure5", kSplitLayer, profile, flow, designs, seed);
+    all_cached = true;
+    for (std::size_t s = 0; s < kNumSettings; ++s) {
+      const std::optional<std::string> payload =
+          load_work_unit(work_unit_path(profile.work_dir, digest, s));
+      if (payload.has_value()) {
+        try {
+          cached[s] = decode_f5_row(*payload, digest, s);
+          SMA_COUNT("work.units_loaded");
+        } catch (const util::FrameError& e) {
+          util::log_warn() << "recomputing work unit " << s << ": "
+                           << e.what();
+        }
+      }
+      if (!cached[s].has_value()) all_cached = false;
+    }
+  }
+  if (all_cached) {
+    util::log_info()
+        << "figure5: all settings loaded from work units, skipping training";
+    std::vector<AblationRow> rows;
+    for (std::size_t s = 0; s < kNumSettings; ++s) {
+      rows.push_back(std::move(*cached[s]));
+    }
+    return rows;
+  }
 
   std::unique_ptr<runtime::ThreadPool> owned_pool =
       profile.runtime.make_pool();
@@ -292,7 +610,20 @@ std::vector<AblationRow> run_figure5(
     return row;
   };
 
-  constexpr std::size_t kNumSettings = sizeof(settings) / sizeof(settings[0]);
+  // Work-unit wrapper: a cached setting returns immediately (its training
+  // run never starts); a computed one is persisted before it lands in its
+  // slot.
+  auto run_setting_cached = [&](std::size_t s) {
+    if (use_work && cached[s].has_value()) return *cached[s];
+    AblationRow row = run_setting(settings[s]);
+    if (use_work) {
+      save_work_unit(work_unit_path(profile.work_dir, digest, s),
+                     encode_f5_row(digest, s, row));
+    }
+    return row;
+  };
+
+  static_assert(kNumSettings == sizeof(settings) / sizeof(settings[0]));
   std::vector<AblationRow> rows(kNumSettings);
   if (pool != nullptr) {
     // Pre-warm the split cache: all three settings want the same layouts,
@@ -322,14 +653,13 @@ std::vector<AblationRow> run_figure5(
     // matches the sequential loop row-for-row.
     runtime::TaskGroup group(pool);
     for (std::size_t s = 0; s < kNumSettings; ++s) {
-      group.run([s, &rows, &settings, &run_setting] {
-        rows[s] = run_setting(settings[s]);
-      });
+      group.run(
+          [s, &rows, &run_setting_cached] { rows[s] = run_setting_cached(s); });
     }
     group.wait();
   } else {
     for (std::size_t s = 0; s < kNumSettings; ++s) {
-      rows[s] = run_setting(settings[s]);
+      rows[s] = run_setting_cached(s);
     }
   }
   return rows;

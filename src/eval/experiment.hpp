@@ -65,6 +65,16 @@ struct ExperimentProfile {
   /// wall-clock budgets, so flow rows sitting near the timeout can flip
   /// under contention.
   runtime::Config runtime;
+  /// Directory for durable experiment work units (empty = disabled). Each
+  /// completed Table-3 row / Figure-5 setting is written there as a
+  /// checksummed, content-addressed file keyed by a digest of the full run
+  /// configuration. A rerun (same configuration) loads the completed units
+  /// instead of recomputing them — when every unit is present, even
+  /// training is skipped — so a killed sweep resumes where it stopped.
+  /// Numeric fields round-trip as raw bit patterns: resumed and fresh
+  /// results are bit-identical. A damaged unit file is detected, deleted,
+  /// and recomputed.
+  std::string work_dir;
 
   static ExperimentProfile fast();
   static ExperimentProfile paper();

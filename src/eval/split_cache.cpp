@@ -1,8 +1,81 @@
 #include "eval/split_cache.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "layout/def_io.hpp"
+#include "tech/cell_library.hpp"
+#include "util/durable_io.hpp"
+#include "util/fault.hpp"
 #include "util/hash.hpp"
+#include "util/logging.hpp"
 
 namespace sma::eval {
+
+namespace {
+
+constexpr const char* kCacheFrameKind = "sma-design-cache";
+constexpr std::uint32_t kCacheSchemaVersion = 1;
+
+std::string cache_file_path(const std::string& dir, std::uint64_t key) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.sma",
+                static_cast<unsigned long long>(key));
+  return dir + "/" + name;
+}
+
+/// Cache-entry payload: the key (echoed; guards against a renamed file
+/// serving the wrong layout) and the routing summary fields that DEF
+/// re-import cannot reconstruct (read_def recomputes wirelength and via
+/// counts from geometry, but overflow and fallback counts are router
+/// history), followed by the DEF text itself.
+std::string encode_entry(std::uint64_t key, const layout::Design& design) {
+  std::string out;
+  const auto append_u64 = [&out](std::uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append_u64(key);
+  append_u64(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(design.routing.final_overflow)));
+  append_u64(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(design.routing.fallback_routes)));
+  const std::string def = layout::to_def_string(design);
+  append_u64(def.size());
+  out.append(def);
+  return out;
+}
+
+layout::Design decode_entry(const std::string& payload, std::uint64_t key,
+                            const tech::CellLibrary* library) {
+  std::size_t pos = 0;
+  const auto read_u64 = [&payload, &pos](const char* what) {
+    std::uint64_t v = 0;
+    if (payload.size() - pos < sizeof(v)) {
+      throw util::FrameError(std::string("cache entry truncated in ") + what);
+    }
+    std::memcpy(&v, payload.data() + pos, sizeof(v));
+    pos += sizeof(v);
+    return v;
+  };
+  const std::uint64_t stored_key = read_u64("key");
+  if (stored_key != key) {
+    throw util::FrameError("cache entry key mismatch (file renamed?)");
+  }
+  const auto overflow = static_cast<std::int64_t>(read_u64("overflow"));
+  const auto fallback = static_cast<std::int64_t>(read_u64("fallback count"));
+  const std::uint64_t def_size = read_u64("DEF length");
+  if (def_size != payload.size() - pos) {
+    throw util::FrameError("cache entry DEF length mismatch");
+  }
+  const std::string def = payload.substr(pos);
+  layout::Design design = layout::read_def_string(def, library);
+  design.routing.final_overflow = static_cast<int>(overflow);
+  design.routing.fallback_routes = static_cast<int>(fallback);
+  return design;
+}
+
+}  // namespace
 
 std::uint64_t design_cache_key(const netlist::DesignProfile& profile,
                                const layout::FlowConfig& flow,
@@ -73,13 +146,83 @@ std::uint64_t design_cache_key(const netlist::DesignProfile& profile,
 }
 
 SplitCache& SplitCache::global() {
-  static SplitCache instance;
+  static SplitCache& instance = []() -> SplitCache& {
+    static SplitCache cache;
+    const char* dir = std::getenv("SMA_CACHE_DIR");
+    if (dir != nullptr && dir[0] != '\0') {
+      static const tech::CellLibrary kLibrary =
+          tech::CellLibrary::nangate45_like();
+      cache.set_disk_dir(dir, &kLibrary);
+    }
+    return cache;
+  }();
   return instance;
+}
+
+void SplitCache::set_disk_dir(const std::string& dir,
+                              const tech::CellLibrary* library) {
+  if (!dir.empty()) util::ensure_dir(dir);
+  std::lock_guard<std::mutex> lock(mutex_);
+  disk_dir_ = dir;
+  library_ = dir.empty() ? nullptr : library;
+}
+
+std::string SplitCache::disk_dir() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disk_dir_;
+}
+
+std::shared_ptr<const layout::Design> SplitCache::load_from_disk(
+    const std::string& dir, const tech::CellLibrary* library,
+    std::uint64_t key) {
+  const std::string path = cache_file_path(dir, key);
+  if (!util::file_exists(path)) return nullptr;
+  try {
+    util::fault::point("cache.load");
+    const std::string payload =
+        util::read_frame_file(path, kCacheFrameKind, kCacheSchemaVersion);
+    auto design = std::make_shared<layout::Design>(
+        decode_entry(payload, key, library));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_hits;
+    return design;
+  } catch (util::fault::FaultInjected&) {
+    throw;  // a simulated crash must crash, never degrade to a miss
+  } catch (const std::exception& e) {
+    // Damaged frame, foreign file, or unparseable DEF: delete it and let
+    // the caller rebuild through the flow — a corrupt entry must never
+    // poison a layout, and the rebuild repairs the cache via the spill.
+    util::log_warn() << "discarding corrupt cache entry " << path << ": "
+                     << e.what();
+    std::remove(path.c_str());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_corrupt;
+    return nullptr;
+  }
+}
+
+void SplitCache::spill_to_disk(const std::string& dir, std::uint64_t key,
+                               const layout::Design& design) {
+  const std::string path = cache_file_path(dir, key);
+  try {
+    util::fault::point("cache.spill");
+    util::write_frame_file(path, kCacheFrameKind, kCacheSchemaVersion,
+                           encode_entry(key, design));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_spills;
+  } catch (const util::DurableIoError& e) {
+    // Spill failures (full disk, injected IO errors) degrade the cache to
+    // memory-only for this entry; the run itself continues. FaultInjected
+    // is not a DurableIoError and propagates.
+    util::log_warn() << "cache spill failed for " << path << ": " << e.what();
+  }
 }
 
 std::shared_ptr<const layout::Design> SplitCache::get_or_build(
     std::uint64_t key,
     const std::function<std::shared_ptr<const layout::Design>()>& build) {
+  std::string dir;
+  const tech::CellLibrary* library = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (enabled_) {
@@ -89,15 +232,26 @@ std::shared_ptr<const layout::Design> SplitCache::get_or_build(
         lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
         return it->second.design;
       }
+      dir = disk_dir_;
+      library = library_;
     }
     ++stats_.misses;
   }
+
+  // Disk tier, probed outside the lock (file IO + DEF re-import are slow):
+  // a durable entry from an earlier process is byte-identical to a fresh
+  // build, so promoting it into the memory tier is just a faster build().
+  std::shared_ptr<const layout::Design> design;
+  const bool use_disk = !dir.empty() && library != nullptr;
+  if (use_disk) design = load_from_disk(dir, library, key);
 
   // Build outside the lock: flows are expensive and independent builds may
   // proceed concurrently. If two threads race on the same key, both build
   // identical designs (the flow is deterministic) and the second insert is
   // a no-op — results never depend on the race.
-  std::shared_ptr<const layout::Design> design = build();
+  const bool built = design == nullptr;
+  if (built) design = build();
+  if (built && use_disk) spill_to_disk(dir, key, *design);
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (!enabled_) return design;

@@ -23,10 +23,15 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "layout/design.hpp"
 #include "netlist/profiles.hpp"
+
+namespace sma::tech {
+class CellLibrary;
+}
 
 namespace sma::eval {
 
@@ -38,11 +43,20 @@ std::uint64_t design_cache_key(const netlist::DesignProfile& profile,
 class SplitCache {
  public:
   struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    std::uint64_t hits = 0;    ///< memory-tier hits
+    std::uint64_t misses = 0;  ///< memory-tier misses (before the disk tier)
+    /// Disk tier (set_disk_dir): a disk hit is also a memory miss — the
+    /// entry was loaded from a file instead of rebuilt through the flow.
+    std::uint64_t disk_hits = 0;
+    std::uint64_t disk_spills = 0;  ///< entries written to the cache dir
+    /// Damaged/foreign cache files detected at load, deleted, and rebuilt
+    /// through the flow — a corrupt entry never poisons a layout.
+    std::uint64_t disk_corrupt = 0;
   };
 
-  /// Process-wide instance used by `prepare_split`.
+  /// Process-wide instance used by `prepare_split`. On first use, honors
+  /// SMA_CACHE_DIR: when set (non-empty), the directory becomes this
+  /// instance's durable disk tier with the standard cell library.
   static SplitCache& global();
 
   explicit SplitCache(std::size_t capacity = 32) : capacity_(capacity) {}
@@ -59,16 +73,39 @@ class SplitCache {
   /// Max resident designs; shrinking evicts immediately (LRU order).
   void set_capacity(std::size_t capacity);
 
+  /// Attach a durable disk tier: memory misses probe
+  /// `<dir>/<key as 016x>.sma` (a checksummed durable_io frame holding the
+  /// design's DEF text + routing metadata) before rebuilding, and fresh
+  /// builds spill there — so layouts survive process restarts and are
+  /// shared across processes. `library` resolves cell masters when
+  /// re-importing DEF and must outlive this cache. A damaged or torn file
+  /// is detected by the frame checksum, deleted, counted in
+  /// Stats::disk_corrupt, and rebuilt through the flow; spill failures
+  /// degrade to warnings (the run continues memory-only). An empty `dir`
+  /// detaches the tier. The directory is created if missing; throws
+  /// util::IoError when that fails.
+  void set_disk_dir(const std::string& dir, const tech::CellLibrary* library);
+  std::string disk_dir() const;
+
   void clear();
   Stats stats() const;
   std::size_t size() const;
 
  private:
   void evict_to_capacity_locked();
+  /// Disk probe for `key` (runs outside the entry lock; IO is slow).
+  /// Returns nullptr on any miss, deleting damaged files along the way.
+  std::shared_ptr<const layout::Design> load_from_disk(
+      const std::string& dir, const tech::CellLibrary* library,
+      std::uint64_t key);
+  void spill_to_disk(const std::string& dir, std::uint64_t key,
+                     const layout::Design& design);
 
   mutable std::mutex mutex_;
   bool enabled_ = true;
   std::size_t capacity_;
+  std::string disk_dir_;
+  const tech::CellLibrary* library_ = nullptr;
   Stats stats_;
   /// MRU-first key list; entries carry an iterator into it for O(1) touch.
   std::list<std::uint64_t> lru_;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
@@ -260,8 +261,40 @@ template <typename T>
 T read_pod(std::istream& in) {
   T value;
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("model file truncated");
+  if (!in) throw ModelLoadError("model file truncated");
   return value;
+}
+
+/// Header field validation: a load must reject hostile or garbage header
+/// values *before* they reach tensor allocation (a multi-gigabyte
+/// "hidden width" would otherwise surface as bad_alloc — or worse,
+/// succeed and materialize garbage tensors).
+int checked_field(int value, const char* name, int lo, int hi) {
+  if (value < lo || value > hi) {
+    throw ModelLoadError("model header field " + std::string(name) + " = " +
+                         std::to_string(value) + " outside sane range [" +
+                         std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+bool checked_flag(int value, const char* name) {
+  if (value != 0 && value != 1) {
+    throw ModelLoadError("model header flag " + std::string(name) + " = " +
+                         std::to_string(value) + " is not a boolean");
+  }
+  return value != 0;
+}
+
+/// Bytes left on a seekable stream; nullopt for pipes and the like.
+std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || end < here) return std::nullopt;
+  return static_cast<std::uint64_t>(end - here);
 }
 
 }  // namespace
@@ -338,30 +371,73 @@ AttackNet AttackNet::clone_shared() {
 
 AttackNet AttackNet::load(std::istream& in) {
   if (read_pod<std::uint32_t>(in) != kMagic) {
-    throw std::runtime_error("not an AttackNet model file");
+    throw ModelLoadError("not an AttackNet model file");
   }
+  // Bounds: generous enough for any configuration this repo can train
+  // (paper config: hidden 128, channels ≤ 128), tight enough that a
+  // corrupt or hostile header can never request pathological allocations.
+  constexpr int kMaxWidth = 1 << 20;
+  constexpr int kMaxBlocks = 4096;
   NetConfig config;
-  config.vector_dim = read_pod<int>(in);
-  config.hidden = read_pod<int>(in);
-  config.vector_res_blocks = read_pod<int>(in);
-  config.merged_res_blocks = read_pod<int>(in);
-  config.use_images = read_pod<int>(in) != 0;
-  config.image_channels = read_pod<int>(in);
-  for (int& ch : config.conv_channels) ch = read_pod<int>(in);
-  config.image_fc = read_pod<int>(in);
-  config.fc6_width = read_pod<int>(in);
-  config.two_class = read_pod<int>(in) != 0;
+  config.vector_dim = checked_field(read_pod<int>(in), "vector_dim", 1,
+                                    kMaxWidth);
+  config.hidden = checked_field(read_pod<int>(in), "hidden", 1, kMaxWidth);
+  config.vector_res_blocks = checked_field(
+      read_pod<int>(in), "vector_res_blocks", 0, kMaxBlocks);
+  config.merged_res_blocks = checked_field(
+      read_pod<int>(in), "merged_res_blocks", 0, kMaxBlocks);
+  config.use_images = checked_flag(read_pod<int>(in), "use_images");
+  config.image_channels = checked_field(read_pod<int>(in), "image_channels",
+                                        1, 1024);
+  for (int& ch : config.conv_channels) {
+    ch = checked_field(read_pod<int>(in), "conv_channels", 1, kMaxWidth);
+  }
+  config.image_fc = checked_field(read_pod<int>(in), "image_fc", 1,
+                                  kMaxWidth);
+  config.fc6_width = checked_field(read_pod<int>(in), "fc6_width", 1,
+                                   kMaxWidth);
+  config.two_class = checked_flag(read_pod<int>(in), "two_class");
   config.seed = read_pod<std::uint64_t>(in);
 
+  // On seekable streams, reject a stream that cannot possibly hold the
+  // weight section before constructing the network — construction
+  // allocates every weight tensor up front. The cheap pre-construction
+  // bound is the first layer (fc1: vector_dim x hidden floats plus its
+  // bias); the exact per-parameter sizes are re-checked against the
+  // stream as they are read.
+  const std::optional<std::uint64_t> remaining = remaining_bytes(in);
+  if (remaining.has_value()) {
+    const std::uint64_t fc1_bytes =
+        (static_cast<std::uint64_t>(config.vector_dim) * config.hidden +
+         config.hidden) *
+        sizeof(float);
+    if (*remaining < fc1_bytes) {
+      throw ModelLoadError("model file truncated: header promises at least " +
+                           std::to_string(fc1_bytes) + " weight bytes, " +
+                           std::to_string(*remaining) + " present");
+    }
+  }
+
   AttackNet net(config);
+  std::uint64_t consumed = 0;
   for (const Param& p : net.params()) {
     auto count = read_pod<std::uint64_t>(in);
+    consumed += sizeof(count);
     if (count != p.value->size()) {
-      throw std::runtime_error("model shape mismatch for " + p.name);
+      throw ModelLoadError("model shape mismatch for " + p.name +
+                           ": file has " + std::to_string(count) +
+                           " floats, expected " +
+                           std::to_string(p.value->size()));
+    }
+    consumed += count * sizeof(float);
+    if (remaining.has_value() && consumed > *remaining) {
+      throw ModelLoadError("model file truncated: " + p.name + " needs " +
+                           std::to_string(consumed) + " weight bytes, " +
+                           std::to_string(*remaining) + " present");
     }
     in.read(reinterpret_cast<char*>(p.value->data()),
             static_cast<std::streamsize>(count * sizeof(float)));
-    if (!in) throw std::runtime_error("model file truncated in " + p.name);
+    if (!in) throw ModelLoadError("model file truncated in " + p.name);
   }
   return net;
 }

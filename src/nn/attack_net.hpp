@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "nn/arena.hpp"
@@ -23,6 +24,15 @@
 #include "nn/tensor.hpp"
 
 namespace sma::nn {
+
+/// A model stream failed validation at load: bad magic, a header field
+/// outside its sane range (hostile or garbage input must never reach
+/// tensor allocation as a bad_alloc), a shape mismatch, or truncation.
+/// Derives std::runtime_error, so pre-existing catch sites keep working.
+class ModelLoadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct NetConfig {
   int vector_dim = 27;
@@ -80,7 +90,11 @@ class AttackNet {
   /// Binary serialization (config + weights). `save` verifies stream
   /// health after writing and throws std::runtime_error on any failure —
   /// a silent partial write would leave a truncated model file that only
-  /// fails (confusingly) at load time.
+  /// fails (confusingly) at load time. `load` validates every header
+  /// field against sane bounds (and, on seekable streams, tensor sizes
+  /// against the bytes actually remaining) *before* allocating, so a
+  /// truncated or hostile stream throws ModelLoadError instead of
+  /// exhausting memory or materializing garbage tensors.
   void save(std::ostream& out);
   static AttackNet load(std::istream& in);
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "nn/layers.hpp"
@@ -58,6 +59,18 @@ class Adam {
 
   double learning_rate() const { return lr_; }
   std::size_t num_parameters() const;
+
+  /// Checkpoint the full optimizer state: learning rate (decays applied
+  /// so far), step counter, and both moment vectors per parameter. The
+  /// config itself is not serialized — it comes from the TrainConfig the
+  /// resuming run was constructed with.
+  void serialize(std::ostream& out) const;
+
+  /// Restore state written by `serialize` into this optimizer. The
+  /// parameter count and every moment-vector size must match this
+  /// optimizer's parameters; throws std::runtime_error (naming the
+  /// mismatch) otherwise, leaving the state untouched.
+  void deserialize(std::istream& in);
 
  private:
   std::vector<Param> params_;

@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <sstream>
 
+#include "attack/checkpoint.hpp"
 #include "attack/dl_attack.hpp"
 #include "eval/split_cache.hpp"
 #include "layout/design.hpp"
+#include "util/fault.hpp"
 #include "nn/gemm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -84,6 +86,7 @@ void RunReport::add_replicas(const attack::DlAttack& attack) {
   replicas_.max_on_loan = static_cast<std::int64_t>(lease.max_on_loan);
   replicas_.wait_seconds = lease.wait_seconds;
   replicas_.occupancy_seconds = lease.occupancy_seconds;
+  replicas_.timeouts = lease.timeouts;
   replicas_.arena_allocs = arena.allocs;
   replicas_.arena_bytes_pinned = arena.bytes_pinned;
 }
@@ -143,7 +146,8 @@ std::string RunReport::to_json() const {
     append_number(os, replicas_.wait_seconds);
     os << ", \"occupancy_seconds\": ";
     append_number(os, replicas_.occupancy_seconds);
-    os << ", \"arena_allocs\": " << replicas_.arena_allocs
+    os << ", \"timeouts\": " << replicas_.timeouts
+       << ", \"arena_allocs\": " << replicas_.arena_allocs
        << ", \"arena_bytes_pinned\": " << replicas_.arena_bytes_pinned << "}";
   } else {
     os << ", \"replicas\": null";
@@ -151,7 +155,23 @@ std::string RunReport::to_json() const {
 
   const eval::SplitCache::Stats cache = eval::SplitCache::global().stats();
   os << ", \"split_cache\": {\"hits\": " << cache.hits
-     << ", \"misses\": " << cache.misses << "}";
+     << ", \"misses\": " << cache.misses
+     << ", \"disk_hits\": " << cache.disk_hits
+     << ", \"disk_spills\": " << cache.disk_spills
+     << ", \"disk_corrupt\": " << cache.disk_corrupt << ", \"disk_dir\": ";
+  append_json_string(os, eval::SplitCache::global().disk_dir());
+  os << "}";
+
+  // Durability: the crash-safety machinery's process-wide counters —
+  // whether fault injection is compiled in and how often it fired, plus
+  // the checkpoint lifecycle (PR 7).
+  const attack::CheckpointStats ckpt = attack::checkpoint_stats();
+  os << ", \"durability\": {\"fault_compiled\": "
+     << (util::fault::compiled() ? "true" : "false")
+     << ", \"faults_injected\": " << util::fault::injected_count()
+     << ", \"checkpoint_saves\": " << ckpt.saves
+     << ", \"checkpoint_resumes\": " << ckpt.resumes
+     << ", \"checkpoint_corrupt_discards\": " << ckpt.corrupt_discards << "}";
 
   Registry& reg = Registry::global();
   os << ", \"kernels\": {\"backend\": \""

@@ -1,0 +1,265 @@
+#include "util/durable_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/fault.hpp"
+
+namespace sma::util {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x464d5341;  // "SMAF" little-endian
+constexpr std::uint32_t kContainerVersion = 1;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Bounds-checked little-endian reads over the frame bytes.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T read(const char* what) {
+    if (bytes_.size() - pos_ < sizeof(T)) {
+      throw FrameError(std::string("frame truncated in ") + what);
+    }
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view read_bytes(std::size_t n, const char* what) {
+    if (bytes_.size() - pos_ < n) {
+      throw FrameError(std::string("frame truncated in ") + what);
+    }
+    std::string_view v = bytes_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t frame_checksum(std::string_view kind, std::uint32_t version,
+                             std::string_view payload) {
+  // Chain FNV over the pieces the checksum covers, in frame order.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(kind.data(), kind.size());
+  mix(&version, sizeof(version));
+  mix(payload.data(), payload.size());
+  return h;
+}
+
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
+  throw IoError(op + " '" + path + "' failed: " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string frame_encode(std::string_view kind, std::uint32_t version,
+                         std::string_view payload) {
+  std::string out;
+  out.reserve(4 * sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t) +
+              kind.size() + payload.size());
+  append_u32(out, kMagic);
+  append_u32(out, kContainerVersion);
+  append_u32(out, static_cast<std::uint32_t>(kind.size()));
+  out.append(kind.data(), kind.size());
+  append_u32(out, version);
+  append_u64(out, static_cast<std::uint64_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  append_u64(out, frame_checksum(kind, version, payload));
+  return out;
+}
+
+std::string frame_decode(std::string_view bytes, std::string_view kind,
+                         std::uint32_t version) {
+  Cursor cursor(bytes);
+  if (cursor.read<std::uint32_t>("magic") != kMagic) {
+    throw FrameError("not a durable frame (bad magic)");
+  }
+  const auto container = cursor.read<std::uint32_t>("container version");
+  if (container != kContainerVersion) {
+    throw FrameError("unsupported container version " +
+                     std::to_string(container));
+  }
+  const auto kind_len = cursor.read<std::uint32_t>("kind length");
+  if (kind_len > 256) {
+    throw FrameError("implausible kind length " + std::to_string(kind_len));
+  }
+  const std::string_view got_kind = cursor.read_bytes(kind_len, "kind");
+  if (got_kind != kind) {
+    throw FrameError("frame kind mismatch: expected '" + std::string(kind) +
+                     "', got '" + std::string(got_kind) + "'");
+  }
+  const auto got_version = cursor.read<std::uint32_t>("schema version");
+  if (got_version != version) {
+    throw FrameError("frame schema version mismatch: expected " +
+                     std::to_string(version) + ", got " +
+                     std::to_string(got_version));
+  }
+  const auto payload_len = cursor.read<std::uint64_t>("payload length");
+  if (payload_len > bytes.size() - cursor.pos()) {
+    throw FrameError("frame truncated: payload claims " +
+                     std::to_string(payload_len) + " bytes, " +
+                     std::to_string(bytes.size() - cursor.pos()) +
+                     " remain");
+  }
+  const std::string_view payload = cursor.read_bytes(
+      static_cast<std::size_t>(payload_len), "payload");
+  const auto checksum = cursor.read<std::uint64_t>("checksum");
+  if (checksum != frame_checksum(kind, version, payload)) {
+    throw FrameError("frame checksum mismatch (torn write or corruption)");
+  }
+  return std::string(payload);
+}
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  // Temp file in the destination directory (rename must not cross
+  // filesystems); pid-suffixed so concurrent processes sharing a cache
+  // directory never scribble on each other's temp file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+
+  fault::point("durable.open_temp");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open", tmp);
+
+  std::string_view to_write = bytes;
+  std::string mutated;
+  bool tear_after_prefix = false;
+  switch (fault::io_point("durable.write")) {
+    case fault::Action::kShortWrite:
+      // Torn write: emit only a prefix, then crash. The temp file is the
+      // torn one; atomic replace means the destination stays whole. To
+      // model a filesystem that reordered data vs. the rename, tests
+      // instead truncate the destination bytes directly.
+      to_write = bytes.substr(0, bytes.size() / 2);
+      tear_after_prefix = true;
+      break;
+    case fault::Action::kCorrupt:
+      // Silent corruption: flip one byte mid-payload but complete the
+      // write — the checksum catches it at load time.
+      mutated.assign(bytes);
+      if (!mutated.empty()) mutated[mutated.size() / 2] ^= 0x40;
+      to_write = mutated;
+      break;
+    default:
+      break;
+  }
+
+  std::size_t written = 0;
+  while (written < to_write.size()) {
+    const ::ssize_t n =
+        ::write(fd, to_write.data() + written, to_write.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_errno("write", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (tear_after_prefix) {
+    ::close(fd);
+    throw fault::FaultInjected("durable.write");
+  }
+
+  fault::point("durable.fsync");
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("close", tmp);
+  }
+
+  fault::point("durable.rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("rename", tmp + " -> " + path);
+  }
+
+  // Durability of the rename itself: fsync the containing directory.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best effort — some filesystems reject directory fsync
+    ::close(dfd);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  fault::point("durable.read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw IoError("read of '" + path + "' failed");
+  return buffer.str();
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+void ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw IoError("cannot create directory '" + dir + "': " + ec.message());
+  }
+}
+
+void write_frame_file(const std::string& path, std::string_view kind,
+                      std::uint32_t version, std::string_view payload) {
+  atomic_write_file(path, frame_encode(kind, version, payload));
+}
+
+std::string read_frame_file(const std::string& path, std::string_view kind,
+                            std::uint32_t version) {
+  return frame_decode(read_file(path), kind, version);
+}
+
+}  // namespace sma::util

@@ -1,0 +1,92 @@
+// Crash-safe file persistence: atomic replace + a checksummed frame.
+//
+// Everything the repo persists across process lifetimes (training
+// checkpoints, the on-disk split cache, experiment work units) goes
+// through this layer, which gives two guarantees:
+//
+//  1. Atomic visibility. `atomic_write_file` writes to a temp file in the
+//     target directory, flushes it to stable storage (fsync), renames it
+//     over the destination, and fsyncs the directory. A crash at any
+//     instant leaves either the complete old file or the complete new
+//     file — never a torn one — so "the previous checkpoint stays valid"
+//     holds at every injection point of the fault harness (util/fault.hpp).
+//
+//  2. Detection at load. Payloads are wrapped in a framed container —
+//     magic, kind tag, schema version, payload length, FNV-1a checksum —
+//     so a file that was torn or corrupted anyway (non-atomic filesystem,
+//     bit rot, a fault-injected short_write/corrupt) is rejected with a
+//     typed error at `frame_decode` time, never silently consumed.
+//
+// Errors are typed so callers can distinguish "this file is damaged,
+// recompute it" (FrameError) from "the storage itself is failing"
+// (IoError); both derive from DurableIoError.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sma::util {
+
+/// Base of every durable-IO failure.
+class DurableIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The bytes are not a valid frame: bad magic, wrong kind, unsupported
+/// version, truncation, or checksum mismatch. The file is damaged or
+/// foreign — discard or recompute it.
+class FrameError : public DurableIoError {
+ public:
+  using DurableIoError::DurableIoError;
+};
+
+/// The operating system refused an IO operation (open, write, fsync,
+/// rename, read). The message carries the path and errno text.
+class IoError : public DurableIoError {
+ public:
+  using DurableIoError::DurableIoError;
+};
+
+/// FNV-1a 64-bit over a byte range (the frame checksum; same function as
+/// util::ContentHash so digests stay consistent repo-wide).
+std::uint64_t fnv1a(const void* data, std::size_t size);
+
+/// Wrap `payload` in a framed container:
+///   u32 magic "SMAF" | u32 container version | u32 kind length |
+///   kind bytes | u32 schema version | u64 payload length |
+///   payload bytes | u64 FNV-1a(kind, schema version, payload)
+std::string frame_encode(std::string_view kind, std::uint32_t version,
+                         std::string_view payload);
+
+/// Validate a frame and return its payload. Throws FrameError naming the
+/// violated rule (magic, kind, version, truncation, checksum).
+std::string frame_decode(std::string_view bytes, std::string_view kind,
+                         std::uint32_t version);
+
+/// Atomically replace `path` with `bytes` (temp file + fsync + rename +
+/// directory fsync). Throws IoError on OS failure. Fault injection
+/// points: `durable.open_temp`, `durable.write` (honors short_write /
+/// corrupt), `durable.fsync`, `durable.rename`.
+void atomic_write_file(const std::string& path, std::string_view bytes);
+
+/// Read a whole file. Throws IoError when it does not exist or cannot be
+/// read. Fault injection point: `durable.read`.
+std::string read_file(const std::string& path);
+
+bool file_exists(const std::string& path);
+
+/// Create `dir` (and parents) if missing. Throws IoError on failure.
+void ensure_dir(const std::string& dir);
+
+/// frame_encode + atomic_write_file.
+void write_frame_file(const std::string& path, std::string_view kind,
+                      std::uint32_t version, std::string_view payload);
+
+/// read_file + frame_decode.
+std::string read_frame_file(const std::string& path, std::string_view kind,
+                            std::uint32_t version);
+
+}  // namespace sma::util

@@ -45,6 +45,20 @@ class Pcg32 {
   /// A decorrelated child generator for a named sub-stage.
   Pcg32 fork(std::uint64_t stream_id) const;
 
+  /// The full generator state, for checkpoint/resume: a restored
+  /// generator continues the exact stream the saved one would have
+  /// produced. (Constructing from the original seed and replaying draws
+  /// reaches the same state; capture/restore just skips the replay.)
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+  };
+  State save_state() const { return State{state_, inc_}; }
+  void restore_state(const State& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <ostream>
 #include <sstream>
 #include <streambuf>
@@ -190,6 +191,86 @@ TEST(AttackNet, LoadRejectsGarbage) {
   std::stringstream buffer;
   buffer << "not a model";
   EXPECT_THROW(AttackNet::load(buffer), std::runtime_error);
+}
+
+TEST(AttackNet, LoadRejectsHostileHeaderFieldsBeforeAllocating) {
+  // Fuzz the 64-byte header of a valid model: magic u32 at 0, then the
+  // config ints (vector_dim @4, hidden @8, vector_res_blocks @12,
+  // merged_res_blocks @16, use_images @20, image_channels @24,
+  // conv_channels @28..40, image_fc @44, fc6_width @48, two_class @52),
+  // then the u64 seed @56. Every out-of-range value must be rejected with
+  // the typed ModelLoadError *before* tensor allocation — a hostile
+  // header must never become a bad_alloc or a garbage network.
+  AttackNet net(tiny_config(true));
+  std::stringstream buffer;
+  net.save(buffer);
+  const std::string full = buffer.str();
+  ASSERT_GE(full.size(), 64u);
+
+  struct Patch {
+    std::size_t offset;
+    int value;
+    const char* field;
+  };
+  const Patch patches[] = {
+      {4, 0, "vector_dim zero"},
+      {4, -27, "vector_dim negative"},
+      {4, 0x7fffffff, "vector_dim huge"},
+      {8, 0, "hidden zero"},
+      {8, -16, "hidden negative"},
+      {8, 0x7fffffff, "hidden huge"},
+      {12, -1, "vector_res_blocks negative"},
+      {12, 1 << 30, "vector_res_blocks huge"},
+      {16, -2, "merged_res_blocks negative"},
+      {20, 7, "use_images non-flag"},
+      {24, 0, "image_channels zero"},
+      {24, 1 << 20, "image_channels huge"},
+      {28, -4, "conv_channels negative"},
+      {32, 0x7fffffff, "conv_channels huge"},
+      {44, 0, "image_fc zero"},
+      {48, -8, "fc6_width negative"},
+      {52, 3, "two_class non-flag"},
+  };
+  for (const Patch& patch : patches) {
+    std::string damaged = full;
+    std::memcpy(&damaged[patch.offset], &patch.value, sizeof(int));
+    std::stringstream in(damaged);
+    EXPECT_THROW(AttackNet::load(in), ModelLoadError) << patch.field;
+  }
+
+  // The unpatched stream still loads: the patches, not the fixture,
+  // triggered the rejections.
+  std::stringstream good(full);
+  AttackNet restored = AttackNet::load(good);
+  EXPECT_EQ(restored.config().hidden, 16);
+}
+
+TEST(AttackNet, LoadRejectsHeaderPromisingMoreWeightsThanStreamHolds) {
+  // A header that is self-consistent but promises a bigger network than
+  // the stream contains (e.g. a truncated download of a larger model)
+  // must be rejected by the size-vs-remaining-bytes check, typed.
+  AttackNet net(tiny_config(false));
+  std::stringstream buffer;
+  net.save(buffer);
+  std::string bytes = buffer.str();
+  const int big_hidden = 512;  // plausible but far beyond the stored weights
+  std::memcpy(&bytes[8], &big_hidden, sizeof(int));
+  std::stringstream in(bytes);
+  EXPECT_THROW(AttackNet::load(in), ModelLoadError);
+}
+
+TEST(AttackNet, LoadTruncationThrowsTypedErrorAtEveryHeaderCut) {
+  // Denser sweep than LoadRejectsTruncatedBuffer, asserting the *typed*
+  // error: every cut inside the header and the early weight section.
+  AttackNet net(tiny_config(false));
+  std::stringstream buffer;
+  net.save(buffer);
+  const std::string full = buffer.str();
+  for (std::size_t cut = 0; cut < 96 && cut < full.size(); ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(AttackNet::load(truncated), ModelLoadError)
+        << "cut at byte " << cut;
+  }
 }
 
 TEST(AttackNet, LoadRejectsTruncatedBuffer) {

@@ -1,0 +1,723 @@
+// Crash-safety gates (PR 7): durable_io framing, the fault-injection
+// harness, checkpoint/resume byte-identity, the split cache's disk tier,
+// and durable experiment work units.
+//
+// The central contract under test: a run killed at ANY fault-injection
+// point can be rerun and produces results byte-identical to a run that
+// was never interrupted — and a damaged file on disk is always detected
+// and recomputed, never silently consumed.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/checkpoint.hpp"
+#include "attack/dl_attack.hpp"
+#include "attack/replica_set.hpp"
+#include "eval/experiment.hpp"
+#include "eval/split_cache.hpp"
+#include "layout/def_io.hpp"
+#include "test_support.hpp"
+#include "util/durable_io.hpp"
+#include "util/fault.hpp"
+
+namespace sma {
+namespace {
+
+namespace fault = util::fault;
+
+/// Fresh per-test scratch directory under the gtest temp root.
+std::string test_dir() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string dir = ::testing::TempDir() + "sma_durability/" +
+                          info->test_suite_name() + "_" + info->name();
+  std::filesystem::remove_all(dir);
+  util::ensure_dir(dir);
+  return dir;
+}
+
+/// Flip one byte of `path` in place (simulated bit rot).
+void corrupt_file_byte(const std::string& path, std::size_t offset) {
+  std::string bytes = util::read_file(path);
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x40);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.write(bytes.data(),
+                        static_cast<std::streamsize>(bytes.size())));
+}
+
+/// Armed faults must never leak across tests.
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+// ---------------------------------------------------------------------
+// Frame container
+// ---------------------------------------------------------------------
+
+TEST_F(DurabilityTest, FrameRoundTripsArbitraryPayloads) {
+  const std::string payload("ab\0\xff\n\x01zz", 8);
+  const std::string frame = util::frame_encode("unit-test", 3, payload);
+  EXPECT_EQ(util::frame_decode(frame, "unit-test", 3), payload);
+
+  // Empty payloads are legal (an empty work unit is still a valid frame).
+  const std::string empty = util::frame_encode("unit-test", 3, "");
+  EXPECT_EQ(util::frame_decode(empty, "unit-test", 3), "");
+}
+
+TEST_F(DurabilityTest, FrameRejectsEveryTruncation) {
+  // The torn-write case: a frame cut at EVERY byte boundary must be
+  // rejected — there is no prefix length at which a truncated frame still
+  // decodes.
+  const std::string frame = util::frame_encode("unit-test", 1, "payload!");
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_THROW(util::frame_decode(frame.substr(0, cut), "unit-test", 1),
+                 util::FrameError)
+        << "cut at byte " << cut << " of " << frame.size();
+  }
+}
+
+TEST_F(DurabilityTest, FrameRejectsEverySingleByteCorruption) {
+  // Bit rot anywhere — header, kind, length fields, payload, checksum —
+  // must be caught (by a field check or ultimately the checksum).
+  const std::string frame =
+      util::frame_encode("unit-test", 1, "sixteen payload b");
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::string damaged = frame;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x04);
+    EXPECT_THROW(util::frame_decode(damaged, "unit-test", 1),
+                 util::FrameError)
+        << "flipped byte " << i << " of " << frame.size();
+  }
+}
+
+TEST_F(DurabilityTest, FrameRejectsWrongKindAndVersion) {
+  const std::string frame = util::frame_encode("kind-a", 2, "data");
+  EXPECT_THROW(util::frame_decode(frame, "kind-b", 2), util::FrameError);
+  EXPECT_THROW(util::frame_decode(frame, "kind-a", 3), util::FrameError);
+  EXPECT_EQ(util::frame_decode(frame, "kind-a", 2), "data");
+}
+
+// ---------------------------------------------------------------------
+// Atomic file replacement
+// ---------------------------------------------------------------------
+
+TEST_F(DurabilityTest, AtomicWriteReadRoundTripAndReplace) {
+  const std::string dir = test_dir();
+  const std::string path = dir + "/file.bin";
+  EXPECT_FALSE(util::file_exists(path));
+  EXPECT_THROW(util::read_file(path), util::IoError);
+
+  util::atomic_write_file(path, "first");
+  EXPECT_TRUE(util::file_exists(path));
+  EXPECT_EQ(util::read_file(path), "first");
+
+  util::atomic_write_file(path, "second, longer contents");
+  EXPECT_EQ(util::read_file(path), "second, longer contents");
+}
+
+TEST_F(DurabilityTest, EnsureDirCreatesNestedDirectories) {
+  const std::string dir = test_dir() + "/a/b/c";
+  util::ensure_dir(dir);
+  util::ensure_dir(dir);  // idempotent
+  util::atomic_write_file(dir + "/f", "x");
+  EXPECT_EQ(util::read_file(dir + "/f"), "x");
+}
+
+// ---------------------------------------------------------------------
+// Fault harness
+// ---------------------------------------------------------------------
+
+TEST_F(DurabilityTest, FaultFiresOnNthHitAndIsOneShot) {
+  if (!fault::compiled()) GTEST_SKIP() << "built with -DSMA_FAULT=OFF";
+  const std::string dir = test_dir();
+  const std::string path = dir + "/f.bin";
+  util::atomic_write_file(path, "ok");
+
+  ASSERT_TRUE(fault::arm("durable.read", fault::Action::kFail, /*nth=*/2));
+  EXPECT_EQ(util::read_file(path), "ok");                    // hit 1: inert
+  EXPECT_THROW(util::read_file(path), fault::FaultInjected);  // hit 2: fires
+  EXPECT_EQ(util::read_file(path), "ok");  // one-shot: disarmed after firing
+  EXPECT_EQ(fault::hits("durable.read"), 3);
+
+  fault::disarm_all();
+  EXPECT_EQ(fault::hits("durable.read"), 0);
+}
+
+TEST_F(DurabilityTest, ArmFromEnvParsesSpecsAndRejectsMalformedOnes) {
+  if (!fault::compiled()) GTEST_SKIP() << "built with -DSMA_FAULT=OFF";
+  const std::string dir = test_dir();
+  const std::string path = dir + "/f.bin";
+  util::atomic_write_file(path, "ok");
+
+  ::setenv("SMA_FAULT", "durable.read:fail:1", /*overwrite=*/1);
+  EXPECT_EQ(fault::arm_from_env(), 1);
+  ::unsetenv("SMA_FAULT");
+  EXPECT_THROW(util::read_file(path), fault::FaultInjected);
+  EXPECT_EQ(util::read_file(path), "ok");
+
+  // A misspelled spec must fail loudly, not silently test nothing.
+  ::setenv("SMA_FAULT", "durable.read:bogus_mode:1", 1);
+  EXPECT_THROW(fault::arm_from_env(), std::invalid_argument);
+  ::unsetenv("SMA_FAULT");
+}
+
+TEST_F(DurabilityTest, AtomicReplaceSurvivesKillAtEveryIoPoint) {
+  if (!fault::compiled()) GTEST_SKIP() << "built with -DSMA_FAULT=OFF";
+  const std::string dir = test_dir();
+  const std::string path = dir + "/frame.sma";
+  util::write_frame_file(path, "kill-test", 1, "OLD");
+
+  struct Point {
+    const char* name;
+    fault::Action mode;
+  };
+  const Point points[] = {
+      {"durable.open_temp", fault::Action::kFail},
+      {"durable.write", fault::Action::kFail},
+      {"durable.write", fault::Action::kShortWrite},
+      {"durable.fsync", fault::Action::kFail},
+      {"durable.rename", fault::Action::kFail},
+  };
+  for (const Point& p : points) {
+    fault::disarm_all();
+    ASSERT_TRUE(fault::arm(p.name, p.mode));
+    EXPECT_THROW(util::write_frame_file(path, "kill-test", 1, "NEW"),
+                 fault::FaultInjected)
+        << p.name;
+    // The crash left either no trace or a doomed temp file — never a torn
+    // destination. The previous frame must still load, intact.
+    EXPECT_EQ(util::read_frame_file(path, "kill-test", 1), "OLD") << p.name;
+  }
+
+  fault::disarm_all();
+  util::write_frame_file(path, "kill-test", 1, "NEW");
+  EXPECT_EQ(util::read_frame_file(path, "kill-test", 1), "NEW");
+}
+
+TEST_F(DurabilityTest, SilentCorruptionIsDetectedAtLoad) {
+  if (!fault::compiled()) GTEST_SKIP() << "built with -DSMA_FAULT=OFF";
+  const std::string dir = test_dir();
+  const std::string path = dir + "/frame.sma";
+
+  // corrupt mode completes the write normally (no crash to observe) but
+  // flips a byte — the non-atomic-filesystem / bit-rot case. The frame
+  // checksum must catch it at load.
+  ASSERT_TRUE(fault::arm("durable.write", fault::Action::kCorrupt));
+  util::write_frame_file(path, "kill-test", 1, "payload bytes");
+  EXPECT_THROW(util::read_frame_file(path, "kill-test", 1), util::FrameError);
+}
+
+// ---------------------------------------------------------------------
+// Training checkpoints
+// ---------------------------------------------------------------------
+
+TEST_F(DurabilityTest, CheckpointSaveLoadRoundTrip) {
+  const std::string dir = test_dir();
+  const std::string path = dir + "/ckpt.sma";
+
+  attack::TrainCheckpoint ckpt;
+  ckpt.compat_digest = 0xfeedbeefcafe1234ULL;
+  ckpt.epochs_done = 7;
+  ckpt.queries_seen = 4200;
+  ckpt.epoch_loss = {1.5, 0.75, 0.5};
+  ckpt.validation_ccr = {0.25};
+  ckpt.rng = util::Pcg32(123).save_state();
+  ckpt.model_blob = "model-bytes";
+  ckpt.adam_blob = "adam-bytes";
+  attack::save_checkpoint(path, ckpt);
+
+  attack::TrainCheckpoint loaded;
+  ASSERT_TRUE(attack::try_load_checkpoint(path, ckpt.compat_digest, &loaded));
+  EXPECT_EQ(loaded.compat_digest, ckpt.compat_digest);
+  EXPECT_EQ(loaded.epochs_done, 7);
+  EXPECT_EQ(loaded.queries_seen, 4200);
+  EXPECT_EQ(loaded.epoch_loss, ckpt.epoch_loss);
+  EXPECT_EQ(loaded.validation_ccr, ckpt.validation_ccr);
+  EXPECT_EQ(loaded.rng.state, ckpt.rng.state);
+  EXPECT_EQ(loaded.rng.inc, ckpt.rng.inc);
+  EXPECT_EQ(loaded.model_blob, "model-bytes");
+  EXPECT_EQ(loaded.adam_blob, "adam-bytes");
+
+  // Missing file and configuration mismatch both mean "start fresh".
+  attack::TrainCheckpoint out;
+  EXPECT_FALSE(attack::try_load_checkpoint(dir + "/nope.sma",
+                                           ckpt.compat_digest, &out));
+  const long discards_before = attack::checkpoint_stats().corrupt_discards;
+  EXPECT_FALSE(attack::try_load_checkpoint(path, /*expect_digest=*/1, &out));
+  EXPECT_EQ(attack::checkpoint_stats().corrupt_discards, discards_before + 1);
+
+  // A damaged checkpoint is discarded, not resumed.
+  corrupt_file_byte(path, 40);
+  EXPECT_FALSE(attack::try_load_checkpoint(path, ckpt.compat_digest, &out));
+  EXPECT_EQ(attack::checkpoint_stats().corrupt_discards, discards_before + 2);
+}
+
+TEST_F(DurabilityTest, EncodeDecodeParamsTransplantsWeightsExactly) {
+  nn::NetConfig config;
+  config.hidden = 16;
+  config.vector_res_blocks = 1;
+  config.merged_res_blocks = 1;
+  config.use_images = false;
+  nn::AttackNet a(config);
+  nn::NetConfig other = config;
+  other.seed ^= 0x9e3779b9u;  // different random init
+  nn::AttackNet b(other);
+
+  std::vector<nn::Param> a_params = a.params();
+  std::vector<nn::Param> b_params = b.params();
+  const std::string blob = attack::encode_params(a_params);
+  attack::decode_params(blob, b_params);
+
+  std::ostringstream sa, sb;
+  a.save(sa);
+  b.save(sb);
+  // Weight sections must now match byte for byte (headers differ in the
+  // stored seed, so compare past them).
+  EXPECT_EQ(sa.str().substr(64), sb.str().substr(64));
+
+  // A truncated blob must be rejected BEFORE any tensor is written.
+  EXPECT_THROW(
+      attack::decode_params(blob.substr(0, blob.size() / 2), b_params),
+      util::FrameError);
+  std::ostringstream sb2;
+  b.save(sb2);
+  EXPECT_EQ(sb.str(), sb2.str()) << "failed decode mutated the weights";
+}
+
+/// Shared training fixture for the resume tests: one small vector-only
+/// dataset (pattern borrowed from test_attacks.cpp), kept tiny because
+/// the kill matrix trains it many times.
+class CheckpointTrainTest : public DurabilityTest {
+ protected:
+  static nn::NetConfig net_config() {
+    nn::NetConfig config;
+    config.hidden = 24;
+    config.vector_res_blocks = 1;
+    config.merged_res_blocks = 1;
+    config.use_images = false;
+    return config;
+  }
+
+  static std::vector<attack::QueryDataset> make_training() {
+    attack::DatasetConfig config;
+    config.candidates.max_candidates = 8;
+    config.build_images = false;
+    std::vector<attack::QueryDataset> training;
+    training.emplace_back(test::shared_split(3, 400, 13).split.get(), config);
+    return training;
+  }
+
+  /// One full train() call; returns the saved model bytes.
+  static std::string train_model(int epochs, int batch_size, int threads,
+                                 const std::string& checkpoint_path,
+                                 int checkpoint_every,
+                                 attack::TrainStats* out_stats = nullptr) {
+    runtime::Config runtime_config;
+    runtime_config.threads = threads;
+    std::unique_ptr<runtime::ThreadPool> pool = runtime_config.make_pool();
+
+    std::vector<attack::QueryDataset> training = make_training();
+    std::vector<attack::QueryDataset> validation;
+    attack::TrainConfig config;
+    config.epochs = epochs;
+    config.batch_size = batch_size;
+    config.max_queries_per_design = 60;
+    config.decay_every = 3;
+    config.checkpoint_path = checkpoint_path;
+    config.checkpoint_every = checkpoint_every;
+
+    attack::DlAttack dl(net_config());
+    attack::TrainStats stats =
+        dl.train(training, validation, config, pool.get());
+    if (out_stats != nullptr) *out_stats = stats;
+    std::ostringstream bytes;
+    dl.net().save(bytes);
+    return bytes.str();
+  }
+};
+
+TEST_F(CheckpointTrainTest, ResumeIsByteIdenticalAcrossThreadsAndLanes) {
+  const std::string dir = test_dir();
+  for (int batch_size : {1, 8}) {
+    // The reference: an uninterrupted run (the model depends on the lane
+    // count but never on the thread count).
+    attack::TrainStats ref_stats;
+    const std::string ref =
+        train_model(4, batch_size, /*threads=*/1, "", 0, &ref_stats);
+
+    for (int threads : {1, 4}) {
+      const std::string path = dir + "/ckpt_b" + std::to_string(batch_size) +
+                               "_t" + std::to_string(threads) + ".sma";
+      // "Crash" after epoch 2 (simply stop), then resume to epoch 4.
+      train_model(2, batch_size, threads, path, /*checkpoint_every=*/1);
+      attack::TrainStats stats;
+      const std::string resumed =
+          train_model(4, batch_size, threads, path, 1, &stats);
+
+      EXPECT_EQ(stats.resumed_from_epoch, 2)
+          << "batch " << batch_size << ", threads " << threads;
+      EXPECT_EQ(resumed, ref)
+          << "resumed model differs from uninterrupted run (batch "
+          << batch_size << ", threads " << threads << ")";
+      // The stats histories must also cover the full run, bitwise.
+      EXPECT_EQ(stats.epoch_loss, ref_stats.epoch_loss);
+      ASSERT_EQ(stats.arena_allocs_per_epoch.size(),
+                ref_stats.arena_allocs_per_epoch.size());
+      EXPECT_GE(stats.checkpoints_saved, 1);
+    }
+  }
+}
+
+TEST_F(CheckpointTrainTest, KillDuringSaveLeavesPreviousCheckpointValid) {
+  if (!fault::compiled()) GTEST_SKIP() << "built with -DSMA_FAULT=OFF";
+  const std::string dir = test_dir();
+  const std::string ref = train_model(6, 2, 1, "", 0);
+
+  struct Kill {
+    const char* point;
+    fault::Action mode;
+    long nth;
+    int resume_epoch;  ///< the checkpoint that must survive the crash
+  };
+  // With checkpoint_every = 2, saves happen after epochs 2, 4 and 6. Each
+  // entry crashes the SECOND save (epoch 4) at a different instant of the
+  // write path — except checkpoint.saved, which crashes right AFTER the
+  // first save commits, so the new checkpoint must be the survivor.
+  const Kill kills[] = {
+      {"checkpoint.save", fault::Action::kFail, 2, 2},
+      {"durable.open_temp", fault::Action::kFail, 2, 2},
+      {"durable.write", fault::Action::kFail, 2, 2},
+      {"durable.write", fault::Action::kShortWrite, 2, 2},
+      {"durable.fsync", fault::Action::kFail, 2, 2},
+      {"durable.rename", fault::Action::kFail, 2, 2},
+      {"checkpoint.saved", fault::Action::kFail, 1, 2},
+  };
+  int i = 0;
+  for (const Kill& kill : kills) {
+    const std::string path = dir + "/ckpt_" + std::to_string(i++) + ".sma";
+    fault::disarm_all();
+    ASSERT_TRUE(fault::arm(kill.point, kill.mode, kill.nth));
+    EXPECT_THROW(train_model(6, 2, 1, path, /*checkpoint_every=*/2),
+                 fault::FaultInjected)
+        << kill.point;
+    fault::disarm_all();
+
+    // Rerun after the "crash": it must resume from the checkpoint the
+    // crash could not damage and converge to the uninterrupted model.
+    attack::TrainStats stats;
+    const std::string resumed = train_model(6, 2, 1, path, 2, &stats);
+    EXPECT_EQ(stats.resumed_from_epoch, kill.resume_epoch) << kill.point;
+    EXPECT_EQ(resumed, ref)
+        << "model after crash at " << kill.point
+        << " differs from uninterrupted run";
+  }
+}
+
+TEST_F(CheckpointTrainTest, CorruptCheckpointFallsBackToFreshStart) {
+  const std::string dir = test_dir();
+  const std::string path = dir + "/ckpt.sma";
+  const std::string ref = train_model(4, 2, 1, "", 0);
+
+  train_model(4, 2, 1, path, /*checkpoint_every=*/2);
+  ASSERT_TRUE(util::file_exists(path));
+  corrupt_file_byte(path, 100);
+
+  const long discards_before = attack::checkpoint_stats().corrupt_discards;
+  attack::TrainStats stats;
+  const std::string retrained = train_model(4, 2, 1, path, 2, &stats);
+  EXPECT_EQ(stats.resumed_from_epoch, 0)
+      << "a damaged checkpoint must not be resumed";
+  EXPECT_EQ(retrained, ref);
+  EXPECT_GT(attack::checkpoint_stats().corrupt_discards, discards_before);
+}
+
+// ---------------------------------------------------------------------
+// Split-cache disk tier
+// ---------------------------------------------------------------------
+
+std::string cache_entry_path(const std::string& dir, std::uint64_t key) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.sma",
+                static_cast<unsigned long long>(key));
+  return dir + "/" + name;
+}
+
+TEST_F(DurabilityTest, DiskCacheServesSecondProcessByteIdenticalDesign) {
+  const std::string dir = test_dir();
+  constexpr std::uint64_t kKey = 0x51a1ca5e00001234ULL;
+
+  // "Process" 1: a miss builds through the flow and spills to disk.
+  eval::SplitCache first(4);
+  first.set_disk_dir(dir, &test::library());
+  std::shared_ptr<const layout::Design> built = first.get_or_build(kKey, [] {
+    return std::make_shared<const layout::Design>(
+        test::small_routed_design(60, 3));
+  });
+  EXPECT_EQ(first.stats().misses, 1u);
+  EXPECT_EQ(first.stats().disk_hits, 0u);
+  EXPECT_EQ(first.stats().disk_spills, 1u);
+  ASSERT_TRUE(util::file_exists(cache_entry_path(dir, kKey)));
+
+  // "Process" 2 (a fresh cache over the same directory): the entry must
+  // come from disk — the build closure must never run — and the design
+  // must round-trip byte-identically.
+  eval::SplitCache second(4);
+  second.set_disk_dir(dir, &test::library());
+  std::shared_ptr<const layout::Design> loaded =
+      second.get_or_build(kKey, []() -> std::shared_ptr<const layout::Design> {
+        ADD_FAILURE() << "build ran despite a valid disk entry";
+        return std::make_shared<const layout::Design>(
+            test::small_routed_design(60, 3));
+      });
+  EXPECT_EQ(second.stats().disk_hits, 1u);
+  EXPECT_EQ(layout::to_def_string(*loaded), layout::to_def_string(*built));
+  EXPECT_EQ(loaded->routing.final_overflow, built->routing.final_overflow);
+  EXPECT_EQ(loaded->routing.fallback_routes, built->routing.fallback_routes);
+  EXPECT_EQ(loaded->routing.total_wirelength, built->routing.total_wirelength);
+  EXPECT_EQ(loaded->routing.total_vias, built->routing.total_vias);
+
+  // Memory tier now holds it: a second lookup never touches disk again.
+  second.get_or_build(kKey, []() -> std::shared_ptr<const layout::Design> {
+    ADD_FAILURE() << "memory tier missed";
+    return nullptr;
+  });
+  EXPECT_EQ(second.stats().hits, 1u);
+  EXPECT_EQ(second.stats().disk_hits, 1u);
+}
+
+TEST_F(DurabilityTest, CorruptDiskCacheEntryIsRebuiltNeverServed) {
+  const std::string dir = test_dir();
+  constexpr std::uint64_t kKey = 0xabcdef0123456789ULL;
+
+  eval::SplitCache first(4);
+  first.set_disk_dir(dir, &test::library());
+  std::shared_ptr<const layout::Design> built = first.get_or_build(kKey, [] {
+    return std::make_shared<const layout::Design>(
+        test::small_routed_design(60, 3));
+  });
+  const std::string path = cache_entry_path(dir, kKey);
+  ASSERT_TRUE(util::file_exists(path));
+  corrupt_file_byte(path, util::read_file(path).size() / 2);
+
+  // The damaged entry must be detected, deleted, and rebuilt — and the
+  // rebuild's spill repairs the file for the next process.
+  eval::SplitCache second(4);
+  second.set_disk_dir(dir, &test::library());
+  bool rebuilt = false;
+  std::shared_ptr<const layout::Design> repaired =
+      second.get_or_build(kKey, [&rebuilt] {
+        rebuilt = true;
+        return std::make_shared<const layout::Design>(
+            test::small_routed_design(60, 3));
+      });
+  EXPECT_TRUE(rebuilt) << "a corrupt entry was served as a layout";
+  EXPECT_EQ(second.stats().disk_corrupt, 1u);
+  EXPECT_EQ(second.stats().disk_hits, 0u);
+  EXPECT_EQ(second.stats().disk_spills, 1u);
+  EXPECT_EQ(layout::to_def_string(*repaired), layout::to_def_string(*built));
+
+  eval::SplitCache third(4);
+  third.set_disk_dir(dir, &test::library());
+  third.get_or_build(kKey, []() -> std::shared_ptr<const layout::Design> {
+    ADD_FAILURE() << "repaired entry did not load";
+    return nullptr;
+  });
+  EXPECT_EQ(third.stats().disk_hits, 1u);
+}
+
+TEST_F(DurabilityTest, DiskCacheEntryUnderWrongNameIsRejected) {
+  const std::string dir = test_dir();
+  eval::SplitCache cache(4);
+  cache.set_disk_dir(dir, &test::library());
+  cache.get_or_build(0x1111ULL, [] {
+    return std::make_shared<const layout::Design>(
+        test::small_routed_design(60, 3));
+  });
+  // Rename the entry to a different key: the embedded key echo must catch
+  // the mismatch and rebuild instead of serving the wrong layout.
+  std::filesystem::rename(cache_entry_path(dir, 0x1111ULL),
+                          cache_entry_path(dir, 0x2222ULL));
+  eval::SplitCache other(4);
+  other.set_disk_dir(dir, &test::library());
+  bool rebuilt = false;
+  other.get_or_build(0x2222ULL, [&rebuilt] {
+    rebuilt = true;
+    return std::make_shared<const layout::Design>(
+        test::small_routed_design(60, 5));
+  });
+  EXPECT_TRUE(rebuilt);
+  EXPECT_EQ(other.stats().disk_corrupt, 1u);
+}
+
+TEST_F(DurabilityTest, SpillFailureDegradesToMemoryOnly) {
+  const std::string tier = test_dir() + "/tier";
+  eval::SplitCache cache(4);
+  cache.set_disk_dir(tier, &test::library());
+  // Break the storage AFTER attach: the tier path is now a plain file, so
+  // every spill fails with a genuine IoError (the full-disk case). That
+  // must not fail the build — the run continues with the in-memory
+  // design.
+  std::filesystem::remove_all(tier);
+  util::atomic_write_file(tier, "not a directory");
+  std::shared_ptr<const layout::Design> design =
+      cache.get_or_build(0x3333ULL, [] {
+        return std::make_shared<const layout::Design>(
+            test::small_routed_design(60, 3));
+      });
+  ASSERT_NE(design, nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().disk_spills, 0u);
+
+  // A simulated crash AT the spill point is a different story: it must
+  // crash the caller, never degrade to "continue without spilling".
+  if (fault::compiled()) {
+    ASSERT_TRUE(fault::arm("cache.spill", fault::Action::kFail));
+    EXPECT_THROW(cache.get_or_build(0x4444ULL,
+                                    [] {
+                                      return std::make_shared<
+                                          const layout::Design>(
+                                          test::small_routed_design(60, 3));
+                                    }),
+                 fault::FaultInjected);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Durable experiment work units
+// ---------------------------------------------------------------------
+
+TEST_F(DurabilityTest, Figure5RerunLoadsWorkUnitsBitIdenticallyAndSkips) {
+  const std::string dir = test_dir();
+  // The tiny profile from test_experiment.cpp, plus a work dir.
+  eval::ExperimentProfile profile = eval::ExperimentProfile::fast();
+  profile.dataset.candidates.max_candidates = 6;
+  profile.dataset.images.size = 9;
+  profile.dataset.images.pixel_sizes = {200, 400};
+  profile.net.hidden = 16;
+  profile.net.vector_res_blocks = 1;
+  profile.net.merged_res_blocks = 1;
+  profile.net.conv_channels = {4, 6, 8, 10};
+  profile.net.image_fc = 16;
+  profile.train.epochs = 2;
+  profile.train.max_queries_per_design = 40;
+  profile.work_dir = dir;
+
+  netlist::DesignProfile victim;
+  victim.name = "tiny_a";
+  victim.num_inputs = 8;
+  victim.num_outputs = 4;
+  victim.num_gates = 300;
+  const std::vector<netlist::DesignProfile> victims = {victim};
+
+  layout::FlowConfig flow;
+  const std::vector<eval::AblationRow> first =
+      eval::run_figure5(profile, flow, victims, 2019);
+  ASSERT_EQ(first.size(), 3u);
+
+  std::size_t units = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".sma") ++units;
+  }
+  EXPECT_EQ(units, 3u) << "one work unit per Figure-5 setting";
+
+  // The rerun must load every row from its unit. The proof that nothing
+  // was recomputed: avg_inference_seconds is a wall-clock measurement,
+  // bit-equal only if it came from the file.
+  const std::vector<eval::AblationRow> second =
+      eval::run_figure5(profile, flow, victims, 2019);
+  ASSERT_EQ(second.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(second[i].setting, first[i].setting);
+    EXPECT_EQ(second[i].avg_ccr, first[i].avg_ccr);
+    EXPECT_EQ(second[i].avg_inference_seconds,
+              first[i].avg_inference_seconds);
+  }
+
+  // A damaged unit is recomputed (and only that one retrains); the rerun
+  // still converges to the identical row because training is
+  // deterministic.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".sma") {
+      corrupt_file_byte(entry.path().string(), 30);
+      break;
+    }
+  }
+  const std::vector<eval::AblationRow> third =
+      eval::run_figure5(profile, flow, victims, 2019);
+  ASSERT_EQ(third.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(third[i].setting, first[i].setting);
+    EXPECT_EQ(third[i].avg_ccr, first[i].avg_ccr)
+        << "recomputed row diverged for " << first[i].setting;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Bounded replica serving
+// ---------------------------------------------------------------------
+
+TEST_F(DurabilityTest, BoundedReplicaSetTimesOutAndCountsIt) {
+  nn::NetConfig config;
+  config.hidden = 8;
+  config.vector_res_blocks = 1;
+  config.merged_res_blocks = 1;
+  config.use_images = false;
+  nn::AttackNet master(config);
+
+  attack::ReplicaSet set;
+  set.set_max_replicas(2);
+  EXPECT_EQ(set.max_replicas(), 2u);
+  // More than the bound can never be satisfied: refuse, don't deadlock.
+  EXPECT_THROW(set.lease(3, master, 0.01), std::invalid_argument);
+
+  {
+    attack::ReplicaLease held = set.lease(2, master);
+    // Saturated: a bounded lease with a deadline must give up, typed.
+    EXPECT_THROW(set.lease(1, master, /*timeout_seconds=*/0.05),
+                 attack::AcquireTimeoutError);
+  }
+  EXPECT_EQ(set.lease_stats().timeouts, 1);
+
+  // After release the same request succeeds without growing past the cap.
+  attack::ReplicaLease ok = set.lease(2, master, 0.05);
+  EXPECT_EQ(ok.nets().size(), 2u);
+  EXPECT_EQ(set.lease_stats().clones_created, 2);
+}
+
+TEST_F(DurabilityTest, BoundedLeaseWakesWhenConcurrentLeaseReleases) {
+  nn::NetConfig config;
+  config.hidden = 8;
+  config.vector_res_blocks = 1;
+  config.merged_res_blocks = 1;
+  config.use_images = false;
+  nn::AttackNet master(config);
+
+  attack::ReplicaSet set;
+  set.set_max_replicas(1);
+  std::thread holder([&] {
+    attack::ReplicaLease held = set.lease(1, master);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Generous deadline: must block until the holder releases, then win.
+  attack::ReplicaLease won = set.lease(1, master, /*timeout_seconds=*/10.0);
+  EXPECT_EQ(won.nets().size(), 1u);
+  holder.join();
+  EXPECT_EQ(set.lease_stats().clones_created, 1);
+}
+
+}  // namespace
+}  // namespace sma
