@@ -133,12 +133,20 @@ struct LayerResult {
   std::string name;
   double naive_fwd_us = 0.0;
   double naive_bwd_us = 0.0;
-  double blocked_fwd_us = 0.0;
+  double pr7_fwd_us = 0.0;  ///< blocked, row-major-compat (PR-7 pipeline)
+  double pr7_bwd_us = 0.0;
+  double blocked_fwd_us = 0.0;  ///< blocked, channel-major (default)
   double blocked_bwd_us = 0.0;
+  /// The layer-boundary layout permutation, timed as its own phase: what
+  /// one explicit channel-major -> NCHW reorder of this layer's output
+  /// costs — the per-boundary price the channel-major pipeline deletes.
+  double reorder_us = 0.0;
 };
 
-/// Forward+backward timing of one conv layer under both backends, with
-/// bit-identity checks on output, input gradient and weight gradient.
+/// Forward+backward timing of one conv layer under three pipelines —
+/// reference, blocked/row-major-compat (the PR-7 baseline) and blocked/
+/// channel-major — with bit-identity checks on output and input gradient
+/// across all of them.
 LayerResult run_conv_case(int in_ch, int out_ch, int stride, int imgs,
                           int size, bool timed) {
   std::ostringstream name;
@@ -156,37 +164,78 @@ LayerResult run_conv_case(int in_ch, int out_ch, int stride, int imgs,
                            sma::nn::Act::kLeakyReLU);
   };
 
+  // dy values are drawn in row-major logical order once, then converted
+  // to each pipeline's actual output layout — every run receives the
+  // same mathematical gradient regardless of where its bytes live.
+  struct Run {
+    const char* phase;
+    KernelBackend backend;
+    sma::nn::ConvLayoutMode mode;
+  };
+  const Run runs[] = {
+      {"naive", KernelBackend::kReference,
+       sma::nn::ConvLayoutMode::kChannelMajor},  // mode unused by reference
+      {"pr7", KernelBackend::kBlocked,
+       sma::nn::ConvLayoutMode::kRowMajorCompat},
+      {"blocked", KernelBackend::kBlocked,
+       sma::nn::ConvLayoutMode::kChannelMajor},
+  };
   Tensor y_ref;
   Tensor dx_ref;
-  for (KernelBackend backend :
-       {KernelBackend::kReference, KernelBackend::kBlocked}) {
-    sma::nn::set_kernel_backend(backend);
+  Tensor y_cm;  // channel-major output, kept for the reorder-phase timing
+  for (const Run& run : runs) {
+    sma::nn::set_kernel_backend(run.backend);
+    sma::nn::set_conv_layout_mode(run.mode);
     sma::nn::Conv2d layer = make_layer();
     Tensor y = layer.forward(x);
-    Tensor dy(y.shape());
+    const Tensor y_rm = sma::nn::to_row_major(y);
+    Tensor dy_rm(y.shape());
     sma::util::Pcg32 grad_rng(55);
-    for (std::size_t i = 0; i < dy.size(); ++i) {
-      dy[i] = static_cast<float>(grad_rng.next_gaussian());
+    for (std::size_t i = 0; i < dy_rm.size(); ++i) {
+      dy_rm[i] = static_cast<float>(grad_rng.next_gaussian());
     }
+    const Tensor dy = sma::nn::to_layout(dy_rm, y.layout());
+    // x is row-major, so dx comes back row-major from every pipeline and
+    // compares directly.
     Tensor dx = layer.backward(dy);
-    if (backend == KernelBackend::kReference) {
-      y_ref = y;
+    const std::string phase_name = result.name + " " + run.phase;
+    if (run.backend == KernelBackend::kReference) {
+      y_ref = y_rm;
       dx_ref = dx;
       if (timed) {
         result.naive_fwd_us = time_call([&] { layer.forward(x); }) * 1e6;
         result.naive_bwd_us = time_call([&] { layer.backward(dy); }) * 1e6;
       }
     } else {
-      check_identical(y_ref.data(), y.data(), y.size(),
-                      result.name + " forward");
+      check_identical(y_ref.data(), y_rm.data(), y_rm.size(),
+                      phase_name + " forward");
       check_identical(dx_ref.data(), dx.data(), dx.size(),
-                      result.name + " backward");
+                      phase_name + " backward");
+      double* fwd_us = run.mode == sma::nn::ConvLayoutMode::kRowMajorCompat
+                           ? &result.pr7_fwd_us
+                           : &result.blocked_fwd_us;
+      double* bwd_us = run.mode == sma::nn::ConvLayoutMode::kRowMajorCompat
+                           ? &result.pr7_bwd_us
+                           : &result.blocked_bwd_us;
       if (timed) {
-        result.blocked_fwd_us = time_call([&] { layer.forward(x); }) * 1e6;
-        result.blocked_bwd_us = time_call([&] { layer.backward(dy); }) * 1e6;
+        *fwd_us = time_call([&] { layer.forward(x); }) * 1e6;
+        *bwd_us = time_call([&] { layer.backward(dy); }) * 1e6;
       }
+      if (run.mode == sma::nn::ConvLayoutMode::kChannelMajor) y_cm = y;
     }
   }
+  if (timed) {
+    // Time the bare boundary permutation into a preallocated destination
+    // (grow-only resize_reuse makes repeat calls allocation-free).
+    Tensor staged;
+    sma::nn::copy_to_layout(y_cm, sma::nn::Layout::kRowMajor, staged);
+    result.reorder_us =
+        time_call([&] {
+          sma::nn::copy_to_layout(y_cm, sma::nn::Layout::kRowMajor, staged);
+        }) *
+        1e6;
+  }
+  sma::nn::set_conv_layout_mode(sma::nn::ConvLayoutMode::kChannelMajor);
   return result;
 }
 
@@ -378,8 +427,10 @@ int main(int argc, char** argv) {
     layer_results.push_back(run_dense_case(15, 128, 128, true));
     for (const LayerResult& r : layer_results) {
       std::cerr << r.name << ": fwd " << r.naive_fwd_us << " -> "
-                << r.blocked_fwd_us << " us, bwd " << r.naive_bwd_us
-                << " -> " << r.blocked_bwd_us << " us\n";
+                << r.pr7_fwd_us << " (pr7) -> " << r.blocked_fwd_us
+                << " us, bwd " << r.naive_bwd_us << " -> " << r.pr7_bwd_us
+                << " (pr7) -> " << r.blocked_bwd_us << " us, reorder "
+                << r.reorder_us << " us\n";
     }
   }
 
@@ -393,6 +444,7 @@ int main(int argc, char** argv) {
   }
 
   sma::nn::set_kernel_backend(KernelBackend::kBlocked);
+  sma::nn::set_conv_layout_mode(sma::nn::ConvLayoutMode::kChannelMajor);
 
   std::ostringstream json;
   json << "{\"bench\": \"kernels\", \"smoke\": " << (smoke ? "true" : "false")
@@ -411,8 +463,11 @@ int main(int argc, char** argv) {
     json << (i ? ", " : "") << "{\"layer\": \"" << r.name
          << "\", \"naive_fwd_us\": " << r.naive_fwd_us
          << ", \"naive_bwd_us\": " << r.naive_bwd_us
+         << ", \"pr7_fwd_us\": " << r.pr7_fwd_us
+         << ", \"pr7_bwd_us\": " << r.pr7_bwd_us
          << ", \"blocked_fwd_us\": " << r.blocked_fwd_us
-         << ", \"blocked_bwd_us\": " << r.blocked_bwd_us << "}";
+         << ", \"blocked_bwd_us\": " << r.blocked_bwd_us
+         << ", \"reorder_us\": " << r.reorder_us << "}";
   }
   json << "]";
   if (timed && with_train) {

@@ -14,6 +14,14 @@
 // per query) and the pinned arena bytes for both paths; in --smoke mode
 // a nonzero steady-state alloc count fails the run (the CI gate).
 //
+// Since the channel-major layout PR this bench also runs a layout A/B
+// pair on the fused path with the conv trunk enabled: the PR-7 blocked
+// pipeline (ConvLayoutMode::kRowMajorCompat) vs the channel-major
+// default, reporting s/epoch for both plus the nn.reorder_bytes /
+// nn.pack_bytes counter deltas per mode ("layout_ab" in the JSON). In
+// --smoke mode two more gates ride on it: byte-identical models across
+// the modes, and zero reorder bytes on the channel-major run.
+//
 // Human-readable progress goes to stderr; stdout carries exactly one
 // JSON object (scripts/bench.sh redirects it to BENCH_train.json).
 //
@@ -25,6 +33,7 @@
 //   --design=c432  design used for the comparison
 //   --layer=1      split layer
 //   --epochs=3     training epochs per path
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -34,6 +43,8 @@
 #include "attack/dl_attack.hpp"
 #include "bench_util.hpp"
 #include "eval/experiment.hpp"
+#include "nn/gemm.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -187,6 +198,59 @@ int main(int argc, char** argv) {
                         "after warm-up\n");
   }
 
+  // --- layout A/B: blocked PR-7 pipeline (row-major compat) vs the
+  // channel-major default, fused path, conv trunk exercised. The main
+  // smoke pair above is vector-only, so this pair switches images ON
+  // (tiny 15x15 three-scale images from the fast profile) to drive the
+  // conv pipeline through both modes. Two gates ride on it in smoke
+  // mode: the two trained models must be byte-identical (the layout
+  // refactor is data movement, never semantics — this IS the PR-7
+  // equivalence gate, since compat mode is the PR-7 pipeline), and the
+  // channel-major run must report zero nn.reorder_bytes (the counter
+  // proves the layer-boundary reorders are gone rather than asserting
+  // it in prose). Counter deltas are read around each run; with
+  // SMA_OBS=OFF both deltas are zero and the gate stays vacuously green.
+  sma::eval::ExperimentProfile ab_profile = profile;
+  ab_profile.net.use_images = true;
+  sma::obs::Registry& reg = sma::obs::Registry::global();
+  struct AbResult {
+    PathResult path;
+    double s_per_epoch = 0.0;
+    std::uint64_t reorder_bytes = 0;
+    std::uint64_t pack_bytes = 0;
+  };
+  AbResult ab[2];  // [0] = pr7 compat, [1] = channel-major
+  for (int mode = 0; mode < 2; ++mode) {
+    sma::nn::set_conv_layout_mode(
+        mode == 0 ? sma::nn::ConvLayoutMode::kRowMajorCompat
+                  : sma::nn::ConvLayoutMode::kChannelMajor);
+    const std::uint64_t reorder0 = reg.counter("nn.reorder_bytes").value();
+    const std::uint64_t pack0 = reg.counter("nn.pack_bytes").value();
+    ab[mode].path = run_path(prepared, ab_profile, /*fused=*/true, epochs,
+                             smoke);
+    ab[mode].s_per_epoch = ab[mode].path.s_per_epoch;
+    ab[mode].reorder_bytes = reg.counter("nn.reorder_bytes").value() - reorder0;
+    ab[mode].pack_bytes = reg.counter("nn.pack_bytes").value() - pack0;
+  }
+  sma::nn::set_conv_layout_mode(sma::nn::ConvLayoutMode::kChannelMajor);
+  const bool ab_identical = ab[0].path.model_bytes == ab[1].path.model_bytes &&
+                            !ab[0].path.model_bytes.empty() &&
+                            ab[0].path.queries_seen > 0;
+  const bool ab_reorder_free = ab[1].reorder_bytes == 0;
+  const double ab_speedup = ab[1].s_per_epoch > 0.0
+                                ? ab[0].s_per_epoch / ab[1].s_per_epoch
+                                : 0.0;
+  std::cerr << "  layout A/B (conv trunk): pr7 " << ab[0].s_per_epoch
+            << " s/epoch (" << ab[0].reorder_bytes
+            << " reorder bytes) -> channel-major " << ab[1].s_per_epoch
+            << " s/epoch (" << ab[1].reorder_bytes << " reorder bytes, "
+            << ab_speedup << "x), models "
+            << (ab_identical ? "identical" : "DIFFER") << "\n";
+  if (!ab_reorder_free) {
+    std::cerr << "layout check FAILED: channel-major run still moved "
+              << ab[1].reorder_bytes << " reorder bytes\n";
+  }
+
   const long queries_per_epoch = unfused.queries_seen / epochs;
   const double fused_allocs_per_query =
       queries_per_epoch > 0
@@ -208,12 +272,22 @@ int main(int argc, char** argv) {
        << ", \"fused_steady_allocs_per_query\": " << fused_allocs_per_query
        << ", \"fused_arena_bytes\": " << fused.arena_bytes
        << ", \"models_identical\": " << (identical ? "true" : "false")
+       << ", \"layout_ab\": {\"pr7_s_per_epoch\": " << ab[0].s_per_epoch
+       << ", \"channel_major_s_per_epoch\": " << ab[1].s_per_epoch
+       << ", \"speedup\": " << ab_speedup
+       << ", \"models_identical\": " << (ab_identical ? "true" : "false")
+       << ", \"pr7_reorder_bytes\": " << ab[0].reorder_bytes
+       << ", \"channel_major_reorder_bytes\": " << ab[1].reorder_bytes
+       << ", \"pr7_pack_bytes\": " << ab[0].pack_bytes
+       << ", \"channel_major_pack_bytes\": " << ab[1].pack_bytes << "}"
        << sma::benchutil::report_fragment(report) << "}";
   std::cout << json.str() << "\n";
   sma::benchutil::flush_trace();
-  std::cerr << (identical ? "bit-identity check: trained models identical\n"
-                          : "bit-identity check FAILED\n");
-  if (!identical) return 1;
+  std::cerr << (identical && ab_identical
+                    ? "bit-identity check: trained models identical\n"
+                    : "bit-identity check FAILED\n");
+  if (!identical || !ab_identical) return 1;
   if (smoke && !alloc_free) return 1;
+  if (smoke && !ab_reorder_free) return 1;
   return 0;
 }

@@ -29,19 +29,20 @@ Arena::Slot Arena::shared_floats(const std::string& key) {
   return slot;
 }
 
-Tensor& Arena::tensor(Slot slot, const std::vector<int>& shape, Fill fill) {
+Tensor& Arena::tensor(Slot slot, const std::vector<int>& shape, Fill fill,
+                      Layout layout) {
   Tensor& t = tensors_[slot];
   ++requests_;
-  if (t.resize_reuse(shape)) ++allocs_;
+  if (t.resize_reuse(shape, layout)) ++allocs_;
   if (fill == Fill::kZero) t.fill(0.0f);
   return t;
 }
 
-Tensor& Arena::tensor(Slot slot, std::initializer_list<int> shape,
-                      Fill fill) {
+Tensor& Arena::tensor(Slot slot, std::initializer_list<int> shape, Fill fill,
+                      Layout layout) {
   Tensor& t = tensors_[slot];
   ++requests_;
-  if (t.resize_reuse(shape)) ++allocs_;
+  if (t.resize_reuse(shape, layout)) ++allocs_;
   if (fill == Fill::kZero) t.fill(0.0f);
   return t;
 }

@@ -76,8 +76,12 @@ class Arena {
   Slot shared_floats(const std::string& key);
 
   // -- slot acquisition (hot path, zero allocations once warm) -----------
-  Tensor& tensor(Slot slot, const std::vector<int>& shape, Fill fill);
-  Tensor& tensor(Slot slot, std::initializer_list<int> shape, Fill fill);
+  /// `layout` tags the storage order the producer will write the slot in
+  /// (see nn/tensor.hpp); defaulted so non-conv call sites stay unchanged.
+  Tensor& tensor(Slot slot, const std::vector<int>& shape, Fill fill,
+                 Layout layout = Layout::kRowMajor);
+  Tensor& tensor(Slot slot, std::initializer_list<int> shape, Fill fill,
+                 Layout layout = Layout::kRowMajor);
   float* floats(Slot slot, std::size_t n, Fill fill);
   std::uint8_t* bytes(Slot slot, std::size_t n);
 

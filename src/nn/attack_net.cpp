@@ -117,10 +117,22 @@ const Tensor& AttackNet::forward(const QueryInput& input) {
       throw std::invalid_argument("bad image input " +
                                   input.images.shape_string());
     }
-    // --- shared conv trunk over the n source images + 1 sink image
+    // --- shared conv trunk over the n source images + 1 sink image.
+    // One layout contract binds the trunk: the dataset input is the
+    // first row-major seam (conv1's pack path reads NCHW natively), the
+    // trunk's activations then stay in whatever layout the conv pipeline
+    // produces (channel-major by default — each layer's tag travels with
+    // its slot), and GlobalAvgPool is the second and last seam, reducing
+    // to a row-major [n+1, h] matrix for the fc head at zero conversion
+    // cost. Nothing between the seams may assume row-major storage.
     const Tensor* x = &input.images;
     for (Conv2d& conv : convs_) x = &conv.forward(*x);
     x = &pool_.forward(*x);
+#ifndef NDEBUG
+    if (x->layout() != Layout::kRowMajor) {
+      throw std::logic_error("pool output must be the row-major fc seam");
+    }
+#endif
     x = &fc3_->forward(*x);
     x = &fc4_->forward(*x);  // [n+1, h]
 
@@ -208,6 +220,10 @@ void AttackNet::backward(const Tensor& dscores) {
       for (int k = 0; k < h; ++k) sink_grad[k] += second[k];
     }
 
+    // Backward mirrors the forward layout contract: the fc gradients are
+    // row-major down to the pool seam, pool re-enters the trunk in the
+    // layout its forward input had, and each conv hands its predecessor
+    // a dx in that predecessor's own output layout — no reorder anywhere.
     const Tensor* dx = &fc4_->backward(demb);
     dx = &fc3_->backward(*dx);
     dx = &pool_.backward(*dx);

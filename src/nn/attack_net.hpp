@@ -10,6 +10,14 @@
 //
 // One forward call processes one sink-fragment query: all n candidate
 // VPPs of that sink, exactly as in the paper's batch definition.
+//
+// Activation-layout contract: the image branch binds ONE layout across
+// the conv trunk — the dataset input and the GlobalAvgPool output are
+// the only row-major seams, and everything between them travels in the
+// conv pipeline's native layout (channel-major by default; each tensor's
+// Layout tag is authoritative). The vector branch, the fusion/merge
+// slots, and the fc head are row-major throughout. See nn/layers.hpp for
+// the per-layer contract and nn/tensor.hpp for the tag semantics.
 #pragma once
 
 #include <array>

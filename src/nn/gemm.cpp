@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstring>
 
 #include "obs/obs.hpp"
 
@@ -15,6 +16,7 @@ namespace sma::nn {
 namespace {
 
 std::atomic<KernelBackend> g_backend{KernelBackend::kBlocked};
+std::atomic<ConvLayoutMode> g_conv_layout{ConvLayoutMode::kChannelMajor};
 
 // Register tiles. The portable micro-kernel uses 4 x 8 (the accumulator
 // block plus one B panel row fit the 16 SSE registers of baseline
@@ -669,10 +671,124 @@ KernelBackend kernel_backend() {
   return g_backend.load(std::memory_order_relaxed);
 }
 
+void set_conv_layout_mode(ConvLayoutMode mode) {
+  g_conv_layout.store(mode, std::memory_order_relaxed);
+}
+
+ConvLayoutMode conv_layout_mode() {
+  return g_conv_layout.load(std::memory_order_relaxed);
+}
+
 const char* active_isa() {
   if (have_avx512()) return "avx512";
   if (have_avx2()) return "avx2";
   return "portable";
+}
+
+// --------------------------------------------------------------------
+// Fused im2col/col2im pack paths. The loops are the blocked conv's PR-7
+// im2col/col2im nests verbatim; the ONLY thing `Layout` changes is the
+// base offset of each (img, c) input plane — row-major (img*c_in + c) vs
+// channel-major (c*n + img). Same values, same element visit order, same
+// clamp arithmetic: bit-identity is preserved by construction.
+
+void pack_cm_im2col(const float* x, Layout x_layout, int n, int c_in, int h,
+                    int w, int stride, int ho, int wo, float* cols) {
+  const int rows = n * ho * wo;
+  SMA_COUNT_N("nn.pack_bytes", static_cast<std::size_t>(c_in) * 9 * rows *
+                                   sizeof(float));
+  const bool cm = x_layout == Layout::kChannelMajor;
+  for (int c = 0; c < c_in; ++c) {
+    for (int ky = 0; ky < 3; ++ky) {
+      for (int kx = 0; kx < 3; ++kx) {
+        float* dst =
+            cols + static_cast<std::size_t>((c * 3 + ky) * 3 + kx) * rows;
+        for (int img = 0; img < n; ++img) {
+          const float* plane =
+              x + (cm ? (static_cast<std::size_t>(c) * n + img)
+                      : (static_cast<std::size_t>(img) * c_in + c)) *
+                      h * w;
+          for (int oy = 0; oy < ho; ++oy) {
+            float* out_row =
+                dst + (static_cast<std::size_t>(img) * ho + oy) * wo;
+            const int iy = oy * stride - 1 + ky;
+            if (iy < 0 || iy >= h) {
+              for (int ox = 0; ox < wo; ++ox) out_row[ox] = 0.0f;
+              continue;
+            }
+            const float* src_row = plane + static_cast<std::size_t>(iy) * w;
+            // ix = ox * stride - 1 + kx is in [0, w) exactly for ox in
+            // [ox_lo, ox_hi); edges are padding zeros. The w < kx guard
+            // matters: for a 1-wide row and kx = 2 the naive formula
+            // (w - kx) / stride + 1 truncates -1/stride toward zero and
+            // admitted ox = 0, reading one float past the row (heap
+            // garbage on the last plane — nondeterministic models).
+            const int ox_lo = kx == 0 ? 1 : 0;
+            const int ox_hi_raw = w < kx ? 0 : (w - kx) / stride + 1;
+            const int ox_hi = wo < ox_hi_raw ? wo : ox_hi_raw;
+            for (int ox = 0; ox < ox_lo; ++ox) out_row[ox] = 0.0f;
+            if (stride == 1) {
+              std::memcpy(out_row + ox_lo, src_row + ox_lo - 1 + kx,
+                          sizeof(float) * (ox_hi - ox_lo));
+            } else {
+              for (int ox = ox_lo; ox < ox_hi; ++ox) {
+                out_row[ox] = src_row[ox * stride - 1 + kx];
+              }
+            }
+            for (int ox = ox_hi; ox < wo; ++ox) out_row[ox] = 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void pack_cm_col2im(const float* dcols, Layout dx_layout, int n, int c_in,
+                    int h, int w, int stride, int ho, int wo, float* dx) {
+  const int rows = n * ho * wo;
+  SMA_COUNT_N("nn.pack_bytes", static_cast<std::size_t>(c_in) * 9 * rows *
+                                   sizeof(float));
+  const bool cm = dx_layout == Layout::kChannelMajor;
+  // Loop order (c asc, ky desc, kx desc, img, oy, ox) reproduces the
+  // seed's per-element accumulation order: for a fixed dx element each
+  // output position contributes at most one tap, and ky desc <=> oy asc
+  // (resp. kx/ox), so contributions arrive in ascending (oy, ox) —
+  // exactly the seed nest. The plane base offset does not participate in
+  // that ordering, so both layouts accumulate identically.
+  for (int c = 0; c < c_in; ++c) {
+    for (int ky = 2; ky >= 0; --ky) {
+      for (int kx = 2; kx >= 0; --kx) {
+        const float* src =
+            dcols + static_cast<std::size_t>((c * 3 + ky) * 3 + kx) * rows;
+        for (int img = 0; img < n; ++img) {
+          float* plane =
+              dx + (cm ? (static_cast<std::size_t>(c) * n + img)
+                       : (static_cast<std::size_t>(img) * c_in + c)) *
+                       h * w;
+          for (int oy = 0; oy < ho; ++oy) {
+            const int iy = oy * stride - 1 + ky;
+            if (iy < 0 || iy >= h) continue;
+            const float* srow =
+                src + (static_cast<std::size_t>(img) * ho + oy) * wo;
+            float* drow = plane + static_cast<std::size_t>(iy) * w;
+            // Same w < kx guard as im2col: without it this loop WROTE one
+            // float past a 1-wide row (silent dx corruption).
+            const int ox_lo = kx == 0 ? 1 : 0;
+            const int ox_hi_raw = w < kx ? 0 : (w - kx) / stride + 1;
+            const int ox_hi = wo < ox_hi_raw ? wo : ox_hi_raw;
+            if (stride == 1) {
+              float* base = drow + kx - 1;
+              for (int ox = ox_lo; ox < ox_hi; ++ox) base[ox] += srow[ox];
+            } else {
+              for (int ox = ox_lo; ox < ox_hi; ++ox) {
+                drow[ox * stride - 1 + kx] += srow[ox];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 // --------------------------------------------------------------------

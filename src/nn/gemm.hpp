@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "nn/tensor.hpp"
+
 namespace sma::nn {
 
 /// Reusable packing buffers. Purely transient within one GEMM call, so
@@ -42,6 +44,20 @@ enum class KernelBackend { kBlocked, kReference };
 
 void set_kernel_backend(KernelBackend backend);
 KernelBackend kernel_backend();
+
+/// Activation-layout dispatch for the blocked conv pipeline.
+/// kChannelMajor (the default) has Conv2d write its GEMM output directly
+/// into a channel-major arena slot and read channel-major input through
+/// the pack_cm_* paths — no per-layer NCHW reorder, no staging copy.
+/// kRowMajorCompat retains the PR-7 pipeline (GEMM into a staging buffer,
+/// then a per-plane reorder into an NCHW slot) as the A/B baseline for
+/// bench_kernels / bench_train; both modes are byte-identical in the
+/// values they produce. Like KernelBackend, the toggle is for tests and
+/// benches — not meant to be flipped while threads are inside a layer.
+enum class ConvLayoutMode { kChannelMajor, kRowMajorCompat };
+
+void set_conv_layout_mode(ConvLayoutMode mode);
+ConvLayoutMode conv_layout_mode();
 
 /// Widest SIMD path the blocked kernels can dispatch to on this host:
 /// "avx512", "avx2" or "portable". Reported by RunReport so a bench JSON
@@ -112,6 +128,30 @@ void gemm_acc_nt(int m, int n, int k, const float* a, const float* b,
 /// A = weights [out, patch], B = dy^T [out, rows], C = dcols^T.
 void gemm_ovr_tn(int m, int n, int k, const float* a, const float* b,
                  float* c, GemmScratch& scratch);
+
+// --- fused im2col/col2im pack paths (Conv2d's blocked pipeline) ---------
+// The residual im2col work folded into the GEMM pack step: one pass
+// builds the transposed im2col matrix ([patch, rows], rows = (img, oy,
+// ox)) straight from the input tensor in EITHER storage layout — the
+// plane base offset is the only thing the layout changes, so a
+// channel-major input packs with zero preceding transpose. Values and
+// per-element visit order are identical for both layouts (bit-identity:
+// packing moves bytes, never touches arithmetic). Bytes moved are
+// counted on the `nn.pack_bytes` obs counter. The stride clamp for
+// kernels wider than the input (`w < kx`) matches the im2col/col2im
+// guard proven by test_kernels' one-pixel stride-3 cases.
+
+/// cols[patch, rows] = im2col^T of x (logical [n, c_in, h, w], stored
+/// per `x_layout`), patch = c_in*3*3, rows = n*ho*wo, 3x3 kernel.
+void pack_cm_im2col(const float* x, Layout x_layout, int n, int c_in, int h,
+                    int w, int stride, int ho, int wo, float* cols);
+
+/// dx (logical [n, c_in, h, w], stored per `dx_layout`) += scatter of
+/// dcols^T [patch, rows]; dx must be pre-zeroed. The per-element
+/// accumulation order onto each dx element is independent of dx_layout
+/// (same chain, different plane base), preserving bit-identity.
+void pack_cm_col2im(const float* dcols, Layout dx_layout, int n, int c_in,
+                    int h, int w, int stride, int ho, int wo, float* dx);
 
 // --- retained reference kernels (seed implementations) ------------------
 // The naive loops the optimized kernels are validated against; also the

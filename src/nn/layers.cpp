@@ -79,6 +79,14 @@ Tensor& Linear::forward(const Tensor& x) {
     throw std::invalid_argument(name_ + ": bad input width " +
                                 x.shape_string());
   }
+#ifndef NDEBUG
+  // Layout contract: the fc head is a row-major seam — the conv trunk's
+  // channel-major activations must have been reduced (GlobalAvgPool) or
+  // converted before they reach a Linear.
+  if (x.layout() != Layout::kRowMajor) {
+    throw std::logic_error(name_ + ": Linear requires row-major input");
+  }
+#endif
   ensure_arena();
   // Cache the input for backward (dW = dy^T x) by POINTER: inside a
   // network the input is another layer's arena slot (stable and untouched
@@ -125,6 +133,11 @@ Tensor& Linear::forward(const Tensor& x) {
 
 Tensor& Linear::backward(const Tensor& dy) {
   ensure_arena();
+#ifndef NDEBUG
+  if (dy.layout() != Layout::kRowMajor) {
+    throw std::logic_error(name_ + ": Linear requires row-major dy");
+  }
+#endif
   SMA_TRACE_SPAN("nn", "linear_bwd");
   const int rows = static_cast<int>(dy.size()) / out_;
   const Tensor* dsrc = &dy;
@@ -228,7 +241,16 @@ Tensor& Conv2d::forward(const Tensor& x) {
   }
   ensure_arena();
   x_shape_ = shape;
+  x_layout_ = x.layout();
   used_blocked_path_ = kernel_backend() == KernelBackend::kBlocked;
+#ifndef NDEBUG
+  // The reference pipeline is the seed reproduced verbatim: row-major
+  // layouts only. Under the reference backend the whole trunk stays
+  // row-major, so a channel-major input here is a wiring bug.
+  if (!used_blocked_path_ && x_layout_ != Layout::kRowMajor) {
+    throw std::logic_error(name_ + ": reference conv requires row-major x");
+  }
+#endif
   return used_blocked_path_ ? forward_blocked(x) : forward_reference(x);
 }
 
@@ -249,72 +271,51 @@ Tensor& Conv2d::forward_blocked(const Tensor& x) {
   const int patch = in_channels_ * 9;
 
   // im2col, transposed: cols[q][row] for patch offset q = (c, ky, kx).
-  // Each (img, oy) output row is one contiguous run in the source image,
-  // so the stride-1 interior is a straight memcpy. Full overwrite: every
-  // element is either a padding zero or a copied input value (the three
-  // loops below cover [0, ox_lo), [ox_lo, ox_hi), [ox_hi, wo) exactly).
+  // The fused pack path reads x in whichever storage layout its tag says
+  // (channel-major from an upstream conv, row-major from the dataset) —
+  // the residual transpose that used to precede im2col is gone. Full
+  // overwrite: every element is either a padding zero or a copied value.
   float* cols = arena_->floats(
       cols_slot_, static_cast<std::size_t>(patch) * rows, Arena::Fill::kNone);
   cols_ = cols;
   {
     SMA_TRACE_SPAN_V("nn", "im2col", rows);
-    for (int c = 0; c < in_channels_; ++c) {
-      for (int ky = 0; ky < 3; ++ky) {
-        for (int kx = 0; kx < 3; ++kx) {
-          float* dst =
-              cols + static_cast<std::size_t>((c * 3 + ky) * 3 + kx) * rows;
-          for (int img = 0; img < n; ++img) {
-            const float* plane =
-                x.data() +
-                (static_cast<std::size_t>(img) * in_channels_ + c) * h * w;
-            for (int oy = 0; oy < ho; ++oy) {
-              float* out_row =
-                  dst + (static_cast<std::size_t>(img) * ho + oy) * wo;
-              const int iy = oy * stride_ - 1 + ky;
-              if (iy < 0 || iy >= h) {
-                for (int ox = 0; ox < wo; ++ox) out_row[ox] = 0.0f;
-                continue;
-              }
-              const float* src_row = plane + static_cast<std::size_t>(iy) * w;
-              // ix = ox * stride - 1 + kx is in [0, w) exactly for ox in
-              // [ox_lo, ox_hi); edges are padding zeros. The w < kx guard
-              // matters: for a 1-wide row and kx = 2 the naive formula
-              // (w - kx) / stride + 1 truncates -1/stride toward zero and
-              // admitted ox = 0, reading one float past the row (heap
-              // garbage on the last plane — nondeterministic models).
-              const int ox_lo = kx == 0 ? 1 : 0;
-              const int ox_hi_raw = w < kx ? 0 : (w - kx) / stride_ + 1;
-              const int ox_hi = wo < ox_hi_raw ? wo : ox_hi_raw;
-              for (int ox = 0; ox < ox_lo; ++ox) out_row[ox] = 0.0f;
-              if (stride_ == 1) {
-                std::memcpy(out_row + ox_lo, src_row + ox_lo - 1 + kx,
-                            sizeof(float) * (ox_hi - ox_lo));
-              } else {
-                for (int ox = ox_lo; ox < ox_hi; ++ox) {
-                  out_row[ox] = src_row[ox * stride_ - 1 + kx];
-                }
-              }
-              for (int ox = ox_hi; ox < wo; ++ox) out_row[ox] = 0.0f;
-            }
-          }
-        }
-      }
-    }
+    pack_cm_im2col(x.data(), x.layout(), n, in_channels_, h, w, stride_, ho,
+                   wo, cols);
   }
 
   const bool fused = act_ == Act::kLeakyReLU;
-  // y_rows (shared staging) and mask: full overwrite by the GEMM
-  // (CMode::kOverwrite writes every element; the epilogue writes one mask
-  // byte per element).
-  ThreadStaging& staging = thread_staging();
-  float* y_rows = staging.arena.floats(
-      staging.y_rows, static_cast<std::size_t>(out_channels_) * rows,
-      Arena::Fill::kNone);
+  // mask: full overwrite — the GEMM epilogue writes one byte per element.
   if (fused) {
     mask_ = arena_->bytes(mask_slot_,
                           static_cast<std::size_t>(out_channels_) * rows);
   }
-  // y^T[out, rows] = W[out, patch] * cols^T[patch, rows] + bias (+ act).
+
+  if (conv_layout_mode() == ConvLayoutMode::kChannelMajor) {
+    // Channel-major mode: the GEMM's [out, rows] output with rows =
+    // (img, oy, ox) IS the [n, out, ho, wo] output stored channel-major,
+    // so the kernel writes the arena slot directly — no staging buffer,
+    // no reorder, zero nn.reorder_bytes. Full overwrite by the GEMM.
+    out_layout_ = Layout::kChannelMajor;
+    Tensor& out =
+        arena_->tensor(out_slot_, {n, out_channels_, ho, wo},
+                       Arena::Fill::kNone, Layout::kChannelMajor);
+    // y^T[out, rows] = W[out, patch] * cols^T[patch, rows] + bias (+ act).
+    gemm_forward_nn_rowbias(out_channels_, rows, patch, weight().data(), cols,
+                            bias().data(), out.data(),
+                            fused ? Epilogue::kBiasLeakyReLU : Epilogue::kBias,
+                            slope_, fused ? mask_ : nullptr,
+                            staging_scratch());
+    return out;
+  }
+
+  // Row-major compat mode (the PR-7 pipeline, kept as the A/B baseline):
+  // GEMM into per-thread staging, then reorder into an NCHW slot.
+  out_layout_ = Layout::kRowMajor;
+  ThreadStaging& staging = thread_staging();
+  float* y_rows = staging.arena.floats(
+      staging.y_rows, static_cast<std::size_t>(out_channels_) * rows,
+      Arena::Fill::kNone);
   gemm_forward_nn_rowbias(out_channels_, rows, patch, weight().data(), cols,
                           bias().data(), y_rows,
                           fused ? Epilogue::kBiasLeakyReLU : Epilogue::kBias,
@@ -323,9 +324,13 @@ Tensor& Conv2d::forward_blocked(const Tensor& x) {
 
   // [out, n*ho*wo] -> [n, out, ho, wo]: contiguous copy per (img, o).
   // Full overwrite: the (o, img) double loop covers every output plane.
+  // This is exactly the layer-boundary permutation the channel-major mode
+  // deletes; its traffic is what nn.reorder_bytes measures.
   Tensor& out = arena_->tensor(out_slot_, {n, out_channels_, ho, wo},
                                Arena::Fill::kNone);
   const std::size_t how = static_cast<std::size_t>(ho) * wo;
+  SMA_COUNT_N("nn.reorder_bytes",
+              static_cast<std::size_t>(out_channels_) * rows * sizeof(float));
   for (int o = 0; o < out_channels_; ++o) {
     const float* src = y_rows + static_cast<std::size_t>(o) * rows;
     for (int img = 0; img < n; ++img) {
@@ -350,31 +355,69 @@ Tensor& Conv2d::backward_blocked(const Tensor& dy) {
   const bool fused = act_ == Act::kLeakyReLU;
   const std::size_t how = static_cast<std::size_t>(ho) * wo;
 
-  // dy [n, out, ho, wo] -> dy^T [out, rows], applying the fused
-  // activation's mask on the way through. Full overwrite: every (o, img)
-  // row is written by exactly one of the two branches.
+#ifndef NDEBUG
+  // Element-wise (no temporary vector): this runs on the alloc-free
+  // steady-state path, which the arena tests police with a global
+  // operator-new counter even in Debug.
+  if (dy.shape().size() != 4 || dy.dim(0) != n || dy.dim(1) != out_channels_ ||
+      dy.dim(2) != ho || dy.dim(3) != wo) {
+    throw std::logic_error(name_ + ": conv backward got dy of shape " +
+                           dy.shape_string());
+  }
+#endif
+
+  // dy -> dy^T [out, rows], applying the fused activation's mask on the
+  // way through. Dispatch on dy's OWN layout tag (not the global mode):
+  //  - channel-major dy is already [out, rows] linear in storage, so the
+  //    mask pass is one flat elementwise loop — and when there is no
+  //    fused activation, dy's storage is used in place with no copy at
+  //    all (the GEMMs below only read it).
+  //  - row-major dy takes the retained PR-7 transpose, whose traffic is
+  //    the nn.reorder_bytes cost the channel-major pipeline deletes.
+  // Either way dy_rows holds byte-identical contents, so dW/db/dcols see
+  // identical operands. Full overwrite where a copy happens.
   ThreadStaging& staging = thread_staging();
-  float* dy_rows = staging.arena.floats(
-      staging.dy_rows, static_cast<std::size_t>(out_channels_) * rows,
-      Arena::Fill::kNone);
-  for (int o = 0; o < out_channels_; ++o) {
-    float* dst = dy_rows + static_cast<std::size_t>(o) * rows;
-    for (int img = 0; img < n; ++img) {
-      const float* src =
-          dy.data() +
-          (static_cast<std::size_t>(img) * out_channels_ + o) * how;
-      float* drow = dst + static_cast<std::size_t>(img) * how;
-      if (fused) {
-        const std::uint8_t* mrow = mask_ +
-                                   static_cast<std::size_t>(o) * rows +
-                                   static_cast<std::size_t>(img) * how;
-        for (std::size_t t = 0; t < how; ++t) {
-          drow[t] = mrow[t] ? src[t] * slope_ : src[t];
+  const float* dy_rows = nullptr;
+  if (dy.layout() == Layout::kChannelMajor) {
+    if (fused) {
+      float* dm = staging.arena.floats(
+          staging.dy_rows, static_cast<std::size_t>(out_channels_) * rows,
+          Arena::Fill::kNone);
+      const float* src = dy.data();
+      const std::size_t total = static_cast<std::size_t>(out_channels_) * rows;
+      for (std::size_t i = 0; i < total; ++i) {
+        dm[i] = mask_[i] ? src[i] * slope_ : src[i];
+      }
+      dy_rows = dm;
+    } else {
+      dy_rows = dy.data();
+    }
+  } else {
+    float* dm = staging.arena.floats(
+        staging.dy_rows, static_cast<std::size_t>(out_channels_) * rows,
+        Arena::Fill::kNone);
+    SMA_COUNT_N("nn.reorder_bytes", static_cast<std::size_t>(out_channels_) *
+                                        rows * sizeof(float));
+    for (int o = 0; o < out_channels_; ++o) {
+      float* dst = dm + static_cast<std::size_t>(o) * rows;
+      for (int img = 0; img < n; ++img) {
+        const float* src =
+            dy.data() +
+            (static_cast<std::size_t>(img) * out_channels_ + o) * how;
+        float* drow = dst + static_cast<std::size_t>(img) * how;
+        if (fused) {
+          const std::uint8_t* mrow = mask_ +
+                                     static_cast<std::size_t>(o) * rows +
+                                     static_cast<std::size_t>(img) * how;
+          for (std::size_t t = 0; t < how; ++t) {
+            drow[t] = mrow[t] ? src[t] * slope_ : src[t];
+          }
+        } else {
+          std::memcpy(drow, src, sizeof(float) * how);
         }
-      } else {
-        std::memcpy(drow, src, sizeof(float) * how);
       }
     }
+    dy_rows = dm;
   }
 
   // dw += dy^T * cols (k = rows, ascending — the seed accumulation order).
@@ -406,47 +449,17 @@ Tensor& Conv2d::backward_blocked(const Tensor& dy) {
   gemm_ovr_tn(patch, rows, out_channels_, weight().data(), dy_rows, dcols,
               staging_scratch());
 
-  // col2im from the transposed layout. Loop order (c asc, ky desc,
-  // kx desc, img, oy, ox) reproduces the seed's per-element accumulation
-  // order: for a fixed dx element each output position contributes at
-  // most one tap, and ky desc <=> oy asc (resp. kx/ox), so contributions
-  // arrive in ascending (oy, ox) — exactly the seed nest.
-  // dx accumulates (+=), so the slot is acquired zero-filled — the same
-  // bytes a freshly constructed tensor starts from.
-  Tensor& dx = arena_->tensor(dx_slot_, x_shape_, Arena::Fill::kZero);
-  for (int c = 0; c < in_channels_; ++c) {
-    for (int ky = 2; ky >= 0; --ky) {
-      for (int kx = 2; kx >= 0; --kx) {
-        const float* src =
-            dcols + static_cast<std::size_t>((c * 3 + ky) * 3 + kx) * rows;
-        for (int img = 0; img < n; ++img) {
-          float* plane =
-              dx.data() +
-              (static_cast<std::size_t>(img) * in_channels_ + c) * h * w;
-          for (int oy = 0; oy < ho; ++oy) {
-            const int iy = oy * stride_ - 1 + ky;
-            if (iy < 0 || iy >= h) continue;
-            const float* srow =
-                src + (static_cast<std::size_t>(img) * ho + oy) * wo;
-            float* drow = plane + static_cast<std::size_t>(iy) * w;
-            // Same w < kx guard as im2col: without it this loop WROTE one
-            // float past a 1-wide row (silent dx corruption).
-            const int ox_lo = kx == 0 ? 1 : 0;
-            const int ox_hi_raw = w < kx ? 0 : (w - kx) / stride_ + 1;
-            const int ox_hi = wo < ox_hi_raw ? wo : ox_hi_raw;
-            if (stride_ == 1) {
-              float* base = drow + kx - 1;
-              for (int ox = ox_lo; ox < ox_hi; ++ox) base[ox] += srow[ox];
-            } else {
-              for (int ox = ox_lo; ox < ox_hi; ++ox) {
-                drow[ox * stride_ - 1 + kx] += srow[ox];
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  // col2im through the fused pack path, scattering into dx in the SAME
+  // storage layout the forward input had — a channel-major x gets a
+  // channel-major dx, so the gradient flows upstream with no reorder.
+  // The per-element accumulation order is layout-independent (see
+  // pack_cm_col2im), preserving the seed chain. dx accumulates (+=), so
+  // the slot is acquired zero-filled — the same bytes a freshly
+  // constructed tensor starts from.
+  Tensor& dx =
+      arena_->tensor(dx_slot_, x_shape_, Arena::Fill::kZero, x_layout_);
+  pack_cm_col2im(dcols, x_layout_, n, in_channels_, h, w, stride_, ho, wo,
+                 dx.data());
   return dx;
 }
 
@@ -503,6 +516,9 @@ Tensor& Conv2d::forward_reference(const Tensor& x) {
   // Reorder [n*ho*wo, out] -> [n, out, ho, wo]. The seed's output was a
   // fresh zeroed tensor; Fill::kZero reproduces both the bytes and the
   // zero-fill cost of that baseline.
+  out_layout_ = Layout::kRowMajor;
+  SMA_COUNT_N("nn.reorder_bytes",
+              static_cast<std::size_t>(rows) * out_channels_ * sizeof(float));
   Tensor& out = arena_->tensor(out_slot_, {n, out_channels_, ho, wo},
                                Arena::Fill::kZero);
   for (int img = 0; img < n; ++img) {
@@ -546,6 +562,12 @@ Tensor& Conv2d::backward_reference(const Tensor& dy) {
   const int patch = in_channels_ * 9;
   const bool fused = act_ == Act::kLeakyReLU;
 
+#ifndef NDEBUG
+  if (dy.layout() != Layout::kRowMajor) {
+    throw std::logic_error(name_ + ": reference conv requires row-major dy");
+  }
+#endif
+
   // The seed's activation layer copied dy before masking, and the seed
   // conv allocated its gradient staging tensors per call.
   Tensor dy_masked = dy;
@@ -565,6 +587,8 @@ Tensor& Conv2d::backward_reference(const Tensor& dy) {
     }
   }
   std::vector<float> dy_rows(static_cast<std::size_t>(rows) * out_channels_);
+  SMA_COUNT_N("nn.reorder_bytes",
+              static_cast<std::size_t>(rows) * out_channels_ * sizeof(float));
   for (int img = 0; img < n; ++img) {
     for (int o = 0; o < out_channels_; ++o) {
       const float* plane =
@@ -651,15 +675,24 @@ void GlobalAvgPool::ensure_arena() {
 Tensor& GlobalAvgPool::forward(const Tensor& x) {
   ensure_arena();
   x_shape_ = x.shape();
+  x_layout_ = x.layout();
   const int n = x_shape_[0];
   const int c = x_shape_[1];
   const int hw = x_shape_[2] * x_shape_[3];
-  // y: full overwrite — one store per (img, ch).
+  const bool cm = x_layout_ == Layout::kChannelMajor;
+  // y: full overwrite — one store per (img, ch). Each (img, ch) plane is
+  // reduced independently in ascending-i order, so the per-element sum
+  // chain — and therefore the result bits — is identical under either
+  // input layout; only the plane base offset dispatches on the tag. The
+  // output is a row-major [n, c] matrix: this is the conv trunk's
+  // natural seam into the fc head, at zero conversion cost.
   Tensor& y = arena_->tensor(y_slot_, {n, c}, Arena::Fill::kNone);
   for (int img = 0; img < n; ++img) {
     for (int ch = 0; ch < c; ++ch) {
       const float* plane =
-          x.data() + (static_cast<std::size_t>(img) * c + ch) * hw;
+          x.data() + (cm ? (static_cast<std::size_t>(ch) * n + img)
+                         : (static_cast<std::size_t>(img) * c + ch)) *
+                         hw;
       float acc = 0.0f;
       for (int i = 0; i < hw; ++i) acc += plane[i];
       y.data()[static_cast<std::size_t>(img) * c + ch] = acc / hw;
@@ -670,17 +703,28 @@ Tensor& GlobalAvgPool::forward(const Tensor& x) {
 
 Tensor& GlobalAvgPool::backward(const Tensor& dy) {
   ensure_arena();
+#ifndef NDEBUG
+  if (dy.layout() != Layout::kRowMajor) {
+    throw std::logic_error("GlobalAvgPool requires row-major dy");
+  }
+#endif
   const int n = x_shape_[0];
   const int c = x_shape_[1];
   const int hw = x_shape_[2] * x_shape_[3];
-  // dx: full overwrite — every plane element is assigned.
-  Tensor& dx = arena_->tensor(dx_slot_, x_shape_, Arena::Fill::kNone);
+  const bool cm = x_layout_ == Layout::kChannelMajor;
+  // dx: full overwrite — every plane element is assigned. Produced in the
+  // SAME layout the forward input had, so the gradient re-enters the conv
+  // trunk with no reorder.
+  Tensor& dx =
+      arena_->tensor(dx_slot_, x_shape_, Arena::Fill::kNone, x_layout_);
   for (int img = 0; img < n; ++img) {
     for (int ch = 0; ch < c; ++ch) {
       const float g =
           dy.data()[static_cast<std::size_t>(img) * c + ch] / hw;
       float* plane =
-          dx.data() + (static_cast<std::size_t>(img) * c + ch) * hw;
+          dx.data() + (cm ? (static_cast<std::size_t>(ch) * n + img)
+                          : (static_cast<std::size_t>(img) * c + ch)) *
+                          hw;
       for (int i = 0; i < hw; ++i) plane[i] = g;
     }
   }

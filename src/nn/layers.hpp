@@ -138,22 +138,45 @@ class LeakyReLU {
 /// blocked GEMM, with bias (+ optional LeakyReLU) fused into the kernel
 /// epilogue.
 ///
-/// Two internal pipelines, selected by the kernel backend:
-///  - blocked: the im2col matrix is stored transposed ([patch, rows]) and
-///    the GEMM output channel-major ([out, rows]). Every GEMM then has a
-///    huge contiguous n dimension (full register panels), im2col rows
-///    become memcpy runs, and the NCHW reorder collapses to per-channel
-///    contiguous copies. All staging lives on arenas: the im2col matrix
-///    and activation mask persist from forward to backward on per-layer
-///    slots of the network's arena, while the purely transient
-///    y^T / dy^T / dcols^T staging (the col2im/reorder residue named in
-///    the ROADMAP) comes from the per-thread staging arena — one hot
-///    copy per thread across every conv layer and every replica.
+/// Pipeline contract — one persistent activation layout:
+///  - blocked + ConvLayoutMode::kChannelMajor (the default): the im2col
+///    matrix is stored transposed ([patch, rows]) and the GEMM writes its
+///    channel-major [out, rows] output DIRECTLY into the layer's output
+///    slot, which is tagged Layout::kChannelMajor — for rows = (img, oy,
+///    ox) that [out, rows] matrix IS the [n, out, ho, wo] output stored
+///    channel-major, so there is no reorder and no staging copy at all.
+///    The next conv's im2col reads the channel-major slot through the
+///    fused pack paths in nn/gemm.* (pack_cm_im2col / pack_cm_col2im),
+///    which parameterize only the plane base offset by the input's
+///    Layout tag: activations stay channel-major across the whole conv
+///    trunk, and the only row-major seams in the network are the dataset
+///    input (conv1 reads NCHW natively through the same pack path) and
+///    the GlobalAvgPool output feeding the fc head (a [n+1, C] matrix
+///    with no spatial extent — layout-free by construction). Backward
+///    mirrors forward: dy arrives channel-major ([out, rows] linear in
+///    storage, so the mask pass is a flat elementwise loop, not a
+///    transpose) and dx is produced in the SAME layout as the forward
+///    input, so gradients flow through the trunk without any reorder
+///    either. Every data movement that remains is counted on the
+///    nn.pack_bytes obs counter; the eliminated boundary permutations
+///    are counted on nn.reorder_bytes by the paths below (the run
+///    report proves the default pipeline keeps that counter at zero).
+///  - blocked + ConvLayoutMode::kRowMajorCompat: the PR-7 pipeline,
+///    retained as the A/B baseline — same GEMMs, but the output lands in
+///    per-thread y_rows staging and is reordered into a row-major NCHW
+///    slot (and dy is transposed back) at every layer boundary; those
+///    copies are the nn.reorder_bytes cost the default mode deletes.
 ///  - reference: the seed pipeline on seed layouts (row-major im2col,
 ///    naive kernels, separate bias/activation passes, per-call interior
 ///    allocations) — the before side of bench_kernels and the ground
-///    truth for the bit-identity tests.
-/// Both produce bit-identical outputs and gradients.
+///    truth for the bit-identity tests. Row-major only.
+/// All three produce bit-identical values: the layout modes change where
+/// bytes live, never arithmetic or summation order (the GEMM operands and
+/// the per-element accumulation chains are identical by construction).
+/// The Layout tag guarantee: any tensor returned by forward/backward
+/// carries the tag describing its actual storage order, and every
+/// consumer dispatches on that tag (Debug builds assert the contract at
+/// each boundary; see Tensor's layout checks).
 class Conv2d {
  public:
   Conv2d(int in_channels, int out_channels, int stride, util::Pcg32& rng,
@@ -202,13 +225,20 @@ class Conv2d {
   Tensor db_;
   std::vector<int> x_shape_;
   bool used_blocked_path_ = true;  ///< pipeline of the last forward
+  /// Storage layouts recorded at forward time (backward dispatches on
+  /// these, not on the global mode — a mid-run mode flip between forward
+  /// and backward must not change how cached state is interpreted).
+  Layout x_layout_ = Layout::kRowMajor;
+  Layout out_layout_ = Layout::kRowMajor;
   Tensor empty_;  ///< returned when the input gradient is skipped
   // Arena slots. cols (full: every element is a memcpy run, an explicit
   // padding zero, or a strided gather) and mask (full: GEMM epilogue)
-  // persist from forward to backward; out (full: per-channel memcpy
-  // reorder) and dx (accum: col2im += — acquired Fill::kZero) are live
-  // until the next call. The y_rows/dy_rows/dcols staging (all full) is
-  // call-transient and comes from the per-thread staging arena.
+  // persist from forward to backward; out (full: direct GEMM writeback in
+  // channel-major mode, per-channel memcpy reorder in compat mode) and dx
+  // (accum: col2im += — acquired Fill::kZero) are live until the next
+  // call. The y_rows/dy_rows/dcols staging (all full) is call-transient
+  // and comes from the per-thread staging arena (compat/row-major paths
+  // only; the channel-major path needs none of it on forward).
   Arena* arena_ = nullptr;
   Arena::Slot cols_slot_ = 0;
   Arena::Slot mask_slot_ = 0;
@@ -223,7 +253,12 @@ class Conv2d {
   std::vector<float> ref_cols_;
 };
 
-/// [N, C, H, W] -> [N, C] channel means.
+/// [N, C, H, W] -> [N, C] channel means. Accepts input in either storage
+/// layout (the plane base offset is the only thing the tag changes) and
+/// emits a row-major [N, C] matrix — this is the conv trunk's natural
+/// row-major seam into the fc head, so keeping activations channel-major
+/// upstream costs no conversion here. Backward returns dx in the SAME
+/// layout the forward input had.
 class GlobalAvgPool {
  public:
   /// See Linear::bind_arena.
@@ -236,6 +271,7 @@ class GlobalAvgPool {
   void ensure_arena();
 
   std::vector<int> x_shape_;
+  Layout x_layout_ = Layout::kRowMajor;  ///< layout of the last forward's x
   // Arena slots: y and dx are both fully overwritten each call.
   Arena* arena_ = nullptr;
   Arena::Slot y_slot_ = 0;

@@ -36,6 +36,22 @@ std::size_t shape_size_impl(const int* dims, std::size_t rank) {
   return total;
 }
 
+// Debug-only contract check: the channel-major permutation is defined
+// only for rank-4 [n,C,H,W] shapes. Compiled out in Release so the tag
+// itself stays free on the hot path.
+void check_layout_shape(Layout layout, const int* dims, std::size_t rank) {
+#ifndef NDEBUG
+  if (layout == Layout::kChannelMajor && rank != 4) {
+    throw std::logic_error("channel-major layout requires a 4-D shape, got " +
+                           format_shape(dims, rank));
+  }
+#else
+  (void)layout;
+  (void)dims;
+  (void)rank;
+#endif
+}
+
 }  // namespace
 
 std::size_t shape_size(const std::vector<int>& shape) {
@@ -64,10 +80,22 @@ void Tensor::fill(float value) {
             value);
 }
 
+void Tensor::set_layout(Layout layout) {
+  check_layout_shape(layout, shape_.data(), shape_.size());
+  layout_ = layout;
+}
+
 void Tensor::reshape(std::vector<int> shape) {
   if (shape_size(shape) != numel_) {
     throw std::invalid_argument("reshape changes element count");
   }
+#ifndef NDEBUG
+  // Reshaping permuted storage would silently reinterpret plane-swapped
+  // bytes under the new shape; callers must convert to row-major first.
+  if (layout_ == Layout::kChannelMajor) {
+    throw std::logic_error("reshape of a channel-major tensor");
+  }
+#endif
   // Copy-assign (not move) so shape_'s capacity is reused — reshape sits
   // on the alloc-free hot path (AttackNet flattens fc7's scores).
   shape_ = shape;
@@ -77,6 +105,11 @@ void Tensor::reshape(std::initializer_list<int> shape) {
   if (shape_size(shape) != numel_) {
     throw std::invalid_argument("reshape changes element count");
   }
+#ifndef NDEBUG
+  if (layout_ == Layout::kChannelMajor) {
+    throw std::logic_error("reshape of a channel-major tensor");
+  }
+#endif
   shape_.assign(shape);
 }
 
@@ -89,20 +122,60 @@ bool Tensor::ensure_numel(std::size_t n) {
   return data_.capacity() != cap_before;
 }
 
-bool Tensor::resize_reuse(const std::vector<int>& shape) {
+bool Tensor::resize_reuse(const std::vector<int>& shape, Layout layout) {
+  check_layout_shape(layout, shape.data(), shape.size());
   const std::size_t n = shape_size(shape);
   shape_ = shape;  // copy-assign: reuses shape_'s capacity
+  layout_ = layout;
   return ensure_numel(n);
 }
 
-bool Tensor::resize_reuse(std::initializer_list<int> shape) {
+bool Tensor::resize_reuse(std::initializer_list<int> shape, Layout layout) {
+  check_layout_shape(layout, shape.begin(), shape.size());
   const std::size_t n = shape_size(shape);
   shape_.assign(shape);
+  layout_ = layout;
   return ensure_numel(n);
 }
 
 std::string Tensor::shape_string() const {
   return format_shape(shape_.data(), shape_.size());
+}
+
+void copy_to_layout(const Tensor& src, Layout layout, Tensor& dst) {
+  dst.resize_reuse(src.shape(), layout);
+  const std::size_t total = src.size();
+  if (src.layout() == layout || total == 0) {
+    std::copy(src.data(), src.data() + total, dst.data());
+    return;
+  }
+  // One of the two is channel-major, the other row-major; both
+  // permutations are the same plane swap applied in opposite directions.
+  const int n = src.dim(0);
+  const int c = src.dim(1);
+  const std::size_t plane =
+      total / (static_cast<std::size_t>(n) * static_cast<std::size_t>(c));
+  const float* s = src.data();
+  float* d = dst.data();
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      const std::size_t rm = (static_cast<std::size_t>(img) * c + ch) * plane;
+      const std::size_t cm = (static_cast<std::size_t>(ch) * n + img) * plane;
+      const std::size_t from = src.layout() == Layout::kRowMajor ? rm : cm;
+      const std::size_t to = layout == Layout::kRowMajor ? rm : cm;
+      std::copy(s + from, s + from + plane, d + to);
+    }
+  }
+}
+
+Tensor to_layout(const Tensor& src, Layout layout) {
+  Tensor out;
+  copy_to_layout(src, layout, out);
+  return out;
+}
+
+Tensor to_row_major(const Tensor& src) {
+  return to_layout(src, Layout::kRowMajor);
 }
 
 }  // namespace sma::nn

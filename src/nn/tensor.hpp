@@ -1,9 +1,21 @@
 // Minimal dense float tensor.
 //
-// Row-major contiguous storage with a dynamic shape; just enough for the
-// attack network's needs (no views, no broadcasting — layers operate on
-// explicit shapes). Keeping it small makes the backprop code easy to audit
-// against the paper's equations.
+// Contiguous storage with a dynamic shape; just enough for the attack
+// network's needs (no views, no broadcasting — layers operate on explicit
+// shapes). Keeping it small makes the backprop code easy to audit against
+// the paper's equations.
+//
+// Layout tag: a tensor's logical shape is decoupled from its storage
+// order by an explicit `Layout` tag. `kRowMajor` is the default
+// (last-axis-fastest, the seed's only layout). `kChannelMajor` is the
+// blocked conv pipeline's native activation layout for 4-D tensors of
+// logical shape [n, C, H, W]: storage is permuted to [C, n, H, W], i.e.
+// the (img, c) plane lives at data + (c*n + img)*H*W instead of
+// (img*C + c)*H*W. The tag changes only where bytes live, never what
+// they mean — every consumer dispatches on `layout()` and reads the same
+// values. Channel-major requires a rank-4 shape; in Debug builds a
+// mismatched-layout reuse (or a reshape of a channel-major tensor, which
+// would silently reinterpret permuted storage) throws std::logic_error.
 //
 // Buffer reuse: `resize_reuse` reshapes a tensor in place with grow-only
 // capacity and NO clearing of reused storage — the activation-arena
@@ -22,6 +34,23 @@
 
 namespace sma::nn {
 
+/// Storage order of a tensor's backing buffer relative to its logical
+/// shape. See the file comment for the exact channel-major permutation.
+enum class Layout {
+  kRowMajor,      ///< last-axis-fastest (NCHW for 4-D); the seed layout
+  kChannelMajor,  ///< [n,C,H,W] stored as [C,n,H,W]; blocked conv native
+};
+
+/// True when the Debug-only layout contract checks are compiled in.
+/// Tests use this to skip throw-expectations in Release builds.
+constexpr bool layout_checks_enabled() {
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
 class Tensor {
  public:
   Tensor() = default;
@@ -36,6 +65,14 @@ class Tensor {
   int dim(int axis) const { return shape_.at(axis); }
   std::size_t size() const { return numel_; }
   bool empty() const { return numel_ == 0; }
+
+  /// Storage order of the backing buffer. Plain copies (copy ctor /
+  /// assignment) propagate the tag with the data automatically.
+  Layout layout() const { return layout_; }
+  /// Retag the storage order without moving bytes. The caller asserts the
+  /// buffer already IS in `layout` (e.g. a GEMM that wrote channel-major
+  /// planes directly into the slot). Channel-major requires rank 4.
+  void set_layout(Layout layout);
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
@@ -58,8 +95,15 @@ class Tensor {
   /// path skip both the per-call allocation and the per-call zero-fill of
   /// a freshly constructed tensor. Returns true when backing storage had
   /// to grow (a heap allocation happened) — the arena's alloc counter.
-  bool resize_reuse(const std::vector<int>& shape);
-  bool resize_reuse(std::initializer_list<int> shape);
+  ///
+  /// The defaulted `layout` parameter tags the reused storage order;
+  /// existing call sites compile unchanged and keep getting row-major.
+  /// In Debug builds a channel-major reuse with a non-4-D shape throws
+  /// std::logic_error (the permutation is only defined for [n,C,H,W]).
+  bool resize_reuse(const std::vector<int>& shape,
+                    Layout layout = Layout::kRowMajor);
+  bool resize_reuse(std::initializer_list<int> shape,
+                    Layout layout = Layout::kRowMajor);
 
   /// "[2, 3, 4]" for diagnostics.
   std::string shape_string() const;
@@ -74,7 +118,19 @@ class Tensor {
   std::vector<int> shape_;
   std::vector<float> data_;
   std::size_t numel_ = 0;  ///< logical element count; data_.size() >= numel_
+  Layout layout_ = Layout::kRowMajor;
 };
+
+/// Copy `src` into `dst` with `dst` holding the same logical values under
+/// `layout`. `dst` is resize_reuse'd to src's shape (grow-only, so a
+/// preallocated dst makes this allocation-free — benches use it to time
+/// the bare permutation). Same-layout copies degrade to one memcpy.
+void copy_to_layout(const Tensor& src, Layout layout, Tensor& dst);
+
+/// Value-returning conversion helpers built on copy_to_layout. A no-op
+/// (plain copy) when the tensor is already in the requested layout.
+Tensor to_layout(const Tensor& src, Layout layout);
+Tensor to_row_major(const Tensor& src);
 
 /// Number of elements implied by a shape. Throws std::overflow_error when
 /// the dimension product overflows std::size_t (a silent wrap would

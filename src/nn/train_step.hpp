@@ -18,7 +18,11 @@
 // as the unfused reduce / `Adam::step` / broadcast sequence. Fused and
 // unfused training therefore produce byte-identical models at any lane
 // count and any thread count — the PR-1 determinism contract, which
-// tests/test_train_step.cpp asserts.
+// tests/test_train_step.cpp asserts. The activation Layout refactor does
+// not touch this engine: gradients arrive here as parameter tensors
+// (always row-major), so the conv trunk's channel-major activations
+// change where forward/backward *move* data, never what this reduce /
+// Adam / broadcast pass sums or in what order.
 //
 // Lanes that *share* the master's weight tensors (AttackNet::
 // clone_shared) attach with `broadcast = false`: the Adam update lands

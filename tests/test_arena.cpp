@@ -19,6 +19,7 @@
 #include "attack/dl_attack.hpp"
 #include "eval/experiment.hpp"
 #include "nn/attack_net.hpp"
+#include "nn/gemm.hpp"
 #include "nn/losses.hpp"
 #include "nn/optimizer.hpp"
 #include "runtime/thread_pool.hpp"
@@ -33,22 +34,42 @@ namespace {
 std::atomic<bool> g_count_allocs{false};
 std::atomic<long> g_alloc_count{0};
 
-void* counted_alloc(std::size_t size) {
+void* counted_alloc_nothrow(std::size_t size) noexcept {
   if (g_count_allocs.load(std::memory_order_relaxed)) {
     g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   }
-  void* p = std::malloc(size == 0 ? 1 : size);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_alloc(std::size_t size) {
+  void* p = counted_alloc_nothrow(size);
   if (p == nullptr) throw std::bad_alloc();
   return p;
 }
 }  // namespace
 
+// The nothrow forms must be replaced too: the standard library reaches
+// them directly (std::stable_sort's temporary buffer, for one), and under
+// ASan a nothrow-new allocation freed by our free()-based operator delete
+// is reported as an alloc-dealloc mismatch.
 void* operator new(std::size_t size) { return counted_alloc(size); }
 void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace sma::nn {
 namespace {
@@ -279,6 +300,40 @@ TEST(ArenaNet, StaleWarmupNeverLeaksIntoTraining) {
   b.save(bytes_b);
   EXPECT_EQ(bytes_a.str(), bytes_b.str())
       << "stale warm-up contents leaked into the trained model";
+}
+
+TEST(ArenaNet, LayoutModesTrainByteIdenticalModels) {
+  // PR-7 equivalence gate at the model level: a full image-profile
+  // training sequence under kRowMajorCompat (the PR-7 data path: GEMM
+  // into staging, permutation copy back to NCHW) and under kChannelMajor
+  // (GEMM straight into the channel-major arena slot) must save
+  // byte-identical models — the layout refactor moves bytes, never
+  // arithmetic or summation order.
+  const NetConfig config = tiny_image_config();
+  const int image_size = 15;
+  const std::vector<int> ns = {3, 7, 2, 6, 1, 5};
+
+  auto train_with_mode = [&](ConvLayoutMode mode) {
+    set_conv_layout_mode(mode);
+    AttackNet net(config);
+    Adam adam(net.params());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      QueryInput input = make_input(config, ns[i], image_size, 500 + i);
+      const int target = static_cast<int>(i) % ns[i];
+      LossResult loss = softmax_regression_loss(net.forward(input), target);
+      net.backward(loss.grad);
+      adam.step(nullptr);
+    }
+    std::stringstream bytes;
+    net.save(bytes);
+    return bytes.str();
+  };
+
+  const std::string compat = train_with_mode(ConvLayoutMode::kRowMajorCompat);
+  const std::string cm = train_with_mode(ConvLayoutMode::kChannelMajor);
+  set_conv_layout_mode(ConvLayoutMode::kChannelMajor);
+  EXPECT_FALSE(compat.empty());
+  EXPECT_EQ(compat, cm) << "layout modes trained diverging models";
 }
 
 TEST(ArenaNet, PinnedReplicaShapeVaryingMatchesMaster) {

@@ -22,10 +22,13 @@
 namespace sma::nn {
 namespace {
 
-/// Restores the process-wide backend after each test.
+/// Restores the process-wide backend and conv layout mode after each test.
 class KernelTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_kernel_backend(KernelBackend::kBlocked); }
+  void TearDown() override {
+    set_kernel_backend(KernelBackend::kBlocked);
+    set_conv_layout_mode(ConvLayoutMode::kChannelMajor);
+  }
 };
 
 std::vector<float> random_vec(std::size_t n, util::Pcg32& rng) {
@@ -157,23 +160,28 @@ void expect_layer_bit_identical(MakeLayer make_layer, const Tensor& x,
   set_kernel_backend(KernelBackend::kReference);
   auto ref = make_layer();
   Tensor y_ref = ref.forward(x);
-  Tensor dy(y_ref.shape());
-  for (std::size_t i = 0; i < dy.size(); ++i) {
-    dy[i] = static_cast<float>(grad_rng.next_gaussian());
+  // dy values are drawn once in row-major (NCHW) order, then converted
+  // to whatever layout each backend's y carries: the logical gradient is
+  // identical even when the blocked path hands back channel-major y.
+  Tensor dy_rm(y_ref.shape());
+  for (std::size_t i = 0; i < dy_rm.size(); ++i) {
+    dy_rm[i] = static_cast<float>(grad_rng.next_gaussian());
   }
-  Tensor dx_ref = ref.backward(dy);
+  Tensor dx_ref = ref.backward(dy_rm);
   std::vector<Param> ref_params;
   ref.collect_params(ref_params);
 
   set_kernel_backend(KernelBackend::kBlocked);
   auto blk = make_layer();
   Tensor y_blk = blk.forward(x);
-  Tensor dx_blk = blk.backward(dy);
+  Tensor dy_blk = to_layout(dy_rm, y_blk.layout());
+  Tensor dx_blk = blk.backward(dy_blk);
   std::vector<Param> blk_params;
   blk.collect_params(blk_params);
 
   ASSERT_EQ(y_ref.size(), y_blk.size());
-  EXPECT_TRUE(bit_equal(y_ref.data(), y_blk.data(), y_ref.size()));
+  const Tensor y_blk_rm = to_row_major(y_blk);
+  EXPECT_TRUE(bit_equal(y_ref.data(), y_blk_rm.data(), y_ref.size()));
   ASSERT_EQ(dx_ref.size(), dx_blk.size());
   EXPECT_TRUE(bit_equal(dx_ref.data(), dx_blk.data(), dx_ref.size()));
   ASSERT_EQ(ref_params.size(), blk_params.size());
@@ -268,7 +276,10 @@ TEST_F(KernelTest, Conv2dStridedOnOnePixelInputIsDeterministic) {
       util::Pcg32 rng(44);
       Conv2d conv(c.in_ch, c.out_ch, 3, rng, "t", Act::kLeakyReLU);
       Tensor y = conv.forward(x);
+      // Tag dy with y's own layout so the backward exercises the new
+      // channel-major fast path (the pack_cm_* code under test here).
       Tensor dy(y.shape());
+      dy.set_layout(y.layout());
       util::Pcg32 grng(13);
       for (std::size_t i = 0; i < dy.size(); ++i) {
         dy[i] = static_cast<float>(grng.next_gaussian());
@@ -282,6 +293,66 @@ TEST_F(KernelTest, Conv2dStridedOnOnePixelInputIsDeterministic) {
         EXPECT_TRUE(bit_equal(dx_first.data(), dx.data(), dx.size()));
       }
     }
+  }
+}
+
+TEST_F(KernelTest, ConvLayoutModesBitIdentical) {
+  // kRowMajorCompat is the PR-7 pipeline (GEMM into per-thread staging,
+  // then a permutation copy back to NCHW); kChannelMajor writes the GEMM
+  // output straight into the channel-major arena slot. Both modes feed
+  // the kernels the same operands in the same order, so forward output,
+  // input gradient and every parameter gradient must match bit for bit —
+  // including on the stride-3 one-pixel clamp edge.
+  struct Case {
+    int n, in_ch, out_ch, stride, size;
+  };
+  for (const Case& c :
+       {Case{2, 3, 8, 1, 7}, Case{2, 3, 8, 3, 15}, Case{3, 2, 5, 3, 1}}) {
+    util::Pcg32 data_rng(71u + c.n);
+    Tensor x = Tensor::randn({c.n, c.in_ch, c.size, c.size}, data_rng, 1.0);
+
+    auto run = [&](ConvLayoutMode mode, Layout* y_layout, Tensor* y_rm,
+                   Tensor* dx, std::vector<float>* grads) {
+      set_conv_layout_mode(mode);
+      util::Pcg32 rng(21);
+      Conv2d conv(c.in_ch, c.out_ch, c.stride, rng, "t", Act::kLeakyReLU);
+      Tensor y = conv.forward(x);
+      *y_layout = y.layout();
+      Tensor dy_rm(y.shape());
+      util::Pcg32 grng(23);
+      for (std::size_t i = 0; i < dy_rm.size(); ++i) {
+        dy_rm[i] = static_cast<float>(grng.next_gaussian());
+      }
+      Tensor dy = to_layout(dy_rm, y.layout());
+      *dx = conv.backward(dy);
+      *y_rm = to_row_major(y);
+      std::vector<Param> params;
+      conv.collect_params(params);
+      grads->clear();
+      for (const Param& p : params) {
+        grads->insert(grads->end(), p.grad->data(),
+                      p.grad->data() + p.grad->size());
+      }
+    };
+
+    Layout layout_compat, layout_cm;
+    Tensor y_compat, y_cm, dx_compat, dx_cm;
+    std::vector<float> g_compat, g_cm;
+    run(ConvLayoutMode::kRowMajorCompat, &layout_compat, &y_compat,
+        &dx_compat, &g_compat);
+    run(ConvLayoutMode::kChannelMajor, &layout_cm, &y_cm, &dx_cm, &g_cm);
+
+    // The modes must genuinely diverge in storage, not silently share a
+    // path — otherwise this A/B proves nothing.
+    EXPECT_EQ(layout_compat, Layout::kRowMajor);
+    EXPECT_EQ(layout_cm, Layout::kChannelMajor);
+
+    ASSERT_EQ(y_compat.size(), y_cm.size());
+    EXPECT_TRUE(bit_equal(y_compat.data(), y_cm.data(), y_compat.size()));
+    ASSERT_EQ(dx_compat.size(), dx_cm.size());
+    EXPECT_TRUE(bit_equal(dx_compat.data(), dx_cm.data(), dx_compat.size()));
+    ASSERT_EQ(g_compat.size(), g_cm.size());
+    EXPECT_TRUE(bit_equal(g_compat.data(), g_cm.data(), g_compat.size()));
   }
 }
 

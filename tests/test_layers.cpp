@@ -21,7 +21,11 @@ void check_input_gradient(Layer& layer, Tensor x, double tolerance = 2e-2) {
   for (std::size_t i = 0; i < coeff.size(); ++i) {
     coeff[i] = static_cast<float>(rng.next_double() - 0.5);
   }
+  // The loss pairs coeff[j] with y's storage element j, so dy must carry
+  // y's layout tag — for a channel-major conv output the gradient of
+  // that loss IS coeff laid out channel-major.
   Tensor dy = coeff;
+  dy.set_layout(y.layout());
   Tensor dx = layer.backward(dy);
 
   const float eps = 1e-2f;
@@ -218,6 +222,66 @@ TEST(GlobalAvgPool, ForwardAndBackward) {
   Tensor dx = pool.backward(dy);
   EXPECT_FLOAT_EQ(dx[0], 1.0f);
   EXPECT_FLOAT_EQ(dx[7], 2.0f);
+}
+
+TEST(LayoutContract, ConvTrunkBoundariesCarryChannelMajor) {
+  // The AttackNet activation contract checked at every layer-pair
+  // boundary of the conv trunk, forward and backward: the dataset input
+  // and the pool->fc seam are row-major; everything between convs stays
+  // channel-major, and each backward hands dx back in the layout its
+  // forward consumed.
+  set_conv_layout_mode(ConvLayoutMode::kChannelMajor);
+  util::Pcg32 rng(42);
+  Conv2d conv1(3, 6, 3, rng, "c1", Act::kLeakyReLU);
+  Conv2d conv2(6, 8, 3, rng, "c2", Act::kLeakyReLU);
+  GlobalAvgPool pool;
+  Linear fc(8, 4, rng, "fc");
+
+  Tensor x = Tensor::randn({2, 3, 15, 15}, rng, 1.0);
+  ASSERT_EQ(x.layout(), Layout::kRowMajor);
+
+  Tensor y1 = conv1.forward(x);
+  EXPECT_EQ(y1.layout(), Layout::kChannelMajor);  // conv -> conv boundary
+  Tensor y2 = conv2.forward(y1);
+  EXPECT_EQ(y2.layout(), Layout::kChannelMajor);  // conv -> pool boundary
+  Tensor p = pool.forward(y2);
+  EXPECT_EQ(p.layout(), Layout::kRowMajor);  // pool -> fc seam
+  Tensor out = fc.forward(p);
+  EXPECT_EQ(out.layout(), Layout::kRowMajor);
+
+  Tensor dout(out.shape());
+  dout.fill(1.0f);
+  Tensor dp = fc.backward(dout);
+  EXPECT_EQ(dp.layout(), Layout::kRowMajor);  // fc seam, backward
+  Tensor dy2 = pool.backward(dp);
+  EXPECT_EQ(dy2.layout(), Layout::kChannelMajor);  // dx in x's own layout
+  Tensor dy1 = conv2.backward(dy2);
+  EXPECT_EQ(dy1.layout(), Layout::kChannelMajor);
+  Tensor dx = conv1.backward(dy1);
+  EXPECT_EQ(dx.layout(), Layout::kRowMajor);  // dataset seam, backward
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(LayoutContract, RowMajorCompatModeKeepsEveryBoundaryRowMajor) {
+  // The A/B baseline: under kRowMajorCompat the same trunk must present
+  // PR-7's all-row-major activations at every boundary.
+  set_conv_layout_mode(ConvLayoutMode::kRowMajorCompat);
+  util::Pcg32 rng(42);
+  Conv2d conv1(3, 6, 3, rng, "c1", Act::kLeakyReLU);
+  GlobalAvgPool pool;
+  Tensor x = Tensor::randn({2, 3, 15, 15}, rng, 1.0);
+
+  Tensor y1 = conv1.forward(x);
+  EXPECT_EQ(y1.layout(), Layout::kRowMajor);
+  Tensor p = pool.forward(y1);
+  EXPECT_EQ(p.layout(), Layout::kRowMajor);
+  Tensor dp(p.shape());
+  dp.fill(1.0f);
+  Tensor dy1 = pool.backward(dp);
+  EXPECT_EQ(dy1.layout(), Layout::kRowMajor);
+  Tensor dx = conv1.backward(dy1);
+  EXPECT_EQ(dx.layout(), Layout::kRowMajor);
+  set_conv_layout_mode(ConvLayoutMode::kChannelMajor);
 }
 
 TEST(ResBlock, IdentitySkipPath) {

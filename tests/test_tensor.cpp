@@ -119,6 +119,83 @@ TEST(Tensor, ResizeReuseGrowOnlyNoClear) {
   EXPECT_GE(t.capacity_bytes(), 100 * sizeof(float));
 }
 
+TEST(TensorLayout, DefaultsToRowMajorAndTagSurvivesCopies) {
+  Tensor t({2, 3, 4, 4});
+  EXPECT_EQ(t.layout(), Layout::kRowMajor);
+  t.set_layout(Layout::kChannelMajor);
+  EXPECT_EQ(t.layout(), Layout::kChannelMajor);
+  Tensor copy = t;  // the tag is part of the value
+  EXPECT_EQ(copy.layout(), Layout::kChannelMajor);
+  Tensor assigned;
+  assigned = t;
+  EXPECT_EQ(assigned.layout(), Layout::kChannelMajor);
+}
+
+TEST(TensorLayout, ResizeReuseTagsAndRetags) {
+  Tensor t;
+  t.resize_reuse({2, 3, 4, 4}, Layout::kChannelMajor);
+  EXPECT_EQ(t.layout(), Layout::kChannelMajor);
+  // The defaulted parameter means untouched call sites reset to
+  // row-major — a slot reused across layouts never keeps a stale tag.
+  t.resize_reuse({2, 48});
+  EXPECT_EQ(t.layout(), Layout::kRowMajor);
+  t.resize_reuse(std::vector<int>{1, 2, 4, 4}, Layout::kChannelMajor);
+  EXPECT_EQ(t.layout(), Layout::kChannelMajor);
+}
+
+TEST(TensorLayout, ConversionRoundTripsAndPermutesPlanes) {
+  // [n=2, c=3] of 2x2 planes, values = row-major linear index.
+  Tensor rm({2, 3, 2, 2});
+  for (std::size_t i = 0; i < rm.size(); ++i) rm[i] = static_cast<float>(i);
+
+  Tensor cm = to_layout(rm, Layout::kChannelMajor);
+  EXPECT_EQ(cm.layout(), Layout::kChannelMajor);
+  EXPECT_EQ(cm.shape(), rm.shape());
+  // Channel-major plane (ch, img) sits at (ch*n + img)*plane; its bytes
+  // are row-major plane (img, ch) at (img*c + ch)*plane.
+  const int n = 2, c = 3, plane = 4;
+  for (int ch = 0; ch < c; ++ch) {
+    for (int img = 0; img < n; ++img) {
+      for (int k = 0; k < plane; ++k) {
+        EXPECT_FLOAT_EQ(cm[(ch * n + img) * plane + k],
+                        rm[(img * c + ch) * plane + k]);
+      }
+    }
+  }
+
+  Tensor back = to_row_major(cm);
+  EXPECT_EQ(back.layout(), Layout::kRowMajor);
+  for (std::size_t i = 0; i < rm.size(); ++i) {
+    EXPECT_FLOAT_EQ(back[i], rm[i]);
+  }
+
+  // Same-layout conversion is a plain copy, and empty tensors are fine.
+  Tensor same = to_layout(rm, Layout::kRowMajor);
+  for (std::size_t i = 0; i < rm.size(); ++i) EXPECT_FLOAT_EQ(same[i], rm[i]);
+  Tensor empty({0, 3, 2, 2});
+  EXPECT_EQ(to_layout(empty, Layout::kChannelMajor).size(), 0u);
+}
+
+TEST(TensorLayout, DebugContractViolationsThrow) {
+  // The layout contract is enforced only in Debug builds; in Release the
+  // tag is free and these calls are no-ops / allowed.
+  if (!layout_checks_enabled()) GTEST_SKIP() << "Release build";
+  // Channel-major is defined only for rank-4 [n,C,H,W] shapes.
+  Tensor t({2, 3});
+  EXPECT_THROW(t.set_layout(Layout::kChannelMajor), std::logic_error);
+  Tensor u;
+  EXPECT_THROW(u.resize_reuse({2, 6}, Layout::kChannelMajor),
+               std::logic_error);
+  EXPECT_THROW(u.resize_reuse(std::vector<int>{2, 3, 4},
+                              Layout::kChannelMajor),
+               std::logic_error);
+  // Reshape would reinterpret plane-swapped bytes under the new shape.
+  Tensor v({1, 2, 2, 2});
+  v.set_layout(Layout::kChannelMajor);
+  EXPECT_THROW(v.reshape({8}), std::logic_error);
+  EXPECT_THROW(v.reshape(std::vector<int>{2, 4}), std::logic_error);
+}
+
 TEST(Tensor, ReshapeInitializerList) {
   Tensor t({2, 6});
   t[7] = 9.0f;
