@@ -1,0 +1,430 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism lint for the split-manufacturing attack.
+
+The repo's core guarantee is bit-identical models, tables and layouts at
+any thread count.  Functional tests catch *algorithmic* violations; this
+lint catches the *construct-level* ones that tend to slip through because
+they are deterministic on one machine and nondeterministic on the next:
+
+  unordered-iter     iteration over std::unordered_map/unordered_set
+                     (iteration order is implementation- and salt-defined)
+  unordered-include  <unordered_map>/<unordered_set> included but unused —
+                     a stale include that invites future unordered use
+  entropy            entropy/time sources outside the sanctioned modules:
+                     std::random_device, rand()/srand(), time(),
+                     *_clock::now() (incl. aliases like `clock::now()`)
+  thread-id          std::this_thread::get_id in logic (ids are assigned
+                     by the OS scheduler; use util::thread_ordinal())
+  pointer-order      ordering or hashing by pointer value: std::set/map/
+                     less/greater over pointer keys, std::hash<T*>,
+                     reinterpret_cast<uintptr_t> (heap layout is random
+                     under ASLR, so pointer order varies per run)
+  fp-contract        a TU with a floating-point multiply-accumulate that
+                     is not listed in SMA_FP_STRICT_TUS in CMakeLists.txt
+                     (FMA contraction changes rounding on -march=native)
+
+Suppression is explicit and audited: append
+
+    // sma-lint: allow(<rule>) <reason>
+
+to the offending line, or put it on the line directly above.  The reason
+is mandatory; an allow that matches no finding (stale) or names an
+unknown rule is itself an error, so suppressions cannot rot.
+
+Exit status: 0 when src/ is clean, 1 when any unsuppressed finding (or
+bad suppression) exists, 2 on usage errors.  `--self-test` runs the lint
+against tests/lint_fixtures/ and verifies every rule still trips on its
+trip_<rule>.cpp fixture while clean*.cpp stays clean.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = (
+    "unordered-iter",
+    "unordered-include",
+    "entropy",
+    "thread-id",
+    "pointer-order",
+    "fp-contract",
+)
+
+# Paths (relative to repo root, '/'-separated) where entropy sources are
+# the module's job: the seeded RNG, the wall-clock timer, and the
+# observability layer (timestamps feed reports, never algorithms).
+ENTROPY_ALLOWED_PREFIXES = (
+    "src/util/rng.",
+    "src/util/timer.",
+    "src/obs/",
+)
+
+ALLOW_RE = re.compile(r"//\s*sma-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<.*>\s*&?\s*([A-Za-z_]\w*)")
+UNORDERED_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](unordered_map|unordered_set)[>"]')
+
+ENTROPY_RES = (
+    re.compile(r"\bstd\s*::\s*random_device\b"),
+    re.compile(r"\bstd\s*::\s*(?:s?rand|time)\s*\("),
+    re.compile(r"(?<![\w.:>])s?rand\s*\("),
+    re.compile(r"(?<![\w.:>])time\s*\("),
+    re.compile(r"\b\w*clock\w*\s*::\s*now\s*\("),
+)
+
+THREAD_ID_RE = re.compile(r"\bthis_thread\s*::\s*get_id\b")
+
+POINTER_ORDER_RES = (
+    re.compile(r"\bstd\s*::\s*hash\s*<[^<>]*\*\s*(?:const\s*)?>"),
+    re.compile(r"\bstd\s*::\s*(?:set|map|less|greater)\s*<[^<>,]*\*"),
+    re.compile(r"\breinterpret_cast\s*<\s*(?:std\s*::\s*)?u?intptr_t\b"),
+)
+
+# A compound FP accumulate with a multiply on the right-hand side — the
+# pattern FMA contraction rewrites.  `sizeof` excludes size arithmetic.
+FP_ACCUM_RE = re.compile(r"[^=<>!+\-*/|&^][+-]=[^=].*\*")
+FLOATISH_RE = re.compile(r"\b(float|double)\b|\b\d+\.\d*f?\b|\b\d+\.?\d*e[+-]?\d+\b")
+
+FP_STRICT_BLOCK_RE = re.compile(
+    r"set\s*\(\s*SMA_FP_STRICT_TUS\s*(.*?)\)", re.DOTALL)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(lines):
+    """Return code-only lines: string/char literals blanked, // and block
+    comments removed.  Line count and column positions are preserved where
+    possible so findings point at the real line."""
+    out = []
+    in_block = False
+    for raw in lines:
+        buf = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            if in_block:
+                end = raw.find("*/", i)
+                if end == -1:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            c = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if c == "/" and nxt == "/":
+                break  # rest of line is a comment
+            if c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if c == '"' or c == "'":
+                quote = c
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                buf.append('""' if quote == '"' else "' '")
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def parse_allows(lines):
+    """Map line number (1-based) -> (rule, reason, raw_line_no) for every
+    sma-lint allow directive.  A directive covers its own line and the
+    line below it (for `x =  // sma-lint: allow(...)` split statements)."""
+    allows = {}
+    errors = []
+    for idx, raw in enumerate(lines, start=1):
+        m = ALLOW_RE.search(raw)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        if rule not in RULES:
+            errors.append((idx, f"unknown rule '{rule}' in sma-lint allow "
+                                f"(known: {', '.join(RULES)})"))
+            continue
+        if not reason:
+            errors.append((idx, f"sma-lint allow({rule}) without a reason — "
+                                "say why the construct is safe"))
+            continue
+        allows[idx] = {"rule": rule, "reason": reason, "used": False}
+    return allows, errors
+
+
+def parse_fp_strict_tus(repo):
+    path = os.path.join(repo, "CMakeLists.txt")
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return set()
+    m = FP_STRICT_BLOCK_RE.search(text)
+    if not m:
+        return set()
+    tus = set()
+    for line in m.group(1).splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            tus.add(line)
+    return tus
+
+
+def sibling_paths(path):
+    """Header/source siblings sharing the stem — a member declared in
+    foo.hpp is legitimately iterated in foo.cpp, so unordered names are
+    collected across the pair."""
+    stem, _ = os.path.splitext(path)
+    return [stem + ext for ext in (".hpp", ".h", ".cpp", ".cc")
+            if os.path.exists(stem + ext)]
+
+
+def collect_unordered_names(paths):
+    names = set()
+    for p in paths:
+        try:
+            with open(p, encoding="utf-8") as f:
+                lines = f.read().splitlines()
+        except OSError:
+            continue
+        for line in strip_comments_and_strings(lines):
+            for m in UNORDERED_DECL_RE.finditer(line):
+                name = m.group(1)
+                if name not in ("const", "auto"):
+                    names.add(name)
+    return names
+
+
+def check_file(path, rel, code, fp_strict_tus):
+    """Yield Finding objects for one file.  `code` is the comment/string
+    stripped line list."""
+    findings = []
+
+    # --- unordered-iter -------------------------------------------------
+    unordered_names = collect_unordered_names(sibling_paths(path))
+    iter_res = []
+    for name in unordered_names:
+        iter_res.append((name, re.compile(
+            r"for\s*\([^;)]*:\s*(?:\*?\s*)?(?:[A-Za-z_]\w*(?:\.|->))*"
+            + re.escape(name) + r"\s*\)")))
+        iter_res.append((name, re.compile(
+            r"\b" + re.escape(name) + r"\s*(?:\.|->)\s*c?r?begin\s*\(")))
+    uses_unordered = False
+    for idx, line in enumerate(code, start=1):
+        if "unordered_map" in line or "unordered_set" in line:
+            if not UNORDERED_INCLUDE_RE.search(line):
+                uses_unordered = True
+        for name, rx in iter_res:
+            if rx.search(line):
+                findings.append(Finding(
+                    rel, idx, "unordered-iter",
+                    f"iteration over unordered container '{name}' — order is "
+                    "implementation-defined; copy keys out and sort, or use "
+                    "std::map/std::vector"))
+
+    # --- unordered-include ----------------------------------------------
+    if not uses_unordered:
+        for idx, line in enumerate(code, start=1):
+            m = UNORDERED_INCLUDE_RE.search(line)
+            if m:
+                findings.append(Finding(
+                    rel, idx, "unordered-include",
+                    f"<{m.group(1)}> included but never used — remove the "
+                    "stale include (it invites order-sensitive code later)"))
+
+    # --- entropy ---------------------------------------------------------
+    relpost = rel.replace(os.sep, "/")
+    entropy_allowed = any(relpost.startswith(p) for p in ENTROPY_ALLOWED_PREFIXES)
+    if not entropy_allowed:
+        for idx, line in enumerate(code, start=1):
+            for rx in ENTROPY_RES:
+                if rx.search(line):
+                    findings.append(Finding(
+                        rel, idx, "entropy",
+                        "entropy/time source outside util/rng, util/timer "
+                        "and obs/ — thread seeded util::Rng or obs::now_us "
+                        "through instead"))
+                    break
+
+    # --- thread-id --------------------------------------------------------
+    for idx, line in enumerate(code, start=1):
+        if THREAD_ID_RE.search(line):
+            findings.append(Finding(
+                rel, idx, "thread-id",
+                "std::this_thread::get_id is scheduler-assigned — use "
+                "util::thread_ordinal() (stable small ints) instead"))
+
+    # --- pointer-order ----------------------------------------------------
+    for idx, line in enumerate(code, start=1):
+        for rx in POINTER_ORDER_RES:
+            if rx.search(line):
+                findings.append(Finding(
+                    rel, idx, "pointer-order",
+                    "ordering/hashing by pointer value varies per run under "
+                    "ASLR — key on a stable id instead"))
+                break
+
+    # --- fp-contract ------------------------------------------------------
+    if rel.endswith((".cpp", ".cc")) and relpost not in fp_strict_tus:
+        floatish_lines = [bool(FLOATISH_RE.search(l)) for l in code]
+        for idx, line in enumerate(code, start=1):
+            if "sizeof" in line:
+                continue
+            if not FP_ACCUM_RE.search(line):
+                continue
+            lo = max(0, idx - 1 - 25)
+            hi = min(len(code), idx + 25)
+            if any(floatish_lines[lo:hi]):
+                findings.append(Finding(
+                    rel, idx, "fp-contract",
+                    "floating-point multiply-accumulate in a TU not listed "
+                    "in SMA_FP_STRICT_TUS (CMakeLists.txt) — FMA contraction "
+                    "would change rounding; add the TU to the list or mark "
+                    "the accumulate as non-output-shaping"))
+    return findings
+
+
+def lint_paths(repo, files, fp_strict_tus):
+    """Lint the given files.  Returns (unsuppressed findings, errors)."""
+    reported = []
+    errors = []
+    for path in files:
+        rel = os.path.relpath(path, repo)
+        try:
+            with open(path, encoding="utf-8") as f:
+                lines = f.read().splitlines()
+        except OSError as e:
+            errors.append(Finding(rel, 0, "io", str(e)))
+            continue
+        code = strip_comments_and_strings(lines)
+        allows, allow_errors = parse_allows(lines)
+        for line_no, msg in allow_errors:
+            errors.append(Finding(rel, line_no, "bad-allow", msg))
+        for finding in check_file(path, rel, code, fp_strict_tus):
+            suppressed = False
+            # A directive on the finding's line or the line above covers it.
+            for directive_line in (finding.line, finding.line - 1):
+                allow = allows.get(directive_line)
+                if allow and allow["rule"] == finding.rule:
+                    allow["used"] = True
+                    suppressed = True
+                    break
+            if not suppressed:
+                reported.append(finding)
+        for line_no, allow in sorted(allows.items()):
+            if not allow["used"]:
+                errors.append(Finding(
+                    rel, line_no, "stale-allow",
+                    f"sma-lint allow({allow['rule']}) matches no finding — "
+                    "remove it (stale suppressions hide future regressions)"))
+    return reported, errors
+
+
+def gather_src_files(repo):
+    files = []
+    for root, dirs, names in os.walk(os.path.join(repo, "src")):
+        dirs.sort()
+        for name in sorted(names):
+            if name.endswith((".cpp", ".cc", ".hpp", ".h")):
+                files.append(os.path.join(root, name))
+    return files
+
+
+def run_self_test(repo, fp_strict_tus):
+    """Every trip_<rule>.cpp fixture must produce ≥1 finding of exactly
+    that rule; clean*.cpp must produce none and no errors."""
+    fixture_dir = os.path.join(repo, "tests", "lint_fixtures")
+    if not os.path.isdir(fixture_dir):
+        print(f"self-test: fixture directory missing: {fixture_dir}")
+        return 1
+    failures = []
+    checked = 0
+    seen_rules = set()
+    for name in sorted(os.listdir(fixture_dir)):
+        if not name.endswith((".cpp", ".hpp")):
+            continue
+        path = os.path.join(fixture_dir, name)
+        findings, errors = lint_paths(repo, [path], fp_strict_tus)
+        checked += 1
+        if name.startswith("trip_"):
+            rule = os.path.splitext(name)[0][len("trip_"):].replace("_", "-")
+            seen_rules.add(rule)
+            hits = [f for f in findings if f.rule == rule]
+            strays = [f for f in findings + errors if f.rule != rule]
+            if not hits:
+                failures.append(f"{name}: rule '{rule}' did not trip")
+            for s in strays:
+                failures.append(f"{name}: unexpected {s}")
+        elif name.startswith("clean"):
+            for f in findings + errors:
+                failures.append(f"{name}: expected clean, got {f}")
+        else:
+            failures.append(f"{name}: fixture must be trip_<rule>.* or clean*.*")
+    missing = set(RULES) - seen_rules
+    if missing:
+        failures.append("no trip fixture for rule(s): " + ", ".join(sorted(missing)))
+    if failures:
+        print(f"self-test FAILED ({len(failures)} problem(s)):")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"self-test OK: {checked} fixtures, all {len(RULES)} rules trip, "
+          "clean fixtures stay clean")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint tests/lint_fixtures/ and verify every "
+                             "rule trips; ignores src/")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files to lint (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    repo = os.path.abspath(args.repo)
+    fp_strict_tus = parse_fp_strict_tus(repo)
+
+    if args.self_test:
+        return run_self_test(repo, fp_strict_tus)
+
+    files = [os.path.abspath(f) for f in args.files] or gather_src_files(repo)
+    if not files:
+        print(f"lint_determinism: no files under {repo}/src", file=sys.stderr)
+        return 2
+    findings, errors = lint_paths(repo, files, fp_strict_tus)
+    for f in findings + errors:
+        print(f)
+    if findings or errors:
+        print(f"lint_determinism: {len(findings)} finding(s), "
+              f"{len(errors)} suppression error(s) in {len(files)} file(s)")
+        return 1
+    print(f"lint_determinism: clean ({len(files)} files, "
+          f"{len(fp_strict_tus)} fp-strict TUs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

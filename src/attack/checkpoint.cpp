@@ -20,7 +20,8 @@ std::atomic<long> g_resumes{0};
 std::atomic<long> g_corrupt_discards{0};
 
 void append_pod(std::string& out, const void* data, std::size_t size) {
-  out.append(static_cast<const char*>(data), size);
+  // data may be an empty vector's null data(); append requires a valid range.
+  if (size > 0) out.append(static_cast<const char*>(data), size);
 }
 
 void append_u64(std::string& out, std::uint64_t v) {
@@ -43,7 +44,9 @@ class Cursor {
       throw util::FrameError(std::string("checkpoint payload truncated in ") +
                              what);
     }
-    std::memcpy(into, bytes_.data() + pos_, size);
+    // An empty vector's data() may be null, and memcpy's pointer args are
+    // declared nonnull even for size 0.
+    if (size > 0) std::memcpy(into, bytes_.data() + pos_, size);
     pos_ += size;
   }
 

@@ -19,37 +19,48 @@ ReplicaLease::~ReplicaLease() {
   set_->release(indices_, (obs::now_us() - start_us_) * 1e-6);
 }
 
+std::size_t ReplicaSet::obtainable_locked() const {
+  // Obtainable now = free pinned replicas + headroom to clone new ones.
+  return (replicas_.size() - on_loan_now_) +
+         (max_replicas_ > replicas_.size() ? max_replicas_ - replicas_.size()
+                                           : 0);
+}
+
 ReplicaLease ReplicaSet::lease(std::size_t n, nn::AttackNet& master,
                                double timeout_seconds) {
   const double wait_start_us = obs::now_us();
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (max_replicas_ > 0) {
     if (n > max_replicas_) {
       throw std::invalid_argument(
           "ReplicaSet::lease: requested " + std::to_string(n) +
           " replicas from a set bounded to " + std::to_string(max_replicas_));
     }
-    // Obtainable now = free pinned replicas + headroom to clone new ones.
-    const auto obtainable = [this] {
-      return (replicas_.size() - on_loan_now_) +
-             (max_replicas_ > replicas_.size() ? max_replicas_ - replicas_.size()
-                                               : 0);
-    };
-    const auto ready = [&] { return obtainable() >= n; };
     if (timeout_seconds < 0.0) {
-      available_.wait(lock, ready);
-    } else if (!available_.wait_for(
-                   lock, std::chrono::duration<double>(timeout_seconds),
-                   ready)) {
-      ++stats_.timeouts;
-      SMA_COUNT("replica.lease_timeouts");
-      throw AcquireTimeoutError(
-          "ReplicaSet::lease: timed out after " +
-          std::to_string(timeout_seconds) + "s waiting for " +
-          std::to_string(n) + " of " + std::to_string(max_replicas_) +
-          " bounded replicas");
+      while (obtainable_locked() < n) available_.wait(lock);
+    } else {
+      // The deadline bounds only the wait below; wall-clock time never
+      // feeds a model, table, or layout.
+      const auto deadline =  // sma-lint: allow(entropy) cv deadline only
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_seconds));
+      while (obtainable_locked() < n) {
+        if (available_.wait_until(lock, deadline) ==
+                std::cv_status::timeout &&
+            obtainable_locked() < n) {
+          ++stats_.timeouts;
+          SMA_COUNT("replica.lease_timeouts");
+          throw AcquireTimeoutError(
+              "ReplicaSet::lease: timed out after " +
+              std::to_string(timeout_seconds) + "s waiting for " +
+              std::to_string(n) + " of " + std::to_string(max_replicas_) +
+              " bounded replicas");
+        }
+      }
     }
   }
+  // sma-lint: allow(fp-contract) diagnostic stat; never feeds an output
   stats_.wait_seconds += (obs::now_us() - wait_start_us) * 1e-6;
   std::vector<nn::AttackNet*> nets;
   std::vector<std::size_t> indices;
@@ -85,7 +96,7 @@ void ReplicaSet::release(const std::vector<std::size_t>& indices,
   SMA_HISTOGRAM_US("replica.lease_held_us",
                    static_cast<std::uint64_t>(held_seconds * 1e6));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (std::size_t i : indices) on_loan_[i] = false;
     on_loan_now_ -= indices.size();
     stats_.occupancy_seconds +=
@@ -96,7 +107,7 @@ void ReplicaSet::release(const std::vector<std::size_t>& indices,
 
 void ReplicaSet::set_max_replicas(std::size_t cap) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     max_replicas_ = cap;
   }
   // A raised (or removed) bound may unblock waiters.
@@ -104,22 +115,22 @@ void ReplicaSet::set_max_replicas(std::size_t cap) {
 }
 
 std::size_t ReplicaSet::max_replicas() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return max_replicas_;
 }
 
 long ReplicaSet::clones_created() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return clones_created_;
 }
 
 ReplicaSet::LeaseStats ReplicaSet::lease_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 
 nn::ArenaStats ReplicaSet::arena_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   nn::ArenaStats total;
   for (const nn::AttackNet& replica : replicas_) {
     const nn::ArenaStats s = replica.arena().stats();

@@ -19,15 +19,15 @@
 // replica serves a chunk never matters.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
 
 #include "nn/arena.hpp"
 #include "nn/attack_net.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sma::attack {
 
@@ -90,23 +90,23 @@ class ReplicaSet {
   /// never succeed and throws std::invalid_argument immediately.
   /// Unbounded sets (the default) never block and never time out.
   ReplicaLease lease(std::size_t n, nn::AttackNet& master,
-                     double timeout_seconds = -1.0);
+                     double timeout_seconds = -1.0) SMA_EXCLUDES(mutex_);
 
   /// Bound the set to `cap` pinned replicas (0 = unbounded, the default).
   /// Bounds memory on wide machines: each pinned replica carries private
   /// activation arenas even though weights are shared. Shrinking below
   /// the current size keeps existing replicas but stops growth.
-  void set_max_replicas(std::size_t cap);
-  std::size_t max_replicas() const;
+  void set_max_replicas(std::size_t cap) SMA_EXCLUDES(mutex_);
+  std::size_t max_replicas() const SMA_EXCLUDES(mutex_);
 
   /// Replicas ever created — a monotone counter tests use to prove that
   /// repeated attack() calls reuse pinned replicas instead of cloning.
-  long clones_created() const;
+  long clones_created() const SMA_EXCLUDES(mutex_);
 
   /// Lease-lifecycle stats since construction (see LeaseStats). Occupancy
   /// of still-live leases is not yet included — read between attack()
   /// calls, like arena_stats().
-  LeaseStats lease_stats() const;
+  LeaseStats lease_stats() const SMA_EXCLUDES(mutex_);
 
   /// Aggregate activation-arena stats over every pinned replica. Each
   /// replica owns one arena for its lifetime, so repeated attack() calls
@@ -114,20 +114,25 @@ class ReplicaSet {
   /// serving-side half of the alloc-free steady-state contract. Arenas
   /// are single-owner: call this between attack() calls, not while a
   /// lease is live (a working replica mutates its arena unsynchronized).
-  nn::ArenaStats arena_stats() const;
+  nn::ArenaStats arena_stats() const SMA_EXCLUDES(mutex_);
 
  private:
   friend class ReplicaLease;
-  void release(const std::vector<std::size_t>& indices, double held_seconds);
+  void release(const std::vector<std::size_t>& indices, double held_seconds)
+      SMA_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable available_;  ///< signaled on every release
-  std::deque<nn::AttackNet> replicas_;  ///< deque: growth keeps addresses
-  std::vector<bool> on_loan_;
-  long clones_created_ = 0;
-  LeaseStats stats_;
-  std::size_t on_loan_now_ = 0;
-  std::size_t max_replicas_ = 0;  ///< 0 = unbounded
+  /// Free pinned replicas plus headroom to clone under the bound.
+  std::size_t obtainable_locked() const SMA_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  util::CondVar available_;  ///< signaled on every release
+  /// Deque: growth keeps addresses stable for live leases.
+  std::deque<nn::AttackNet> replicas_ SMA_GUARDED_BY(mutex_);
+  std::vector<bool> on_loan_ SMA_GUARDED_BY(mutex_);
+  long clones_created_ SMA_GUARDED_BY(mutex_) = 0;
+  LeaseStats stats_ SMA_GUARDED_BY(mutex_);
+  std::size_t on_loan_now_ SMA_GUARDED_BY(mutex_) = 0;
+  std::size_t max_replicas_ SMA_GUARDED_BY(mutex_) = 0;  ///< 0 = unbounded
 };
 
 }  // namespace sma::attack

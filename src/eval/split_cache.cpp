@@ -162,13 +162,13 @@ SplitCache& SplitCache::global() {
 void SplitCache::set_disk_dir(const std::string& dir,
                               const tech::CellLibrary* library) {
   if (!dir.empty()) util::ensure_dir(dir);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   disk_dir_ = dir;
   library_ = dir.empty() ? nullptr : library;
 }
 
 std::string SplitCache::disk_dir() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return disk_dir_;
 }
 
@@ -183,7 +183,7 @@ std::shared_ptr<const layout::Design> SplitCache::load_from_disk(
         util::read_frame_file(path, kCacheFrameKind, kCacheSchemaVersion);
     auto design = std::make_shared<layout::Design>(
         decode_entry(payload, key, library));
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++stats_.disk_hits;
     return design;
   } catch (util::fault::FaultInjected&) {
@@ -195,7 +195,7 @@ std::shared_ptr<const layout::Design> SplitCache::load_from_disk(
     util::log_warn() << "discarding corrupt cache entry " << path << ": "
                      << e.what();
     std::remove(path.c_str());
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++stats_.disk_corrupt;
     return nullptr;
   }
@@ -208,7 +208,7 @@ void SplitCache::spill_to_disk(const std::string& dir, std::uint64_t key,
     util::fault::point("cache.spill");
     util::write_frame_file(path, kCacheFrameKind, kCacheSchemaVersion,
                            encode_entry(key, design));
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++stats_.disk_spills;
   } catch (const util::DurableIoError& e) {
     // Spill failures (full disk, injected IO errors) degrade the cache to
@@ -224,7 +224,7 @@ std::shared_ptr<const layout::Design> SplitCache::get_or_build(
   std::string dir;
   const tech::CellLibrary* library = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (enabled_) {
       auto it = entries_.find(key);
       if (it != entries_.end()) {
@@ -253,7 +253,7 @@ std::shared_ptr<const layout::Design> SplitCache::get_or_build(
   if (built) design = build();
   if (built && use_disk) spill_to_disk(dir, key, *design);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!enabled_) return design;
   auto it = entries_.find(key);
   if (it != entries_.end()) return it->second.design;
@@ -264,35 +264,35 @@ std::shared_ptr<const layout::Design> SplitCache::get_or_build(
 }
 
 void SplitCache::set_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   enabled_ = enabled;
 }
 
 bool SplitCache::enabled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return enabled_;
 }
 
 void SplitCache::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   capacity_ = capacity;
   evict_to_capacity_locked();
 }
 
 void SplitCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   stats_ = Stats{};
 }
 
 SplitCache::Stats SplitCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t SplitCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.size();
 }
 

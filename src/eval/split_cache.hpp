@@ -22,12 +22,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "layout/design.hpp"
 #include "netlist/profiles.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sma::tech {
 class CellLibrary;
@@ -65,13 +66,14 @@ class SplitCache {
   /// cache is disabled every call builds and nothing is stored.
   std::shared_ptr<const layout::Design> get_or_build(
       std::uint64_t key,
-      const std::function<std::shared_ptr<const layout::Design>()>& build);
+      const std::function<std::shared_ptr<const layout::Design>()>& build)
+      SMA_EXCLUDES(mutex_);
 
-  void set_enabled(bool enabled);
-  bool enabled() const;
+  void set_enabled(bool enabled) SMA_EXCLUDES(mutex_);
+  bool enabled() const SMA_EXCLUDES(mutex_);
 
   /// Max resident designs; shrinking evicts immediately (LRU order).
-  void set_capacity(std::size_t capacity);
+  void set_capacity(std::size_t capacity) SMA_EXCLUDES(mutex_);
 
   /// Attach a durable disk tier: memory misses probe
   /// `<dir>/<key as 016x>.sma` (a checksummed durable_io frame holding the
@@ -84,36 +86,37 @@ class SplitCache {
   /// degrade to warnings (the run continues memory-only). An empty `dir`
   /// detaches the tier. The directory is created if missing; throws
   /// util::IoError when that fails.
-  void set_disk_dir(const std::string& dir, const tech::CellLibrary* library);
-  std::string disk_dir() const;
+  void set_disk_dir(const std::string& dir, const tech::CellLibrary* library)
+      SMA_EXCLUDES(mutex_);
+  std::string disk_dir() const SMA_EXCLUDES(mutex_);
 
-  void clear();
-  Stats stats() const;
-  std::size_t size() const;
+  void clear() SMA_EXCLUDES(mutex_);
+  Stats stats() const SMA_EXCLUDES(mutex_);
+  std::size_t size() const SMA_EXCLUDES(mutex_);
 
  private:
-  void evict_to_capacity_locked();
+  void evict_to_capacity_locked() SMA_REQUIRES(mutex_);
   /// Disk probe for `key` (runs outside the entry lock; IO is slow).
   /// Returns nullptr on any miss, deleting damaged files along the way.
   std::shared_ptr<const layout::Design> load_from_disk(
       const std::string& dir, const tech::CellLibrary* library,
-      std::uint64_t key);
+      std::uint64_t key) SMA_EXCLUDES(mutex_);
   void spill_to_disk(const std::string& dir, std::uint64_t key,
-                     const layout::Design& design);
+                     const layout::Design& design) SMA_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  bool enabled_ = true;
-  std::size_t capacity_;
-  std::string disk_dir_;
-  const tech::CellLibrary* library_ = nullptr;
-  Stats stats_;
+  mutable util::Mutex mutex_;
+  bool enabled_ SMA_GUARDED_BY(mutex_) = true;
+  std::size_t capacity_ SMA_GUARDED_BY(mutex_);
+  std::string disk_dir_ SMA_GUARDED_BY(mutex_);
+  const tech::CellLibrary* library_ SMA_GUARDED_BY(mutex_) = nullptr;
+  Stats stats_ SMA_GUARDED_BY(mutex_);
   /// MRU-first key list; entries carry an iterator into it for O(1) touch.
-  std::list<std::uint64_t> lru_;
+  std::list<std::uint64_t> lru_ SMA_GUARDED_BY(mutex_);
   struct Entry {
     std::shared_ptr<const layout::Design> design;
     std::list<std::uint64_t>::iterator lru_pos;
   };
-  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<std::uint64_t, Entry> entries_ SMA_GUARDED_BY(mutex_);
 };
 
 }  // namespace sma::eval

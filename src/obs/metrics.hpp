@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sma::obs {
 
@@ -109,12 +111,12 @@ class Registry {
 
   /// Find-or-create. The returned reference is valid for the registry's
   /// lifetime; repeated calls with one name return the same object.
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) SMA_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) SMA_EXCLUDES(mutex_);
+  Histogram& histogram(const std::string& name) SMA_EXCLUDES(mutex_);
 
   /// Zero every metric (run-scoped reports; registrations are kept).
-  void reset();
+  void reset() SMA_EXCLUDES(mutex_);
 
   /// Point-in-time copy, names in lexicographic order (see file comment).
   struct HistogramSnapshot {
@@ -128,13 +130,19 @@ class Registry {
     std::vector<std::pair<std::string, std::int64_t>> gauges;
     std::vector<HistogramSnapshot> histograms;
   };
-  Snapshot snapshot() const;
+  Snapshot snapshot() const SMA_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;  ///< guards the maps, not the metric values
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards the maps, not the metric values (those are atomics updated
+  /// lock-free through the references counter()/gauge()/histogram()
+  /// hand out).
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SMA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      SMA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SMA_GUARDED_BY(mutex_);
 };
 
 }  // namespace sma::obs

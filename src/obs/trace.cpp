@@ -6,12 +6,13 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <unordered_set>
 
 #include "util/logging.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sma::obs {
 
@@ -44,9 +45,11 @@ struct Tracer {
   std::atomic<std::size_t> ring_capacity{std::size_t{1} << 16};
   /// Events written to a full ring in the current session, per epoch —
   /// approximated by summing per-buffer overflow at collect time.
-  std::mutex mutex;  ///< guards buffers + interned
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::unordered_set<std::string> interned;
+  util::Mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers SMA_GUARDED_BY(mutex);
+  /// Lookup/insert only — iteration order never escapes, so the set
+  /// being unordered cannot leak into any output.
+  std::unordered_set<std::string> interned SMA_GUARDED_BY(mutex);
 };
 
 Tracer& tracer() {
@@ -59,7 +62,7 @@ ThreadBuffer& local_buffer() {
     Tracer& t = tracer();
     auto created = std::make_shared<ThreadBuffer>(
         util::thread_ordinal(), t.ring_capacity.load(std::memory_order_relaxed));
-    std::lock_guard<std::mutex> lock(t.mutex);
+    util::MutexLock lock(t.mutex);
     t.buffers.push_back(created);
     return created;
   }();
@@ -112,7 +115,7 @@ std::vector<TraceEvent> collect_events() {
   Tracer& t = tracer();
   const std::uint32_t epoch = t.epoch.load(std::memory_order_relaxed);
   std::vector<TraceEvent> events;
-  std::lock_guard<std::mutex> lock(t.mutex);
+  util::MutexLock lock(t.mutex);
   for (const auto& buffer : t.buffers) {
     const std::uint64_t n = buffer->count.load(std::memory_order_acquire);
     const std::uint64_t live = std::min<std::uint64_t>(n, buffer->ring.size());
@@ -131,7 +134,7 @@ std::vector<TraceEvent> collect_events() {
 std::uint64_t dropped_events() {
   Tracer& t = tracer();
   std::uint64_t dropped = 0;
-  std::lock_guard<std::mutex> lock(t.mutex);
+  util::MutexLock lock(t.mutex);
   for (const auto& buffer : t.buffers) {
     const std::uint64_t n = buffer->count.load(std::memory_order_acquire);
     if (n > buffer->ring.size()) dropped += n - buffer->ring.size();
@@ -190,7 +193,7 @@ std::string chrome_trace_json() {
 
 const char* intern(const std::string& s) {
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mutex);
+  util::MutexLock lock(t.mutex);
   return t.interned.insert(s).first->c_str();
 }
 

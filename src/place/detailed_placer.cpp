@@ -1,7 +1,6 @@
 #include "place/detailed_placer.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 #include <vector>
 
 #include "util/rng.hpp"

@@ -4,13 +4,14 @@
 #include <cmath>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 #include "util/logging.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace sma::route {
@@ -282,9 +283,9 @@ class RouterLoaner {
   RouterLoaner(const RoutingGrid& grid, const RouterConfig& config)
       : grid_(grid), config_(config) {}
 
-  std::unique_ptr<NetRouter> acquire() {
+  std::unique_ptr<NetRouter> acquire() SMA_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (!idle_.empty()) {
         std::unique_ptr<NetRouter> router = std::move(idle_.back());
         idle_.pop_back();
@@ -294,16 +295,16 @@ class RouterLoaner {
     return std::make_unique<NetRouter>(grid_, config_);
   }
 
-  void release(std::unique_ptr<NetRouter> router) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void release(std::unique_ptr<NetRouter> router) SMA_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     idle_.push_back(std::move(router));
   }
 
  private:
   const RoutingGrid& grid_;
   const RouterConfig& config_;
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<NetRouter>> idle_;
+  util::Mutex mutex_;
+  std::vector<std::unique_ptr<NetRouter>> idle_ SMA_GUARDED_BY(mutex_);
 };
 
 /// Unique pin grid nodes of a net, driver first.

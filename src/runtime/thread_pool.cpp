@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -39,7 +39,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -49,8 +49,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      // Explicit loop, not a predicate lambda: the thread-safety
+      // analysis cannot see a lambda body holding this lock.
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -81,13 +83,13 @@ void TaskGroup::run(std::function<void()> fn) {
     try {
       fn();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(state_->mutex);
+      util::MutexLock lock(state_->mutex);
       if (!state_->error) state_->error = std::current_exception();
     }
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    util::MutexLock lock(state_->mutex);
     state_->jobs.push_back(std::move(fn));
     ++state_->pending;
   }
@@ -100,7 +102,7 @@ void TaskGroup::run(std::function<void()> fn) {
 bool TaskGroup::State::execute_one() {
   std::function<void()> fn;
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::MutexLock lock(mutex);
     if (jobs.empty()) return false;
     fn = std::move(jobs.front());
     jobs.pop_front();
@@ -110,12 +112,12 @@ bool TaskGroup::State::execute_one() {
   try {
     fn();
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::MutexLock lock(mutex);
     if (!error) error = std::current_exception();
   }
   // Notify while holding the mutex, so a woken joiner cannot finish and
   // release its state reference while the cv is still being touched.
-  std::lock_guard<std::mutex> lock(mutex);
+  util::MutexLock lock(mutex);
   --pending;
   cv.notify_all();
   return true;
@@ -124,7 +126,7 @@ bool TaskGroup::State::execute_one() {
 void TaskGroup::wait() {
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(state_->mutex);
+      util::MutexLock lock(state_->mutex);
       if (state_->pending == 0) break;
     }
     // Help with our own queued jobs — never with unrelated pool work,
@@ -132,10 +134,10 @@ void TaskGroup::wait() {
     // timed regions. Once the queue is dry the stragglers are running on
     // other threads; sleep until a completion notifies us.
     if (state_->execute_one()) continue;
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    state_->cv.wait(lock, [this] { return state_->pending == 0; });
+    util::MutexLock lock(state_->mutex);
+    while (state_->pending != 0) state_->cv.wait(lock);
   }
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  util::MutexLock lock(state_->mutex);
   if (state_->error) {
     std::exception_ptr error = state_->error;
     state_->error = nullptr;

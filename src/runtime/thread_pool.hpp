@@ -14,13 +14,15 @@
 // same pool without deadlocking.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sma::runtime {
 
@@ -54,16 +56,16 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Enqueue a job. Jobs must not outlive the pool.
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) SMA_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() SMA_EXCLUDES(mutex_);
 
   int num_threads_ = 0;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> queue_ SMA_GUARDED_BY(mutex_);
+  bool stop_ SMA_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 
@@ -93,14 +95,14 @@ class TaskGroup {
   /// Shared with the pool stubs, which may outlive the group (a stub
   /// whose job a blocked joiner already ran becomes a late no-op).
   struct State {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> jobs;
-    int pending = 0;
-    std::exception_ptr error;
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::deque<std::function<void()>> jobs SMA_GUARDED_BY(mutex);
+    int pending SMA_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error SMA_GUARDED_BY(mutex);
 
     /// Pop and run one queued job; false if none was queued.
-    bool execute_one();
+    bool execute_one() SMA_EXCLUDES(mutex);
   };
 
   ThreadPool* pool_;

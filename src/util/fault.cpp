@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "util/logging.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sma::util::fault {
 
@@ -24,9 +26,12 @@ struct Armed {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::unordered_map<std::string, std::vector<Armed>> armed;
-  std::unordered_map<std::string, long> hits;
+  util::Mutex mutex;
+  /// Lookup-only maps (find / operator[] / clear); their iteration order
+  /// is never observed, so unordered storage cannot leak into outputs.
+  std::unordered_map<std::string, std::vector<Armed>> armed
+      SMA_GUARDED_BY(mutex);
+  std::unordered_map<std::string, long> hits SMA_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -53,7 +58,7 @@ Action mode_from_name(const std::string& name, const std::string& entry) {
 Action consume(const char* name) {
   ensure_env_parsed();
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  util::MutexLock lock(reg.mutex);
   const long hit = ++reg.hits[name];
   auto it = reg.armed.find(name);
   if (it == reg.armed.end()) return Action::kNone;
@@ -78,14 +83,14 @@ long injected_count() { return g_injected.load(); }
 
 bool arm(const std::string& point, Action mode, long nth) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  util::MutexLock lock(reg.mutex);
   reg.armed[point].push_back(Armed{mode, reg.hits[point] + nth});
   return true;
 }
 
 void disarm_all() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  util::MutexLock lock(reg.mutex);
   reg.armed.clear();
   reg.hits.clear();
 }
@@ -93,7 +98,7 @@ void disarm_all() {
 long hits(const std::string& point) {
   ensure_env_parsed();
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  util::MutexLock lock(reg.mutex);
   auto it = reg.hits.find(point);
   return it == reg.hits.end() ? 0 : it->second;
 }

@@ -1,0 +1,89 @@
+// Annotated mutex primitives for clang's thread-safety analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so code using
+// it is invisible to `-Wthread-safety` — SMA_GUARDED_BY(a std::mutex)
+// is rejected outright. These thin wrappers (zero overhead: every method
+// is an inline forward) make the lock graph visible to the analysis:
+//
+//   util::Mutex mutex_;
+//   int shared_ SMA_GUARDED_BY(mutex_);
+//
+//   void touch() {
+//     util::MutexLock lock(mutex_);   // scoped capability
+//     ++shared_;                      // statically checked
+//   }
+//
+// CondVar pairs with MutexLock. Write waits as explicit loops —
+// `while (!pred()) cv_.wait(lock);` — never predicate lambdas: the
+// analysis treats a lambda as a separate function that does not hold the
+// caller's lock, so guarded reads inside the predicate would be flagged.
+// (The analysis does not model the unlock/relock inside wait(); the
+// capability is treated as held across the call, which matches the
+// invariant re-established on every wakeup.)
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace sma::util {
+
+class MutexLock;
+
+/// std::mutex with capability annotations. Non-reentrant.
+class SMA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SMA_ACQUIRE() { m_.lock(); }
+  void unlock() SMA_RELEASE() { m_.unlock(); }
+  bool try_lock() SMA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// RAII scoped lock over Mutex (the repo's lock_guard/unique_lock).
+class SMA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SMA_ACQUIRE(mutex) : lock_(mutex.m_) {}
+  ~MutexLock() SMA_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable usable with MutexLock. Waits release and reacquire
+/// the underlying std::mutex exactly like std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sma::util

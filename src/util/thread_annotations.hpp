@@ -1,0 +1,75 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// The repo's determinism contract — bit-identical models, tables and
+// layouts at any thread count — is only as strong as its locking
+// discipline: a single unguarded access can break byte-identity without
+// failing any test on a machine where the race happens to land the same
+// way. These macros make the discipline *statically checkable*: every
+// mutex-protected member is declared SMA_GUARDED_BY its mutex, every
+// helper that assumes the lock is held says SMA_REQUIRES, and clang's
+// `-Wthread-safety` analysis (a dedicated CI leg compiles the full tree
+// with it promoted to an error) rejects any access pattern that violates
+// the declarations — before the code ever runs.
+//
+// Convention for new code:
+//   - Guard every shared member:        T x_ SMA_GUARDED_BY(mutex_);
+//   - Private called-under-lock helper: void f() SMA_REQUIRES(mutex_);
+//   - Public locking entry point:       void g() SMA_EXCLUDES(mutex_);
+//   - Use util::Mutex / util::MutexLock / util::CondVar (util/mutex.hpp)
+//     instead of the std:: types — the std types carry no capability
+//     attributes under libstdc++, so the analysis cannot see them.
+//   - Write condition-variable waits as explicit `while (!pred) wait;`
+//     loops, not predicate lambdas: the analysis treats a lambda as a
+//     separate function that does not hold the caller's lock.
+//   - SMA_NO_THREAD_SAFETY_ANALYSIS is a last resort; every use needs a
+//     comment explaining why the analysis cannot follow the code.
+//
+// The macro set mirrors the names in clang's documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with an SMA_
+// prefix so a grep for the convention finds only this repo's uses.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SMA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SMA_THREAD_ANNOTATION(x)  // no-op: gcc/msvc have no analysis
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define SMA_CAPABILITY(x) SMA_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define SMA_SCOPED_CAPABILITY SMA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read/written while holding `x`.
+#define SMA_GUARDED_BY(x) SMA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define SMA_PT_GUARDED_BY(x) SMA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the caller to already hold the capability.
+#define SMA_REQUIRES(...) \
+  SMA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define SMA_ACQUIRE(...) \
+  SMA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability the caller held.
+#define SMA_RELEASE(...) \
+  SMA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define SMA_TRY_ACQUIRE(result, ...) \
+  SMA_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant entry points).
+#define SMA_EXCLUDES(...) SMA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability that guards the decorated data.
+#define SMA_RETURN_CAPABILITY(x) SMA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct but inexpressible.
+#define SMA_NO_THREAD_SAFETY_ANALYSIS \
+  SMA_THREAD_ANNOTATION(no_thread_safety_analysis)

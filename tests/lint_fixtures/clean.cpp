@@ -1,0 +1,12 @@
+// Lint fixture: MUST stay clean. Ordered containers, integer
+// accumulation, no entropy — the deterministic idiom the lint enforces.
+#include <map>
+#include <string>
+
+int total(const std::map<std::string, int>& scores) {
+  int sum = 0;
+  for (const auto& entry : scores) {
+    sum += entry.second;
+  }
+  return sum;
+}

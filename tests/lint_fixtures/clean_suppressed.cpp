@@ -1,0 +1,6 @@
+// Lint fixture: MUST stay clean. Exercises the audited suppression
+// syntax — the directive covers the line below it and carries a reason.
+#include <cstdlib>
+
+// sma-lint: allow(entropy) fixture demonstrating an audited suppression
+int seeded() { return std::rand(); }

@@ -1,0 +1,5 @@
+// Lint fixture: MUST trip rule entropy (and nothing else).
+// Unseeded libc entropy outside util/rng.
+#include <cstdlib>
+
+int noisy_seed() { return std::rand(); }

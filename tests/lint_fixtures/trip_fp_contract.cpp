@@ -1,0 +1,10 @@
+// Lint fixture: MUST trip rule fp-contract (and nothing else).
+// A float multiply-accumulate in a TU that is not in SMA_FP_STRICT_TUS:
+// an FMA-capable target may contract the mul+add into one rounding step.
+double dot(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}

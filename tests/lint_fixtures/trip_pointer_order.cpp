@@ -1,0 +1,9 @@
+// Lint fixture: MUST trip rule pointer-order (and nothing else).
+// std::set<T*> orders by pointer value, which ASLR randomizes per run.
+#include <cstddef>
+#include <set>
+
+struct Cell;
+using CellSet = std::set<Cell*>;
+
+std::size_t count_cells(const CellSet& cells) { return cells.size(); }

@@ -1,0 +1,7 @@
+// Lint fixture: MUST trip rule thread-id (and nothing else).
+// std::thread::id values are assigned by the OS scheduler.
+#include <thread>
+
+bool same_thread(std::thread::id expected) {
+  return std::this_thread::get_id() == expected;
+}

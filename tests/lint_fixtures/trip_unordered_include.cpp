@@ -1,0 +1,5 @@
+// Lint fixture: MUST trip rule unordered-include (and nothing else).
+// The header is included but no unordered container is ever named.
+#include <unordered_set>
+
+int answer() { return 42; }

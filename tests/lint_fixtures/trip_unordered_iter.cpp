@@ -1,0 +1,13 @@
+// Lint fixture: MUST trip rule unordered-iter (and nothing else).
+// Iterating an unordered container visits elements in hash-salt order,
+// which differs across standard libraries and runs.
+#include <string>
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<std::string, int>& scores_) {
+  int total = 0;
+  for (const auto& entry : scores_) {
+    total += entry.second;
+  }
+  return total;
+}
