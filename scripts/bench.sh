@@ -1,27 +1,30 @@
 #!/usr/bin/env bash
 # Run a repo benchmark and emit its JSON result file.
 #
-# Usage: scripts/bench.sh [parallel|kernels|train|flow|all] [extra bench flags]
+# Usage: scripts/bench.sh [parallel|kernels|train|flow|serve|all] [flags]
 #   scripts/bench.sh                      # parallel bench (default)
 #   scripts/bench.sh parallel --threads=1,2,4 --layer=3
 #   scripts/bench.sh kernels --design=c880 --epochs=3
 #   scripts/bench.sh train --design=c432 --epochs=3
 #   scripts/bench.sh flow --designs=c432,b13 --threads=1,2,4
-#   scripts/bench.sh all                  # all four, default flags only
+#   scripts/bench.sh serve --design=c432 --widths=1,4,16,64
+#   scripts/bench.sh all                  # all five, default flags only
 #
 # Each bench prints human-readable progress on stderr and exactly one
 # JSON object on stdout; exit status is non-zero if its self-check fails
 # (bench_parallel: determinism across thread counts; bench_kernels:
 # bit-identity between naive and blocked kernels; bench_train:
 # bit-identity between the fused and three-pass training paths;
-# bench_flow: byte-identical layouts across thread counts).
+# bench_flow: byte-identical layouts across thread counts; bench_serve:
+# bit-identity between batched widths and batch-1, zero steady-state
+# arena allocations).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 which="${1:-parallel}"
 case "$which" in
-  parallel|kernels|train|flow|all) shift || true ;;
+  parallel|kernels|train|flow|serve|all) shift || true ;;
   *) which=parallel ;;  # no subcommand: all args go to bench_parallel
 esac
 
@@ -45,6 +48,7 @@ case "$which" in
   kernels)  run_one kernels "$@" ;;
   train)    run_one train "$@" ;;
   flow)     run_one flow "$@" ;;
+  serve)    run_one serve "$@" ;;
   all)
     # The benches take different flags, so `all` runs each with defaults
     # rather than forwarding one bench's flags to the others.
@@ -56,5 +60,6 @@ case "$which" in
     run_one kernels
     run_one train
     run_one flow
+    run_one serve
     ;;
 esac

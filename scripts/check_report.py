@@ -59,6 +59,15 @@ REPLICA_KEYS = (
     "arena_allocs",
     "arena_bytes_pinned",
 )
+SERVE_KEYS = (
+    "submitted",
+    "answered",
+    "failed",
+    "empty",
+    "batches",
+    "max_batch_seen",
+    "max_queue_depth",
+)
 SPLIT_CACHE_KEYS = (
     "hits",
     "misses",
@@ -146,6 +155,8 @@ def check_report_object(path, report, context="report"):
     if report["replicas"] is not None:
         require_keys(path, report["replicas"], REPLICA_KEYS,
                      f"{context}.replicas")
+    if report.get("serve") is not None:
+        require_keys(path, report["serve"], SERVE_KEYS, f"{context}.serve")
     require_keys(path, report["split_cache"], SPLIT_CACHE_KEYS,
                  f"{context}.split_cache")
     require_keys(path, report["durability"], DURABILITY_KEYS,

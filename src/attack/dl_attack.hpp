@@ -116,8 +116,21 @@ class DlAttack {
   /// weights, private activation caches; no per-call clone) — so
   /// concurrent `attack` calls on one DlAttack are safe as long as every
   /// call passes a pool, and repeated calls reuse the same replicas.
+  ///
+  /// `batch_width` > 1 coalesces that many consecutive queries into one
+  /// wide `forward_batched` pass per replica (the dataset partition stays
+  /// in fixed slot order, so which replica serves a chunk never matters).
+  /// Purely a performance knob: scores — and therefore selections and
+  /// CCR — are byte-identical to batch_width == 1 at every width, thread
+  /// count, and kernel backend (tests/test_serve.cpp, bench_serve).
   AttackResult attack(QueryDataset& dataset,
-                      runtime::ThreadPool* pool = nullptr);
+                      runtime::ThreadPool* pool = nullptr,
+                      int batch_width = 1);
+
+  /// The pinned inference replica set — the serving loop (src/serve/)
+  /// leases from it directly so bounded replicas backpressure request
+  /// coalescing the same way they backpressure attack() calls.
+  ReplicaSet& replicas() { return *replicas_; }
 
   /// Replicas created by pooled attack() calls so far. Pinning means this
   /// stops growing once the set covers the worker count — the test hook

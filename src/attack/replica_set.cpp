@@ -9,15 +9,14 @@
 namespace sma::attack {
 
 ReplicaLease::ReplicaLease(ReplicaSet* set, std::vector<nn::AttackNet*> nets,
-                           std::vector<std::size_t> indices)
+                           std::vector<std::size_t> indices,
+                           std::size_t lease_id)
     : set_(set),
       nets_(std::move(nets)),
       indices_(std::move(indices)),
-      start_us_(obs::now_us()) {}
+      lease_id_(lease_id) {}
 
-ReplicaLease::~ReplicaLease() {
-  set_->release(indices_, (obs::now_us() - start_us_) * 1e-6);
-}
+ReplicaLease::~ReplicaLease() { set_->release(indices_, lease_id_); }
 
 std::size_t ReplicaSet::obtainable_locked() const {
   // Obtainable now = free pinned replicas + headroom to clone new ones.
@@ -86,22 +85,38 @@ ReplicaLease ReplicaSet::lease(std::size_t n, nn::AttackNet& master,
   stats_.clones_created = clones_created_;
   on_loan_now_ += indices.size();
   stats_.max_on_loan = std::max(stats_.max_on_loan, on_loan_now_);
+  // Record the lease in the live table (slot reuse via the free list) so
+  // occupancy snapshots see it while it is on loan.
+  std::size_t lease_id;
+  if (!live_free_.empty()) {
+    lease_id = live_free_.back();
+    live_free_.pop_back();
+  } else {
+    lease_id = live_.size();
+    live_.emplace_back();
+  }
+  live_[lease_id] = LiveLease{obs::now_us(), indices.size(), true};
   SMA_COUNT("replica.leases");
   SMA_COUNT_N("replica.replicas_leased", n);
-  return ReplicaLease(this, std::move(nets), std::move(indices));
+  return ReplicaLease(this, std::move(nets), std::move(indices), lease_id);
 }
 
 void ReplicaSet::release(const std::vector<std::size_t>& indices,
-                         double held_seconds) {
-  SMA_HISTOGRAM_US("replica.lease_held_us",
-                   static_cast<std::uint64_t>(held_seconds * 1e6));
+                         std::size_t lease_id) {
+  const double now_us = obs::now_us();
+  double held_seconds = 0.0;
   {
     util::MutexLock lock(mutex_);
+    held_seconds = (now_us - live_[lease_id].start_us) * 1e-6;
+    live_[lease_id].active = false;
+    live_free_.push_back(lease_id);
     for (std::size_t i : indices) on_loan_[i] = false;
     on_loan_now_ -= indices.size();
     stats_.occupancy_seconds +=
         held_seconds * static_cast<double>(indices.size());
   }
+  SMA_HISTOGRAM_US("replica.lease_held_us",
+                   static_cast<std::uint64_t>(held_seconds * 1e6));
   available_.notify_all();
 }
 
@@ -125,8 +140,19 @@ long ReplicaSet::clones_created() const {
 }
 
 ReplicaSet::LeaseStats ReplicaSet::lease_stats() const {
+  const double now_us = obs::now_us();
   util::MutexLock lock(mutex_);
-  return stats_;
+  LeaseStats out = stats_;
+  // Add the occupancy still-live leases have accrued so far (their
+  // remainder lands in stats_ at release). max_on_loan is already
+  // live-updated at lease time.
+  for (const LiveLease& lease : live_) {
+    if (!lease.active) continue;
+    // sma-lint: allow(fp-contract) diagnostic stat; never feeds an output
+    out.occupancy_seconds += (now_us - lease.start_us) * 1e-6 *
+                             static_cast<double>(lease.replicas);
+  }
+  return out;
 }
 
 nn::ArenaStats ReplicaSet::arena_stats() const {

@@ -45,7 +45,7 @@ class ReplicaSet;
 class ReplicaLease {
  public:
   ReplicaLease(ReplicaSet* set, std::vector<nn::AttackNet*> nets,
-               std::vector<std::size_t> indices);
+               std::vector<std::size_t> indices, std::size_t lease_id);
   ~ReplicaLease();
   ReplicaLease(const ReplicaLease&) = delete;
   ReplicaLease& operator=(const ReplicaLease&) = delete;
@@ -56,7 +56,9 @@ class ReplicaLease {
   ReplicaSet* set_;
   std::vector<nn::AttackNet*> nets_;
   std::vector<std::size_t> indices_;
-  double start_us_ = 0.0;  ///< lease birth, for occupancy accounting
+  /// Slot in the set's live-lease table (birth time + replica count live
+  /// there, so occupancy snapshots can see leases still in flight).
+  std::size_t lease_id_ = 0;
 };
 
 class ReplicaSet {
@@ -71,7 +73,10 @@ class ReplicaSet {
     long clones_created = 0;    ///< replicas ever constructed
     std::size_t max_on_loan = 0;  ///< peak concurrently leased replicas
     double wait_seconds = 0.0;    ///< summed time to acquire the set
-    double occupancy_seconds = 0.0;  ///< summed lease lifetimes
+    /// Summed replica-seconds on loan. Includes leases still live at the
+    /// snapshot (their occupancy so far), so a serving loop's mid-flight
+    /// numbers are honest rather than lagging one lease behind.
+    double occupancy_seconds = 0.0;
     long timeouts = 0;            ///< lease() deadlines missed (bounded sets)
   };
 
@@ -103,9 +108,9 @@ class ReplicaSet {
   /// repeated attack() calls reuse pinned replicas instead of cloning.
   long clones_created() const SMA_EXCLUDES(mutex_);
 
-  /// Lease-lifecycle stats since construction (see LeaseStats). Occupancy
-  /// of still-live leases is not yet included — read between attack()
-  /// calls, like arena_stats().
+  /// Lease-lifecycle stats since construction (see LeaseStats). Safe to
+  /// read while leases are live: `occupancy_seconds` and `max_on_loan`
+  /// both reflect in-flight leases as of the snapshot.
   LeaseStats lease_stats() const SMA_EXCLUDES(mutex_);
 
   /// Aggregate activation-arena stats over every pinned replica. Each
@@ -118,11 +123,20 @@ class ReplicaSet {
 
  private:
   friend class ReplicaLease;
-  void release(const std::vector<std::size_t>& indices, double held_seconds)
+  void release(const std::vector<std::size_t>& indices, std::size_t lease_id)
       SMA_EXCLUDES(mutex_);
 
   /// Free pinned replicas plus headroom to clone under the bound.
   std::size_t obtainable_locked() const SMA_REQUIRES(mutex_);
+
+  /// One in-flight lease: birth time and replica count, kept in the set
+  /// (not the lease object) so stat snapshots can account for it while
+  /// it is still on loan.
+  struct LiveLease {
+    double start_us = 0.0;
+    std::size_t replicas = 0;
+    bool active = false;
+  };
 
   mutable util::Mutex mutex_;
   util::CondVar available_;  ///< signaled on every release
@@ -133,6 +147,10 @@ class ReplicaSet {
   LeaseStats stats_ SMA_GUARDED_BY(mutex_);
   std::size_t on_loan_now_ SMA_GUARDED_BY(mutex_) = 0;
   std::size_t max_replicas_ SMA_GUARDED_BY(mutex_) = 0;  ///< 0 = unbounded
+  /// Live-lease table, slot-addressed by ReplicaLease::lease_id_ with a
+  /// free list for reuse (bounded by peak lease concurrency).
+  std::vector<LiveLease> live_ SMA_GUARDED_BY(mutex_);
+  std::vector<std::size_t> live_free_ SMA_GUARDED_BY(mutex_);
 };
 
 }  // namespace sma::attack

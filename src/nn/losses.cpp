@@ -80,8 +80,14 @@ LossResult two_class_loss(const Tensor& scores, int target) {
 
 int predict(const Tensor& scores) {
   const int n = candidate_count(scores);
+  const int cols =
+      scores.shape().size() == 2 && scores.dim(1) == 2 ? 2 : 1;
+  return predict(scores.data(), n, cols);
+}
+
+int predict(const float* scores, int n, int cols) {
   if (n == 0) return -1;
-  if (scores.shape().size() == 2 && scores.dim(1) == 2) {
+  if (cols == 2) {
     int best = 0;
     float best_margin = scores[1] - scores[0];
     for (int j = 1; j < n; ++j) {
@@ -94,6 +100,7 @@ int predict(const Tensor& scores) {
     }
     return best;
   }
+  if (cols != 1) throw std::invalid_argument("predict: cols must be 1 or 2");
   int best = 0;
   for (int j = 1; j < n; ++j) {
     if (scores[j] > scores[best]) best = j;

@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "serve/serve_loop.hpp"
 
 namespace sma::obs {
 
@@ -91,6 +92,17 @@ void RunReport::add_replicas(const attack::DlAttack& attack) {
   replicas_.arena_bytes_pinned = arena.bytes_pinned;
 }
 
+void RunReport::add_serve(const serve::ServeStats& stats) {
+  serve_.present = true;
+  serve_.submitted = stats.submitted;
+  serve_.answered = stats.answered;
+  serve_.failed = stats.failed;
+  serve_.empty = stats.empty;
+  serve_.batches = stats.batches;
+  serve_.max_batch_seen = static_cast<std::int64_t>(stats.max_batch_seen);
+  serve_.max_queue_depth = static_cast<std::int64_t>(stats.max_queue_depth);
+}
+
 std::string RunReport::to_json() const {
   std::ostringstream os;
   os << "{\"schema\": \"" << kSchema << "\"";
@@ -151,6 +163,18 @@ std::string RunReport::to_json() const {
        << ", \"arena_bytes_pinned\": " << replicas_.arena_bytes_pinned << "}";
   } else {
     os << ", \"replicas\": null";
+  }
+
+  if (serve_.present) {
+    os << ", \"serve\": {\"submitted\": " << serve_.submitted
+       << ", \"answered\": " << serve_.answered
+       << ", \"failed\": " << serve_.failed
+       << ", \"empty\": " << serve_.empty
+       << ", \"batches\": " << serve_.batches
+       << ", \"max_batch_seen\": " << serve_.max_batch_seen
+       << ", \"max_queue_depth\": " << serve_.max_queue_depth << "}";
+  } else {
+    os << ", \"serve\": null";
   }
 
   const eval::SplitCache::Stats cache = eval::SplitCache::global().stats();

@@ -25,6 +25,9 @@ namespace sma::attack {
 struct TrainStats;
 class DlAttack;
 }  // namespace sma::attack
+namespace sma::serve {
+struct ServeStats;
+}
 
 namespace sma::obs {
 
@@ -45,6 +48,12 @@ class RunReport {
   /// Inference-serving stats of one DlAttack: replica-lease lifecycle
   /// (leases, wait, occupancy) and the pinned replicas' arena stats.
   void add_replicas(const attack::DlAttack& attack);
+
+  /// Request-coalescing stats of one ServeLoop (src/serve/): submit and
+  /// batch lifecycle counters. The width/latency distributions travel in
+  /// the metrics section's histograms (serve.batch_width,
+  /// serve.queue_depth, serve.queue_wait_us).
+  void add_serve(const serve::ServeStats& stats);
 
   /// Serialize. Split-cache stats, kernel dispatch counts and the metrics
   /// registry snapshot are read at call time, in fixed (name) order, so
@@ -85,12 +94,23 @@ class RunReport {
     long arena_allocs = 0;
     std::uint64_t arena_bytes_pinned = 0;
   };
+  struct Serve {
+    bool present = false;
+    long submitted = 0;
+    long answered = 0;
+    long failed = 0;
+    long empty = 0;
+    long batches = 0;
+    std::int64_t max_batch_seen = 0;
+    std::int64_t max_queue_depth = 0;
+  };
 
   std::string name_;
   int threads_ = 1;
   std::vector<FlowRow> flow_;
   Train train_;
   Replicas replicas_;
+  Serve serve_;
 };
 
 }  // namespace sma::obs

@@ -1,0 +1,428 @@
+// Batched inference + serving-loop contracts (src/serve/, PR "batched
+// cross-query inference engine").
+//
+// The central claim under test: stacking B queries into one
+// forward_batched pass is BYTE-identical per query to B separate
+// forward calls — at every batch width, thread count, and batch
+// composition — so the serving tier can coalesce requests freely without
+// changing any answer. Plus the serving-loop lifecycle: shutdown drains
+// in-flight requests deterministically, lease timeouts propagate to
+// every waiting request of the stalled batch, and live leases show up in
+// occupancy snapshots.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "attack/dl_attack.hpp"
+#include "attack/replica_set.hpp"
+#include "nn/losses.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/serve_loop.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace sma::attack {
+namespace {
+
+DatasetConfig serve_dataset_config() {
+  DatasetConfig config;
+  config.candidates.max_candidates = 8;
+  config.images.size = 9;
+  config.images.pixel_sizes = {200, 400};
+  return config;
+}
+
+nn::NetConfig serve_net_config() {
+  nn::NetConfig config;
+  config.hidden = 16;
+  config.vector_res_blocks = 1;
+  config.merged_res_blocks = 1;
+  config.image_channels = 2;
+  config.conv_channels = {4, 6, 8, 10};
+  config.image_fc = 16;
+  config.fc6_width = 8;
+  return config;
+}
+
+/// Shared trained model + victim dataset + the batch-1 serial baseline
+/// (selections AND raw per-query score bytes). Built once: training even
+/// the tiny image net dominates suite time otherwise.
+struct ServeFixtureState {
+  std::unique_ptr<DlAttack> dl;
+  std::unique_ptr<QueryDataset> victim;
+  AttackResult baseline;
+  std::vector<std::vector<float>> baseline_scores;  ///< per query, [] if empty
+};
+
+ServeFixtureState& fixture() {
+  static ServeFixtureState* state = [] {
+    auto* s = new ServeFixtureState();
+    const test::SmallSplit& train_split = test::shared_split(3, 400, 13);
+    const test::SmallSplit& victim_split = test::shared_split(3, 400, 14);
+
+    std::vector<QueryDataset> training;
+    training.emplace_back(train_split.split.get(), serve_dataset_config());
+    std::vector<QueryDataset> validation;
+
+    TrainConfig train_config;
+    train_config.epochs = 2;
+    train_config.max_queries_per_design = 60;
+
+    s->dl = std::make_unique<DlAttack>(serve_net_config());
+    s->dl->train(training, validation, train_config);
+
+    s->victim = std::make_unique<QueryDataset>(victim_split.split.get(),
+                                               serve_dataset_config());
+    s->baseline = s->dl->attack(*s->victim);
+
+    // Raw batch-1 score bytes per query: the identity oracle.
+    nn::QueryInput input;
+    for (std::size_t i = 0; i < s->victim->num_queries(); ++i) {
+      std::vector<float>& row = s->baseline_scores.emplace_back();
+      if (s->victim->query(i).candidates.empty()) continue;
+      s->victim->input_into(i, input);
+      const nn::Tensor& scores = s->dl->net().forward(input);
+      row.assign(scores.data(), scores.data() + scores.size());
+    }
+    return s;
+  }();
+  return *state;
+}
+
+void expect_selections_equal(const AttackResult& got,
+                             const AttackResult& want) {
+  ASSERT_EQ(got.selections.size(), want.selections.size());
+  for (std::size_t i = 0; i < got.selections.size(); ++i) {
+    EXPECT_EQ(got.selections[i].sink_fragment, want.selections[i].sink_fragment);
+    EXPECT_EQ(got.selections[i].chosen_source, want.selections[i].chosen_source);
+    EXPECT_EQ(got.selections[i].correct, want.selections[i].correct);
+    EXPECT_EQ(got.selections[i].num_sinks, want.selections[i].num_sinks);
+  }
+  EXPECT_EQ(got.ccr, want.ccr);  // bit-equal, not approximately
+}
+
+TEST(BatchedAttack, BitIdenticalAcrossWidthsAndThreads) {
+  ServeFixtureState& f = fixture();
+  for (int width : {1, 2, 8, 64}) {
+    {
+      SCOPED_TRACE("serial width " + std::to_string(width));
+      expect_selections_equal(f.dl->attack(*f.victim, nullptr, width),
+                              f.baseline);
+    }
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE("threads " + std::to_string(threads) + " width " +
+                   std::to_string(width));
+      runtime::ThreadPool pool(threads);
+      expect_selections_equal(f.dl->attack(*f.victim, &pool, width),
+                              f.baseline);
+    }
+  }
+}
+
+TEST(BatchedAttack, ScoresBitEqualToBatchOne) {
+  ServeFixtureState& f = fixture();
+  const std::size_t n = f.victim->num_queries();
+  ASSERT_GT(n, 8u);
+  nn::BatchedQueryInput input;
+  for (std::size_t width : {std::size_t{2}, std::size_t{8}, n}) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    for (std::size_t base = 0; base < n; base += width) {
+      const std::size_t count = std::min(width, n - base);
+      f.victim->input_into_batch(base, count, input);
+      ASSERT_EQ(input.query_rows.size(), count);
+      int rows = 0;
+      for (int nq : input.query_rows) rows += nq;
+      if (rows == 0) continue;
+      const nn::Tensor& scores = f.dl->net().forward_batched(input);
+      ASSERT_EQ(scores.dim(0), rows);
+      const float* s = scores.data();
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::vector<float>& want = f.baseline_scores[base + k];
+        ASSERT_EQ(static_cast<std::size_t>(input.query_rows[k]), want.size());
+        EXPECT_EQ(std::memcmp(s, want.data(), want.size() * sizeof(float)), 0)
+            << "query " << base + k << " diverges from batch-1";
+        s += want.size();
+      }
+    }
+  }
+}
+
+TEST(BatchedAttack, RaggedFinalBatch) {
+  ServeFixtureState& f = fixture();
+  const std::size_t n = f.victim->num_queries();
+  ASSERT_GE(n, 3u);
+  // A trailing batch narrower than the width: the last 3 queries alone.
+  nn::BatchedQueryInput input;
+  f.victim->input_into_batch(n - 3, 3, input);
+  int rows = 0;
+  for (int nq : input.query_rows) rows += nq;
+  if (rows > 0) {
+    const nn::Tensor& scores = f.dl->net().forward_batched(input);
+    const float* s = scores.data();
+    for (std::size_t k = 0; k < 3; ++k) {
+      const std::vector<float>& want = f.baseline_scores[n - 3 + k];
+      EXPECT_EQ(std::memcmp(s, want.data(), want.size() * sizeof(float)), 0);
+      s += want.size();
+    }
+  }
+  // A width that cannot divide the dataset evenly end-to-end.
+  const int ragged_width = 7;
+  expect_selections_equal(f.dl->attack(*f.victim, nullptr, ragged_width),
+                          f.baseline);
+}
+
+TEST(BatchedAttack, SingleQueryDegenerateBatch) {
+  ServeFixtureState& f = fixture();
+  nn::BatchedQueryInput input;
+  for (std::size_t i = 0; i < std::min<std::size_t>(4, f.victim->num_queries());
+       ++i) {
+    if (f.victim->query(i).candidates.empty()) continue;
+    f.victim->input_into_batch(i, 1, input);
+    ASSERT_EQ(input.query_rows.size(), 1u);
+    const nn::Tensor& scores = f.dl->net().forward_batched(input);
+    const std::vector<float>& want = f.baseline_scores[i];
+    ASSERT_EQ(static_cast<std::size_t>(scores.size()), want.size());
+    EXPECT_EQ(
+        std::memcmp(scores.data(), want.data(), want.size() * sizeof(float)),
+        0);
+  }
+}
+
+TEST(BatchedForward, SkipsZeroRowQueries) {
+  // Unit-level: a batch whose middle query has no candidates contributes
+  // no rows and no planes, and the live queries' scores are bit-equal to
+  // their solo forwards.
+  nn::NetConfig config = serve_net_config();
+  nn::AttackNet net(config);
+  util::Pcg32 rng(11);
+  nn::QueryInput a;
+  a.vec = nn::Tensor::randn({3, 27}, rng, 1.0);
+  a.images = nn::Tensor::randn({4, 2, 15, 15}, rng, 0.3);
+  nn::QueryInput b;
+  b.vec = nn::Tensor::randn({2, 27}, rng, 1.0);
+  b.images = nn::Tensor::randn({3, 2, 15, 15}, rng, 0.3);
+
+  std::vector<float> want_a, want_b;
+  {
+    const nn::Tensor& sa = net.forward(a);
+    want_a.assign(sa.data(), sa.data() + sa.size());
+    const nn::Tensor& sb = net.forward(b);
+    want_b.assign(sb.data(), sb.data() + sb.size());
+  }
+
+  nn::BatchedQueryInput batch;
+  batch.query_rows = {3, 0, 2};
+  batch.vec = nn::Tensor({5, 27});
+  std::memcpy(batch.vec.data(), a.vec.data(), 3 * 27 * sizeof(float));
+  std::memcpy(batch.vec.data() + 3 * 27, b.vec.data(), 2 * 27 * sizeof(float));
+  batch.images = nn::Tensor({7, 2, 15, 15});
+  const std::size_t plane = 2 * 15 * 15;
+  std::memcpy(batch.images.data(), a.images.data(), 4 * plane * sizeof(float));
+  std::memcpy(batch.images.data() + 4 * plane, b.images.data(),
+              3 * plane * sizeof(float));
+
+  const nn::Tensor& scores = net.forward_batched(batch);
+  ASSERT_EQ(scores.dim(0), 5);
+  EXPECT_EQ(std::memcmp(scores.data(), want_a.data(),
+                        want_a.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(scores.data() + want_a.size(), want_b.data(),
+                        want_b.size() * sizeof(float)),
+            0);
+}
+
+TEST(BatchedForward, RejectsBadBatches) {
+  nn::AttackNet net(serve_net_config());
+  nn::BatchedQueryInput batch;
+  EXPECT_THROW(net.forward_batched(batch), std::invalid_argument);
+  batch.query_rows = {0, 0};
+  batch.vec = nn::Tensor({0, 27});
+  EXPECT_THROW(net.forward_batched(batch), std::invalid_argument);
+  util::Pcg32 rng(5);
+  batch.query_rows = {2, -1};
+  batch.vec = nn::Tensor::randn({2, 27}, rng, 1.0);
+  EXPECT_THROW(net.forward_batched(batch), std::invalid_argument);
+  // Row count must match the stacked vec.
+  batch.query_rows = {2, 3};
+  EXPECT_THROW(net.forward_batched(batch), std::invalid_argument);
+}
+
+TEST(BatchedForward, BackwardAfterBatchedThrows) {
+  nn::NetConfig config = serve_net_config();
+  config.use_images = false;
+  nn::AttackNet net(config);
+  util::Pcg32 rng(3);
+
+  nn::BatchedQueryInput batch;
+  batch.query_rows = {2, 2};
+  batch.vec = nn::Tensor::randn({4, 27}, rng, 1.0);
+  const nn::Tensor& scores = net.forward_batched(batch);
+  nn::Tensor grad(scores.shape());
+  EXPECT_THROW(net.backward(grad), std::logic_error);
+
+  // A later single-query forward re-arms the training path.
+  nn::QueryInput single;
+  single.vec = nn::Tensor::randn({2, 27}, rng, 1.0);
+  const nn::Tensor& s = net.forward(single);
+  nn::Tensor g(s.shape());
+  EXPECT_NO_THROW(net.backward(g));
+}
+
+TEST(ServeLoop, MatchesBatchOneAcrossConcurrentClients) {
+  ServeFixtureState& f = fixture();
+  serve::ServeConfig config;
+  config.max_batch = 8;
+  config.max_wait_us = 200;
+  config.dispatchers = 2;
+  serve::ServeLoop loop(*f.dl, config);
+
+  const std::size_t n = f.victim->num_queries();
+  std::vector<Selection> got(n);
+  const int clients = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([c, n, &got, &loop, &f] {
+      for (std::size_t i = c; i < n; i += clients) {
+        got[i] = loop.submit(*f.victim, i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  loop.shutdown();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i].sink_fragment, f.baseline.selections[i].sink_fragment);
+    EXPECT_EQ(got[i].chosen_source, f.baseline.selections[i].chosen_source);
+    EXPECT_EQ(got[i].correct, f.baseline.selections[i].correct);
+    EXPECT_EQ(got[i].num_sinks, f.baseline.selections[i].num_sinks);
+  }
+
+  const serve::ServeStats stats = loop.stats();
+  EXPECT_EQ(stats.submitted, static_cast<long>(n));
+  EXPECT_EQ(stats.answered + stats.empty, static_cast<long>(n));
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_GE(stats.max_batch_seen, 1u);
+  EXPECT_LE(stats.max_batch_seen, 8u);
+}
+
+TEST(ServeLoop, ShutdownDrainsInFlightRequests) {
+  ServeFixtureState& f = fixture();
+  serve::ServeConfig config;
+  config.max_batch = 4;
+  config.max_wait_us = 2000;  // long budget: shutdown must cut it short
+  serve::ServeLoop loop(*f.dl, config);
+
+  const std::size_t n = f.victim->num_queries();
+  std::atomic<long> answered{0};
+  std::atomic<long> rejected{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([c, n, &answered, &rejected, &loop, &f] {
+      for (std::size_t i = c; i < n; i += 3) {
+        try {
+          const Selection got = loop.submit(*f.victim, i);
+          // An answered request must carry the batch-1 answer even when
+          // the loop is tearing down around it.
+          EXPECT_EQ(got.chosen_source,
+                    f.baseline.selections[i].chosen_source);
+          answered.fetch_add(1);
+        } catch (const std::runtime_error&) {
+          rejected.fetch_add(1);  // submitted after shutdown
+        }
+      }
+    });
+  }
+  // Let some requests in, then close the loop under load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  loop.shutdown();
+  for (std::thread& t : clients) t.join();
+
+  // Every request was either answered correctly or rejected cleanly...
+  EXPECT_EQ(answered.load() + rejected.load(), static_cast<long>(n));
+  // ...and nothing was left hanging: accepted == completed.
+  const serve::ServeStats stats = loop.stats();
+  EXPECT_EQ(stats.answered + stats.empty, answered.load());
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_THROW(loop.submit(*f.victim, 0), std::runtime_error);
+}
+
+TEST(ServeLoop, LeaseTimeoutPropagatesToWaitingRequests) {
+  // A private attack: bounding the shared fixture's replica set would
+  // leak into other tests.
+  ServeFixtureState& f = fixture();
+  DlAttack dl(serve_net_config());
+  dl.replicas().set_max_replicas(1);
+
+  serve::ServeConfig config;
+  config.max_wait_us = 0;
+  config.lease_timeout_seconds = 0.02;
+  serve::ServeLoop loop(dl, config);
+
+  std::size_t live_query = f.victim->num_queries();
+  for (std::size_t i = 0; i < f.victim->num_queries(); ++i) {
+    if (!f.victim->query(i).candidates.empty()) {
+      live_query = i;
+      break;
+    }
+  }
+  ASSERT_LT(live_query, f.victim->num_queries());
+
+  {
+    // Hold the only replica: every batch the loop dispatches must time
+    // out and fail its requests with the typed saturation error.
+    ReplicaLease hog = dl.replicas().lease(1, dl.net());
+    EXPECT_THROW(loop.submit(*f.victim, live_query), AcquireTimeoutError);
+    EXPECT_GE(loop.stats().failed, 1);
+  }
+  // Replica released: the same request now succeeds.
+  const Selection got = loop.submit(*f.victim, live_query);
+  EXPECT_EQ(got.sink_fragment,
+            f.victim->query(live_query).sink_fragment);
+  EXPECT_GE(got.chosen_source, 0);
+  loop.shutdown();
+}
+
+TEST(ServeLoop, RejectsMismatchedImageGeometry) {
+  ServeFixtureState& f = fixture();
+  serve::ServeLoop loop(*f.dl, serve::ServeConfig{});
+  // Register the fleet geometry with a first request.
+  std::size_t any = 0;
+  loop.submit(*f.victim, any);
+  // A vector-only dataset cannot share batches with an image fleet.
+  DatasetConfig mismatched = serve_dataset_config();
+  mismatched.build_images = false;
+  const test::SmallSplit& split = test::shared_split(3, 400, 14);
+  QueryDataset other(split.split.get(), mismatched);
+  EXPECT_THROW(loop.submit(other, 0), std::invalid_argument);
+}
+
+TEST(ReplicaSet, LiveLeasesCountTowardOccupancy) {
+  DlAttack dl(serve_net_config());
+  {
+    ReplicaLease lease = dl.replicas().lease(2, dl.net());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const ReplicaSet::LeaseStats mid = dl.replica_lease_stats();
+    // The lease is still live, yet its occupancy so far is visible (2
+    // replicas x >= 10ms) — the header used to document this gap.
+    EXPECT_GT(mid.occupancy_seconds, 0.0);
+    EXPECT_EQ(mid.max_on_loan, 2u);
+    EXPECT_EQ(mid.leases, 1);
+  }
+  const ReplicaSet::LeaseStats after = dl.replica_lease_stats();
+  EXPECT_GT(after.occupancy_seconds, 0.0);
+
+  // Occupancy is monotone across repeated snapshots of a live lease.
+  ReplicaLease lease = dl.replicas().lease(1, dl.net());
+  const double first = dl.replica_lease_stats().occupancy_seconds;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(dl.replica_lease_stats().occupancy_seconds, first);
+}
+
+}  // namespace
+}  // namespace sma::attack
